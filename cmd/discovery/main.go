@@ -1,0 +1,112 @@
+// Command discovery traces a Starbench benchmark, runs the iterative
+// pattern finder on its dynamic dataflow graph, and reports the found
+// patterns against the source listing (text or HTML, in the style of the
+// paper's Figure 6 reports).
+//
+// Usage:
+//
+//	discovery -bench streamcluster -version pthreads -format text
+//	discovery -bench rot-cc -format html > report.html
+//	discovery -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"discovery/internal/core"
+	"discovery/internal/modernize"
+	"discovery/internal/report"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "streamcluster", "benchmark to analyze")
+		version    = flag.String("version", "pthreads", "benchmark version: seq or pthreads")
+		format     = flag.String("format", "summary", "output format: summary, text, or html")
+		workers    = flag.Int("workers", 0, "parallel matching workers (0 = all cores)")
+		verify     = flag.Bool("verify", true, "re-verify matches against the unrelaxed definitions")
+		extensions = flag.Bool("extensions", false, "enable the future-work pattern kinds (stencil, pipeline, tree reduction)")
+		list       = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	lookup := func(name string) *starbench.Benchmark {
+		if b := starbench.ByName(name); b != nil {
+			return b
+		}
+		for _, b := range starbench.Extended() {
+			if b.Name == name {
+				return b
+			}
+		}
+		return nil
+	}
+
+	if *list {
+		for _, b := range starbench.All() {
+			fmt.Printf("%-14s analysis: %-28s reference: %s\n",
+				b.Name, b.AnalysisDesc, b.ReferenceDesc)
+		}
+		for _, b := range starbench.Extended() {
+			fmt.Printf("%-14s analysis: %-28s reference: %s  (extended; use -extensions)\n",
+				b.Name, b.AnalysisDesc, b.ReferenceDesc)
+		}
+		return
+	}
+
+	b := lookup(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *benchName)
+		os.Exit(1)
+	}
+	v := starbench.Version(*version)
+	if v != starbench.Seq && v != starbench.Pthreads {
+		fmt.Fprintf(os.Stderr, "unknown version %q (seq or pthreads)\n", *version)
+		os.Exit(1)
+	}
+
+	built := b.Build(v, b.Analysis)
+	start := time.Now()
+	tr, err := trace.Run(built.Prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracing failed: %v\n", err)
+		os.Exit(1)
+	}
+	traceTime := time.Since(start)
+	res := core.Find(tr.Graph, core.Options{
+		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
+	})
+
+	switch *format {
+	case "summary":
+		fmt.Printf("%s/%s (input: %s)\n", b.Name, v, b.AnalysisDesc)
+		fmt.Printf("traced %d nodes in %v; pattern finding took %v\n",
+			tr.Graph.NumNodes(), traceTime.Round(time.Millisecond),
+			res.Phases.Total().Round(time.Millisecond))
+		fmt.Print(report.Summary(res))
+		if len(res.Patterns) > 0 {
+			fmt.Println("modernization suggestions (paper Figure 2b):")
+			for _, s := range modernize.SuggestAll(res.Graph, res.Patterns) {
+				fmt.Printf("  %s\n", s)
+			}
+		}
+		if sites := built.Prog.QuasiPatternSites(); len(sites) > 0 {
+			fmt.Println("quasi-patterns (if-conversion would expose min/max reductions):")
+			for _, pos := range sites {
+				fmt.Printf("  - %s:%d\n", pos.File, pos.Line)
+			}
+		}
+	case "text":
+		fmt.Print(report.Text(built.Prog, res))
+	case "html":
+		fmt.Print(report.HTML(built.Prog, res))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§6).
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table3
+//	experiments -run figure7 -factors 1,2,4,8
+//
+// Available experiments: table1, table2, table3, accuracy, figure7,
+// figure8, phases, simplify, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"discovery/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run")
+		factors = flag.String("factors", "1,2,4", "input scale ladder for figure7")
+	)
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			text, err := experiments.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+			return nil
+		},
+		"table2": func() error {
+			fmt.Println(experiments.Table2())
+			return nil
+		},
+		"table3": func() error {
+			res, err := experiments.RunTable3(experiments.Opts())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
+		"accuracy": func() error {
+			res, err := experiments.RunAccuracy(experiments.Opts())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
+		"figure7": func() error {
+			var fs []int64
+			for _, part := range strings.Split(*factors, ",") {
+				f, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad factor %q: %w", part, err)
+				}
+				fs = append(fs, f)
+			}
+			res, err := experiments.RunFigure7(experiments.Opts(), fs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
+		"figure8": func() error {
+			fmt.Println(experiments.Figure8Text())
+			return nil
+		},
+		"phases": func() error {
+			res, err := experiments.RunPhases(experiments.Opts())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
+		"simplify": func() error {
+			res, err := experiments.RunSimplify(experiments.Opts())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
+		"ablation": func() error {
+			rows, err := experiments.RunAblations()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.AblationsText(rows))
+			return nil
+		},
+	}
+
+	order := []string{"table1", "table2", "table3", "accuracy", "figure7",
+		"figure8", "phases", "simplify", "ablation"}
+
+	names := []string{*run}
+	if *run == "all" {
+		names = order
+	}
+	for _, name := range names {
+		fn, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n",
+				name, strings.Join(order, ", "))
+			os.Exit(1)
+		}
+		fmt.Printf("================ %s ================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command modernize demonstrates the automated port (the step the paper's
+// §6.3 leaves as future work): it analyzes a sequential benchmark, shows
+// the skeleton-call suggestions for the found patterns, then actually
+// rewrites the chosen map loop into threaded IR, re-runs the program, and
+// verifies the outputs are unchanged.
+//
+// Usage:
+//
+//	modernize -bench rgbyuv -threads 4
+//	modernize -bench rgbyuv -threads 2 -show-listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"discovery/internal/core"
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/modernize"
+	"discovery/internal/patterns"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+	"discovery/internal/vm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "rgbyuv", "benchmark to modernize (sequential version)")
+		threads   = flag.Int64("threads", 4, "threads for the parallelized loop")
+		showList  = flag.Bool("show-listing", false, "print the modernized source listing")
+	)
+	flag.Parse()
+
+	b := starbench.ByName(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+
+	// 1. Analyze the sequential version.
+	built := b.Build(starbench.Seq, b.Analysis)
+	tr, err := trace.Run(built.Prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := core.Find(tr.Graph, core.Options{VerifyMatches: true})
+	fmt.Printf("analysis of %s/seq found %d patterns:\n", b.Name, len(res.Patterns))
+	for i, p := range res.Patterns {
+		fmt.Printf("  [%d] %s — %s\n", i, p.Kind, modernize.Suggest(res.Graph, p))
+	}
+
+	// 2. Pick the largest plain map and locate its loop.
+	var target *patterns.Pattern
+	for _, p := range res.Patterns {
+		if p.Kind == patterns.KindMap {
+			if target == nil || p.Nodes().Len() > target.Nodes().Len() {
+				target = p
+			}
+		}
+	}
+	if target == nil {
+		fmt.Println("no plain map to parallelize; nothing to do")
+		return
+	}
+	loop, ok := innermostCommonLoop(res.Graph, target)
+	if !ok {
+		fmt.Println("the map does not sit in a single loop; nothing to do")
+		return
+	}
+
+	// 3. Reference run, then rewrite a fresh build and compare.
+	ref := vm.New(built.Prog)
+	if _, err := ref.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mod := b.Build(starbench.Seq, b.Analysis)
+	if err := modernize.ParallelizeMap(mod.Prog, loop, *threads); err != nil {
+		fmt.Fprintf(os.Stderr, "modernization failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nparallelized loop %d across %d threads\n", loop, *threads)
+	m := vm.New(mod.Prog)
+	if _, err := m.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "modernized program failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	// 4. Verify outputs.
+	sizes := map[string]int64{}
+	for _, s := range built.Prog.Statics {
+		sizes[s.Name] = s.Size
+	}
+	for _, out := range b.Outputs {
+		b1, b2 := ref.StaticBase(out), m.StaticBase(out)
+		for i := int64(0); i < sizes[out]; i++ {
+			a, c := ref.HeapAt(b1+i).Float(), m.HeapAt(b2+i).Float()
+			if math.Abs(a-c) > 1e-9*(1+math.Abs(a)) {
+				fmt.Fprintf(os.Stderr, "MISMATCH %s[%d]: %g vs %g\n", out, i, a, c)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Println("outputs verified identical to the sequential original")
+
+	if *showList {
+		fmt.Println()
+		fmt.Print(mod.Prog.String())
+	}
+}
+
+// innermostCommonLoop returns the innermost static loop containing every
+// node of the pattern. Scope chains are innermost-first, so the common
+// loop closest to the nodes is the one with the smallest walk distance.
+func innermostCommonLoop(g *ddg.Graph, p *patterns.Pattern) (mir.LoopID, bool) {
+	counts := map[mir.LoopID]int{}
+	minDist := map[mir.LoopID]int{}
+	nodes := p.Nodes()
+	for _, u := range nodes {
+		d := 0
+		for f := g.ScopeOf(u); f != nil; f = f.Parent {
+			counts[f.Loop]++
+			d++
+			if cur, ok := minDist[f.Loop]; !ok || d < cur {
+				minDist[f.Loop] = d
+			}
+		}
+	}
+	best, bestDist := mir.LoopID(0), 1<<30
+	for loop, c := range counts {
+		if c == nodes.Len() && minDist[loop] < bestDist {
+			best, bestDist = loop, minDist[loop]
+		}
+	}
+	return best, bestDist < 1<<30
+}

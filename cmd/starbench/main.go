@@ -1,0 +1,76 @@
+// Command starbench runs the MIR re-implementations of the Starbench
+// benchmarks on the shared-memory virtual machine, without instrumentation
+// — useful for validating kernels and comparing the sequential and
+// Pthreads versions.
+//
+// Usage:
+//
+//	starbench -list
+//	starbench -bench kmeans
+//	starbench -bench streamcluster -version seq -source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"discovery/internal/starbench"
+	"discovery/internal/vm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to run (empty = all)")
+		version   = flag.String("version", "", "version to run: seq, pthreads, or empty for both")
+		source    = flag.Bool("source", false, "print the benchmark's source listing instead of running")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range starbench.All() {
+			fmt.Printf("%-14s analysis: %-28s reference: %s\n",
+				b.Name, b.AnalysisDesc, b.ReferenceDesc)
+		}
+		return
+	}
+
+	benches := starbench.All()
+	if *benchName != "" {
+		b := starbench.ByName(*benchName)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *benchName)
+			os.Exit(1)
+		}
+		benches = []*starbench.Benchmark{b}
+	}
+	versions := starbench.Versions()
+	if *version != "" {
+		versions = []starbench.Version{starbench.Version(*version)}
+	}
+
+	for _, b := range benches {
+		for _, v := range versions {
+			built := b.Build(v, b.Analysis)
+			if *source {
+				fmt.Print(built.Prog.String())
+				continue
+			}
+			m := vm.New(built.Prog)
+			start := time.Now()
+			if _, err := m.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s/%s failed: %v\n", b.Name, v, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s %-9s  %8d ops in %8v  outputs:", b.Name, v,
+				m.Ops(), time.Since(start).Round(time.Microsecond))
+			for _, out := range b.Outputs {
+				base := m.StaticBase(out)
+				fmt.Printf(" %s[0]=%v", out, m.HeapAt(base))
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Streamcluster end to end: the paper's running example (§2) and
+// portability case study (§6.3).
+//
+// The example analyzes the Pthreads streamcluster benchmark, showing the
+// iterative discovery of the tiled map-reduction (reduction found first,
+// the distance map exposed by subtraction, the compound pattern formed by
+// fusion — the paper's Table 1), and then runs the portability study: the
+// modernized (skeleton-based) streamcluster against the legacy threaded
+// version and a CUDA port on two simulated machines (the paper's
+// Figure 8).
+//
+// Run with: go run ./examples/streamcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"discovery/internal/core"
+	"discovery/internal/machine"
+	"discovery/internal/sc"
+	"discovery/internal/skel"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+)
+
+func main() {
+	// --- Part 1: find the patterns in the legacy parallel code.
+	bench := starbench.ByName("streamcluster")
+	built := bench.Build(starbench.Pthreads, bench.Analysis)
+	tr, err := trace.Run(built.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := core.Find(tr.Graph, core.Options{VerifyMatches: true})
+
+	fmt.Println("== Pattern discovery in Pthreads streamcluster ==")
+	fmt.Printf("traced DDG: %d nodes, simplified to %d\n",
+		res.OriginalNodes, res.SimplifiedNodes)
+	for it := 1; it <= res.Iterations; it++ {
+		var kinds []string
+		for _, m := range res.Matches {
+			if m.Iteration == it {
+				kinds = append(kinds, m.Pattern.Kind.Short())
+			}
+		}
+		fmt.Printf("iteration %d matched: %v\n", it, kinds)
+	}
+	fmt.Printf("final reported patterns: %d\n", len(res.Patterns))
+	for _, p := range res.Patterns {
+		fmt.Printf("  - %s (%s)\n", p.Kind, p.OpsSummary(res.Graph))
+	}
+
+	// --- Part 2: the modernized code is portable across machines.
+	fmt.Println("\n== Portability of the modernized code (Figure 8) ==")
+	pts := sc.GeneratePoints(4096, 16)
+	seq := sc.Sequential(pts)
+	leg := sc.Legacy(pts, 4)
+	mod := sc.Modernized(skel.NewContext(machine.CPUCentric()), pts)
+	fmt.Printf("correctness: sequential hiz=%.4f legacy hiz=%.4f modernized hiz=%.4f\n",
+		seq.Hiz, leg.Hiz, mod.Hiz)
+
+	for _, row := range sc.Figure8() {
+		fmt.Printf("%-48s %-30s %5.1fx (%s)\n", row.Arch, row.Impl, row.Speedup, row.Backend)
+	}
+	fmt.Println("\nThe modernized version tracks the best hardware on each")
+	fmt.Println("machine with zero code changes: the portability the paper's")
+	fmt.Println("analysis unlocks for legacy parallel code.")
+}

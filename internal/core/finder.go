@@ -1,0 +1,452 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"discovery/internal/ddg"
+	"discovery/internal/patterns"
+)
+
+// Options configures the pattern finder. The Disable* switches exist for
+// the ablation studies: the paper reports (§5) that disabling
+// decomposition and compaction makes the solver exhaust its memory even on
+// the smallest benchmark, and (§6.1) that seven patterns need a second and
+// two a third iteration.
+type Options struct {
+	// Workers bounds the parallel matching fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// MaxIterations bounds the match/subtract/fuse fixpoint loop.
+	MaxIterations int
+	// VerifyMatches re-checks every match against the unrelaxed §4
+	// definitions and drops violators (none arise in our experiments,
+	// mirroring the paper's observation).
+	VerifyMatches bool
+	// MaxViewGroups skips matching views larger than this many groups,
+	// standing in for the paper's solver memory limit. 0 means 10000.
+	MaxViewGroups int
+	// MaxPoolSize stops generating new sub-DDGs once the pool exceeds
+	// this bound. 0 means 50000.
+	MaxPoolSize int
+
+	// Extensions enables the pattern kinds beyond the paper's evaluated
+	// set (stencils and tree reductions, from the paper's future work).
+	// Off by default so Table 3 behaviour is the baseline.
+	Extensions bool
+
+	// Ablation switches.
+	DisableSimplify  bool
+	DisableDecompose bool
+	DisableCompact   bool
+	DisableIterate   bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 10
+}
+
+func (o Options) maxViewGroups() int {
+	if o.MaxViewGroups > 0 {
+		return o.MaxViewGroups
+	}
+	return 10000
+}
+
+func (o Options) maxPoolSize() int {
+	if o.MaxPoolSize > 0 {
+		return o.MaxPoolSize
+	}
+	return 50000
+}
+
+// Match records one matched pattern: where it was found and when.
+type Match struct {
+	Pattern   *patterns.Pattern
+	Sub       *SubDDG
+	Iteration int // 1-based
+}
+
+// PhaseTimes breaks down where pattern finding time goes (§6.2 reports
+// tracing ≈1%, matching ≈48%, other phases ≈51%).
+type PhaseTimes struct {
+	Simplify  time.Duration
+	Decompose time.Duration
+	Match     time.Duration
+	Subtract  time.Duration
+	Fuse      time.Duration
+	Merge     time.Duration
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Simplify + p.Decompose + p.Match + p.Subtract + p.Fuse + p.Merge
+}
+
+// Result is the outcome of a pattern finding run.
+type Result struct {
+	// Patterns are the final merged patterns (subsumed ones discarded).
+	Patterns []*patterns.Pattern
+	// Matches is every match across all iterations, in match order.
+	Matches []Match
+	// Iterations is the number of fixpoint iterations executed.
+	Iterations int
+	// Graph is the simplified DDG that patterns refer to.
+	Graph *ddg.Graph
+	// OriginalNodes and SimplifiedNodes measure the simplification factor.
+	OriginalNodes, SimplifiedNodes int
+	// PoolSize is the final sub-DDG pool size.
+	PoolSize int
+	// SkippedViews counts sub-DDGs skipped for exceeding MaxViewGroups.
+	SkippedViews int
+	// PoolLimited reports that the sub-DDG pool hit MaxPoolSize.
+	PoolLimited bool
+	// Phases is the per-phase timing breakdown.
+	Phases PhaseTimes
+}
+
+// Find runs the iterative pattern finder on a traced DDG.
+func Find(g *ddg.Graph, opts Options) *Result {
+	res := &Result{OriginalNodes: g.NumNodes()}
+
+	// Phase: simplify.
+	start := time.Now()
+	gs := g
+	if !opts.DisableSimplify {
+		gs = Simplify(g)
+	}
+	res.Graph = gs
+	res.SimplifiedNodes = gs.NumNodes()
+	res.Phases.Simplify = time.Since(start)
+
+	// Phase: decompose (the decomposed sub-DDGs are compacted lazily when
+	// viewed, per sub-DDG provenance).
+	start = time.Now()
+	var pool []*SubDDG
+	seen := map[string]bool{}
+	addPool := func(s *SubDDG) bool {
+		if s.Nodes.Len() == 0 || seen[s.Key()] {
+			return false
+		}
+		seen[s.Key()] = true
+		pool = append(pool, s)
+		return true
+	}
+	if opts.DisableDecompose {
+		addPool(&SubDDG{Nodes: gs.Nodes()})
+	} else {
+		for _, s := range Decompose(gs) {
+			addPool(s)
+		}
+	}
+	active := append([]*SubDDG(nil), pool...)
+	res.Phases.Decompose = time.Since(start)
+
+	// Fixpoint loop: match, subtract, fuse.
+	for iter := 1; len(active) > 0 && iter <= opts.maxIterations(); iter++ {
+		res.Iterations = iter
+
+		// Phase: match (parallel across active sub-DDGs).
+		start = time.Now()
+		matched := runMatchPhase(gs, active, opts, res)
+		for _, s := range matched {
+			for _, p := range s.Matched {
+				res.Matches = append(res.Matches, Match{Pattern: p, Sub: s, Iteration: iter})
+			}
+		}
+		res.Phases.Match += time.Since(start)
+
+		if opts.DisableIterate {
+			break
+		}
+
+		var fresh []*SubDDG
+
+		// Phase: subtract new matches from pool sub-DDGs. Subtraction
+		// exposes patterns hidden inside sub-DDGs that did not match
+		// anything themselves (maps buried in complex loops); subtracting
+		// from already-matched sub-DDGs only fragments their pattern into
+		// smaller instances that merging would discard anyway, and does so
+		// combinatorially, so matched sub-DDGs are skipped.
+		start = time.Now()
+		for _, g1 := range pool {
+			if len(g1.Matched) > 0 {
+				continue
+			}
+			for _, g2 := range matched {
+				if g1.Nodes.Disjoint(g2.Nodes) {
+					continue // the difference would be g1 unchanged
+				}
+				diff := g1.Nodes.Diff(g2.Nodes)
+				if diff.Len() == 0 || diff.Len() == g1.Nodes.Len() {
+					continue
+				}
+				s := &SubDDG{Nodes: diff, Loop: g1.Loop, Assoc: g1.Assoc}
+				if addPool(s) {
+					fresh = append(fresh, s)
+				}
+			}
+		}
+		res.Phases.Subtract += time.Since(start)
+
+		if len(pool) > opts.maxPoolSize() {
+			// Defensive bound; no benchmark reaches it.
+			res.PoolLimited = true
+			fresh = nil
+		}
+
+		// Phase: fuse adjacent pool sub-DDGs with compatible matches (a
+		// map flowing into any pattern).
+		start = time.Now()
+		isNew := make(map[*SubDDG]bool, len(matched))
+		for _, s := range matched {
+			isNew[s] = true
+		}
+		for _, a := range pool {
+			if len(a.Matched) == 0 || !hasMapMatch(a) {
+				continue
+			}
+			for _, b := range pool {
+				if a == b || len(b.Matched) == 0 {
+					continue
+				}
+				// At least one of the pair must be a new match this
+				// iteration, otherwise the fusion already happened.
+				if !isNew[a] && !isNew[b] {
+					continue
+				}
+				if !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
+					continue
+				}
+				s := &SubDDG{Nodes: a.Nodes.Union(b.Nodes), FusedA: a, FusedB: b}
+				if addPool(s) {
+					fresh = append(fresh, s)
+				}
+			}
+		}
+		res.Phases.Fuse += time.Since(start)
+
+		active = fresh
+	}
+	res.PoolSize = len(pool)
+
+	// Extension: pipeline detection over pairs of unmatched stage loops
+	// (paper §9 future work; see patterns.MatchPipeline).
+	if opts.Extensions {
+		start = time.Now()
+		detectPipelines(gs, pool, opts, res)
+		res.Phases.Match += time.Since(start)
+	}
+
+	// Phase: merge — discard patterns subsumed by larger ones.
+	start = time.Now()
+	res.Patterns = merge(res.Matches)
+	res.Phases.Merge = time.Since(start)
+	return res
+}
+
+// detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
+// paper's patterns leave stateful stages unmatched, which is exactly where
+// pipelines hide (its excluded benchmarks bodytrack and h264dec).
+func detectPipelines(gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
+	var stages []*SubDDG
+	for _, s := range pool {
+		if s.Loop != 0 && len(s.Matched) == 0 {
+			stages = append(stages, s)
+		}
+	}
+	views := map[*SubDDG]*patterns.View{}
+	view := func(s *SubDDG) *patterns.View {
+		if v, ok := views[s]; ok {
+			return v
+		}
+		v := s.View(gs, !opts.DisableCompact)
+		views[s] = v
+		return v
+	}
+	for _, a := range stages {
+		for _, b := range stages {
+			if a == b || !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
+				continue
+			}
+			va, vb := view(a), view(b)
+			if va.NumGroups() > opts.maxViewGroups() || vb.NumGroups() > opts.maxViewGroups() {
+				continue
+			}
+			if p := patterns.MatchPipeline(gs, va, vb); p != nil {
+				if opts.VerifyMatches {
+					if err := patterns.Verify(gs, p); err != nil {
+						continue
+					}
+				}
+				res.Matches = append(res.Matches,
+					Match{Pattern: p, Sub: a, Iteration: res.Iterations})
+			}
+		}
+	}
+}
+
+// runMatchPhase matches every active sub-DDG against the pattern definitions,
+// in parallel, and returns the sub-DDGs with at least one match.
+func runMatchPhase(gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) []*SubDDG {
+	workers := opts.workers()
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	work := make(chan *SubDDG)
+	skipped := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				found, skip := matchSub(gs, s, opts)
+				mu.Lock()
+				s.Matched = found
+				if skip {
+					skipped++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range active {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	res.SkippedViews += skipped
+
+	var matched []*SubDDG
+	for _, s := range active { // deterministic order
+		if len(s.Matched) > 0 {
+			matched = append(matched, s)
+		}
+	}
+	return matched
+}
+
+// matchSub matches one sub-DDG against the applicable definitions.
+func matchSub(gs *ddg.Graph, s *SubDDG, opts Options) (found []*patterns.Pattern, skipped bool) {
+	keep := func(p *patterns.Pattern) {
+		if p == nil {
+			return
+		}
+		if opts.VerifyMatches {
+			if err := patterns.Verify(gs, p); err != nil {
+				return
+			}
+		}
+		found = append(found, p)
+	}
+
+	if s.FusedA != nil {
+		// Compound matching combines the constituents' patterns.
+		for _, pa := range s.FusedA.Matched {
+			if !pa.Kind.IsMapKind() {
+				continue
+			}
+			for _, pb := range s.FusedB.Matched {
+				switch {
+				case pb.Kind.IsMapKind():
+					keep(patterns.MatchFusedMap(gs, pa, pb))
+				case pb.Kind == patterns.KindLinearReduction:
+					keep(patterns.MatchLinearMapReduction(gs, pa, pb))
+				case pb.Kind == patterns.KindTiledReduction:
+					keep(patterns.MatchTiledMapReduction(gs, pa, pb))
+				}
+			}
+		}
+		return found, false
+	}
+
+	v := s.View(gs, !opts.DisableCompact)
+	if v.NumGroups() > opts.maxViewGroups() {
+		return nil, true
+	}
+	if s.Assoc {
+		keep(patterns.MatchLinearReduction(v))
+		keep(patterns.MatchTiledReduction(v))
+		if opts.Extensions && len(found) == 0 {
+			// The combining-tree generalization, only where the paper's
+			// specific variants did not apply.
+			keep(patterns.MatchTreeReduction(v))
+		}
+		return found, false
+	}
+	m := patterns.MatchMap(v)
+	if opts.Extensions && m != nil {
+		if st := patterns.MatchStencil(gs, m); st != nil {
+			m = st // report the more specific refinement
+		}
+	}
+	keep(m)
+	keep(patterns.MatchLinearReduction(v))
+	keep(patterns.MatchTiledReduction(v))
+	return found, false
+}
+
+func hasMapMatch(s *SubDDG) bool {
+	for _, p := range s.Matched {
+		if p.Kind.IsMapKind() {
+			return true
+		}
+	}
+	return false
+}
+
+// merge combines all matches into the final reported set, discarding
+// patterns strictly subsumed by larger patterns and duplicates (paper §5,
+// Pattern Merging).
+func merge(matches []Match) []*patterns.Pattern {
+	var out []*patterns.Pattern
+	seen := map[string]bool{}
+	for _, m := range matches {
+		key := m.Pattern.Nodes().Key()
+		if seen[key+"/"+m.Pattern.Kind.String()] {
+			continue
+		}
+		seen[key+"/"+m.Pattern.Kind.String()] = true
+		out = append(out, m.Pattern)
+	}
+	var final []*patterns.Pattern
+	for _, p := range out {
+		subsumed := false
+		for _, q := range out {
+			if q == p {
+				continue
+			}
+			if q.Subsumes(p) && q.Nodes().Len() > p.Nodes().Len() {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			final = append(final, p)
+		}
+	}
+	sort.Slice(final, func(i, j int) bool {
+		a, b := final[i].Nodes(), final[j].Nodes()
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return final[i].Kind < final[j].Kind
+	})
+	return final
+}

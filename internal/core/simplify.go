@@ -1,0 +1,70 @@
+// Package core implements the iterative pattern finder of paper §5
+// (Figure 4, Algorithm 1): DDG simplification, decomposition into loop and
+// associative-component sub-DDGs, compaction, parallel constraint-based
+// matching, subtraction, fusion, and merging, iterated to a fixpoint.
+package core
+
+import (
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+)
+
+// Simplify removes auxiliary computation from the DDG: memory address
+// calculations, and arithmetic whose results flow only into address
+// calculations (the analogue of the paper's generalized iterator
+// recognition removing data-structure traversals). It returns the
+// simplified graph.
+//
+// Note the side effect the paper documents as a limitation (§6.1): a
+// computation whose output is used exclusively in addressing — such as the
+// cluster index map in kmeans — loses its outgoing arcs, which later
+// precludes matching it as a map (constraint 2d).
+func Simplify(g *ddg.Graph) *ddg.Graph {
+	n := g.NumNodes()
+	removed := make([]bool, n)
+	// Seed: all address-calculation nodes.
+	for i := 0; i < n; i++ {
+		if g.Op(ddg.NodeID(i)).Class() == mir.ClassAddr {
+			removed[i] = true
+		}
+	}
+	// Closure: remove computation and conversion nodes all of whose uses
+	// were removed. Nodes with no uses at all stay: they are sinks of real
+	// computation (e.g. comparisons feeding branches), not traversals.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if removed[i] {
+				continue
+			}
+			u := ddg.NodeID(i)
+			class := g.Op(u).Class()
+			if class != mir.ClassArith && class != mir.ClassConv {
+				continue
+			}
+			succs := g.Succs(u)
+			if len(succs) == 0 {
+				continue
+			}
+			all := true
+			for _, v := range succs {
+				if !removed[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				removed[i] = true
+				changed = true
+			}
+		}
+	}
+	var keep []ddg.NodeID
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			keep = append(keep, ddg.NodeID(i))
+		}
+	}
+	gs, _ := g.InducedSubgraph(ddg.NewSet(keep...))
+	return gs
+}

@@ -1,0 +1,44 @@
+package core
+
+// The paper's §2 states that "our pattern definitions capture these
+// patterns for varying number of points and threads". These tests sweep
+// both dimensions on the motivating example and on a Starbench benchmark.
+
+import (
+	"fmt"
+	"testing"
+
+	"discovery/internal/patterns"
+)
+
+func TestMotivatingExampleAcrossConfigurations(t *testing.T) {
+	configs := []struct{ n, nproc int64 }{
+		{4, 2}, {8, 2}, {8, 4}, {12, 3}, {16, 4},
+	}
+	for _, c := range configs {
+		c := c
+		t.Run(fmt.Sprintf("n%d_t%d", c.n, c.nproc), func(t *testing.T) {
+			g := traceProgram(t, fig2cProgram(c.n, c.nproc))
+			res := Find(g, defaultOpts())
+			var mr *patterns.Pattern
+			for _, p := range res.Patterns {
+				if p.Kind == patterns.KindTiledMapReduction {
+					mr = p
+				}
+			}
+			if mr == nil {
+				t.Fatalf("tiled map-reduction not found: %v", kinds(res))
+			}
+			if got := len(mr.MapPart.Comps); got != int(c.n) {
+				t.Errorf("map components = %d, want %d", got, c.n)
+			}
+			if got := len(mr.RedPart.Partials); got != int(c.nproc) {
+				t.Errorf("partial reductions = %d, want %d", got, c.nproc)
+			}
+			per := int(c.n / c.nproc)
+			if got := len(mr.RedPart.Partials[0]); got != per {
+				t.Errorf("partial chain length = %d, want %d", got, per)
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package cp
+
+import (
+	"time"
+)
+
+// Stats reports search effort.
+type Stats struct {
+	Nodes        int64
+	Failures     int64
+	Solutions    int64
+	Propagations int64
+	Elapsed      time.Duration
+	TimedOut     bool
+}
+
+// BranchOrder selects the next variable and the value order to try.
+type BranchOrder interface {
+	// Select returns the variable to branch on, or nil when all relevant
+	// variables are assigned (a solution).
+	Select(s *Space) *IntVar
+	// ValueOrder returns the values of v to try, best first.
+	ValueOrder(s *Space, v *IntVar) []int
+}
+
+// FirstFail branches on the unassigned variable with the smallest domain,
+// trying values in increasing order. Vars limits branching to a subset;
+// nil means all model variables.
+type FirstFail struct {
+	Vars []*IntVar
+}
+
+// Select implements BranchOrder.
+func (f *FirstFail) Select(s *Space) *IntVar {
+	vars := f.Vars
+	if vars == nil {
+		vars = s.model.vars
+	}
+	var best *IntVar
+	bestSize := int(^uint(0) >> 1)
+	for _, v := range vars {
+		if sz := s.Size(v); sz > 1 && sz < bestSize {
+			best, bestSize = v, sz
+		}
+	}
+	return best
+}
+
+// ValueOrder implements BranchOrder.
+func (f *FirstFail) ValueOrder(s *Space, v *IntVar) []int { return s.Values(v) }
+
+// MaxValueFirst is FirstFail with decreasing value order, useful when
+// larger values encode "included in the pattern".
+type MaxValueFirst struct {
+	Vars []*IntVar
+}
+
+// Select implements BranchOrder.
+func (f *MaxValueFirst) Select(s *Space) *IntVar {
+	return (&FirstFail{Vars: f.Vars}).Select(s)
+}
+
+// ValueOrder implements BranchOrder.
+func (f *MaxValueFirst) ValueOrder(s *Space, v *IntVar) []int {
+	vals := s.Values(v)
+	for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return vals
+}
+
+// Solver runs depth-first search with propagation over a model.
+type Solver struct {
+	Model *Model
+	// Branch defaults to FirstFail over all variables.
+	Branch BranchOrder
+	// Timeout bounds the wall-clock search time; zero means no limit. The
+	// paper uses a 60-second budget per solver run.
+	Timeout time.Duration
+	// Objective, if set, is maximized: search restarts pruning solutions
+	// not strictly better (branch-and-bound).
+	Objective *IntVar
+
+	stats    Stats
+	deadline time.Time
+}
+
+// Stats returns effort counters from the last Solve/SolveAll call.
+func (sv *Solver) Stats() Stats { return sv.stats }
+
+// Solve returns the first solution (or the best one under branch-and-bound
+// when Objective is set), or nil if unsatisfiable or out of time.
+func (sv *Solver) Solve() Solution {
+	var best Solution
+	sv.solveInternal(func(sol Solution) bool {
+		best = sol
+		return sv.Objective != nil // keep searching only when optimizing
+	})
+	return best
+}
+
+// SolveAll enumerates solutions until the callback returns false, the
+// search space is exhausted, or the timeout expires.
+func (sv *Solver) SolveAll(cb func(Solution) bool) {
+	sv.solveInternal(cb)
+}
+
+func (sv *Solver) solveInternal(cb func(Solution) bool) {
+	start := time.Now()
+	sv.stats = Stats{}
+	if sv.Timeout > 0 {
+		sv.deadline = start.Add(sv.Timeout)
+	} else {
+		sv.deadline = time.Time{}
+	}
+	branch := sv.Branch
+	if branch == nil {
+		branch = &FirstFail{}
+	}
+	root := sv.Model.newSpace()
+	root.scheduleAll()
+	bound := -1 << 62
+	if !root.failed && root.propagate(&sv.stats) {
+		sv.dfs(root, branch, cb, &bound)
+	}
+	sv.stats.Elapsed = time.Since(start)
+}
+
+// dfs explores the space; it returns false to abort the whole search.
+func (sv *Solver) dfs(s *Space, branch BranchOrder, cb func(Solution) bool, bound *int) bool {
+	sv.stats.Nodes++
+	if sv.stats.Nodes%256 == 0 && !sv.deadline.IsZero() && time.Now().After(sv.deadline) {
+		sv.stats.TimedOut = true
+		return false
+	}
+	if sv.Objective != nil {
+		// Branch and bound: require strictly better than incumbent.
+		if !s.RemoveBelow(sv.Objective, *bound+1) || !s.propagate(&sv.stats) {
+			sv.stats.Failures++
+			return true
+		}
+	}
+	v := branch.Select(s)
+	if v == nil {
+		// All branching variables assigned: if some model variables are
+		// outside the branching set, fix them to their minimum.
+		sol := Solution{}
+		for _, mv := range sv.Model.vars {
+			sol[mv] = s.Min(mv)
+		}
+		sv.stats.Solutions++
+		if sv.Objective != nil {
+			*bound = sol[sv.Objective]
+		}
+		return cb(sol)
+	}
+	for _, val := range branch.ValueOrder(s, v) {
+		child := s.clone()
+		if !child.Assign(v, val) || !child.propagate(&sv.stats) {
+			sv.stats.Failures++
+			continue
+		}
+		if !sv.dfs(child, branch, cb, bound) {
+			return false
+		}
+	}
+	return true
+}

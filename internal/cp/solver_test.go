@@ -1,0 +1,426 @@
+package cp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBasicPropagation(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 10)
+	y := m.NewIntVar("y", 0, 10)
+	m.EqC(x, 4)
+	m.Eq(x, y)
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil {
+		t.Fatal("no solution")
+	}
+	if sol.Value(x) != 4 || sol.Value(y) != 4 {
+		t.Errorf("x=%d y=%d, want 4 4", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestUnsat(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 5)
+	m.EqC(x, 3)
+	m.NeC(x, 3)
+	if sol := (&Solver{Model: m}).Solve(); sol != nil {
+		t.Errorf("unexpected solution %v", sol)
+	}
+}
+
+func TestLeAndNe(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 3)
+	y := m.NewIntVar("y", 0, 3)
+	m.Le(x, 1, y) // x + 1 <= y
+	m.Ne(x, y)
+	count := 0
+	(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+		if sol.Value(x)+1 > sol.Value(y) {
+			t.Errorf("violated: x=%d y=%d", sol.Value(x), sol.Value(y))
+		}
+		count++
+		return true
+	})
+	if count != 6 { // (0,1..3), (1,2..3), (2,3)
+		t.Errorf("solutions = %d, want 6", count)
+	}
+}
+
+func TestLinearEquation(t *testing.T) {
+	// 2x + 3y = 12 over [0,10]
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 10)
+	y := m.NewIntVar("y", 0, 10)
+	m.Linear([]int{2, 3}, []*IntVar{x, y}, LinEq, 12)
+	sols := map[[2]int]bool{}
+	(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+		sols[[2]int{sol.Value(x), sol.Value(y)}] = true
+		return true
+	})
+	want := [][2]int{{0, 4}, {3, 2}, {6, 0}}
+	if len(sols) != len(want) {
+		t.Fatalf("solutions = %v", sols)
+	}
+	for _, w := range want {
+		if !sols[w] {
+			t.Errorf("missing solution %v", w)
+		}
+	}
+}
+
+func TestLinearWithNegativeCoeffs(t *testing.T) {
+	// x - y >= 2, x,y in [0,5]
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 5)
+	y := m.NewIntVar("y", 0, 5)
+	m.Linear([]int{1, -1}, []*IntVar{x, y}, LinGe, 2)
+	n := 0
+	(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+		if sol.Value(x)-sol.Value(y) < 2 {
+			t.Errorf("violated: %d - %d", sol.Value(x), sol.Value(y))
+		}
+		n++
+		return true
+	})
+	if n != 10 { // x-y in {2..5}: 4+3+2+1
+		t.Errorf("solutions = %d, want 10", n)
+	}
+}
+
+func TestElement(t *testing.T) {
+	m := NewModel()
+	idx := m.NewIntVar("idx", 0, 4)
+	res := m.NewIntVar("res", 0, 100)
+	m.Element([]int{7, 3, 7, 9, 1}, idx, res)
+	m.EqC(res, 7)
+	vals := map[int]bool{}
+	(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+		vals[sol.Value(idx)] = true
+		return true
+	})
+	if len(vals) != 2 || !vals[0] || !vals[2] {
+		t.Errorf("idx solutions = %v, want {0,2}", vals)
+	}
+}
+
+func TestTable(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 2)
+	y := m.NewIntVar("y", 0, 2)
+	m.Table([]*IntVar{x, y}, [][]int{{0, 1}, {1, 2}, {2, 0}})
+	m.EqC(x, 1)
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil || sol.Value(y) != 2 {
+		t.Errorf("table propagation failed: %v", sol)
+	}
+}
+
+func TestIfEqThenEq(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 1)
+	y := m.NewIntVar("y", 0, 5)
+	m.IfEqThenEq(x, 1, y, 3)
+	m.EqC(x, 1)
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil || sol.Value(y) != 3 {
+		t.Errorf("implication failed: %v", sol)
+	}
+	// Contrapositive.
+	m2 := NewModel()
+	x2 := m2.NewIntVar("x", 0, 1)
+	y2 := m2.NewIntVar("y", 0, 5)
+	m2.IfEqThenEq(x2, 1, y2, 3)
+	m2.NeC(y2, 3)
+	sol = (&Solver{Model: m2}).Solve()
+	if sol == nil || sol.Value(x2) != 0 {
+		t.Errorf("contrapositive failed: %v", sol)
+	}
+}
+
+func TestBoolEqReif(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 5)
+	b := m.NewBoolVar("b")
+	m.BoolEqReif(x, 2, b)
+	m.EqC(b, 1)
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil || sol.Value(x) != 2 {
+		t.Errorf("reified forward failed: %v", sol)
+	}
+	m2 := NewModel()
+	x2 := m2.NewIntVar("x", 0, 5)
+	b2 := m2.NewBoolVar("b")
+	m2.BoolEqReif(x2, 2, b2)
+	m2.EqC(x2, 2)
+	sol = (&Solver{Model: m2}).Solve()
+	if sol == nil || sol.Value(b2) != 1 {
+		t.Errorf("reified backward failed: %v", sol)
+	}
+	m3 := NewModel()
+	x3 := m3.NewIntVar("x", 3, 5)
+	b3 := m3.NewBoolVar("b")
+	m3.BoolEqReif(x3, 2, b3)
+	sol = (&Solver{Model: m3}).Solve()
+	if sol == nil || sol.Value(b3) != 0 {
+		t.Errorf("reified negative failed: %v", sol)
+	}
+}
+
+// nQueens counts solutions to the n-queens problem, a classic solver
+// stress test with known answer sequence.
+func nQueens(n int) int64 {
+	m := NewModel()
+	q := make([]*IntVar, n)
+	for i := range q {
+		q[i] = m.NewIntVar("q", 0, n-1)
+	}
+	m.AllDifferent(q)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Diagonal attacks via table-free pairwise linear constraints:
+			// q[i] - q[j] != i-j and q[j] - q[i] != i-j.
+			d := j - i
+			m.Add(&noDiag{a: q[i], b: q[j], d: d})
+		}
+	}
+	sv := &Solver{Model: m}
+	var count int64
+	sv.SolveAll(func(Solution) bool { count++; return true })
+	return count
+}
+
+// noDiag forbids |a-b| == d.
+type noDiag struct {
+	a, b *IntVar
+	d    int
+}
+
+func (p *noDiag) Vars() []*IntVar { return []*IntVar{p.a, p.b} }
+func (p *noDiag) Propagate(s *Space) bool {
+	if s.Assigned(p.a) {
+		if !s.Remove(p.b, s.Value(p.a)+p.d) || !s.Remove(p.b, s.Value(p.a)-p.d) {
+			return false
+		}
+	}
+	if s.Assigned(p.b) {
+		if !s.Remove(p.a, s.Value(p.b)+p.d) || !s.Remove(p.a, s.Value(p.b)-p.d) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNQueens(t *testing.T) {
+	want := map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+	for n, expected := range want {
+		if got := nQueens(n); got != expected {
+			t.Errorf("nQueens(%d) = %d, want %d", n, got, expected)
+		}
+	}
+}
+
+func TestSendMoreMoney(t *testing.T) {
+	// SEND + MORE = MONEY, all letters distinct digits, S,M nonzero.
+	m := NewModel()
+	letters := map[string]*IntVar{}
+	for _, l := range []string{"S", "E", "N", "D", "M", "O", "R", "Y"} {
+		letters[l] = m.NewIntVar(l, 0, 9)
+	}
+	m.NeC(letters["S"], 0)
+	m.NeC(letters["M"], 0)
+	vars := []*IntVar{}
+	for _, v := range letters {
+		vars = append(vars, v)
+	}
+	m.AllDifferent(vars)
+	//   1000*S + 100*E + 10*N + D
+	// + 1000*M + 100*O + 10*R + E
+	// = 10000*M + 1000*O + 100*N + 10*E + Y
+	m.Linear(
+		[]int{1000, 100, 10, 1, 1000, 100, 10, 1, -10000, -1000, -100, -10, -1},
+		[]*IntVar{
+			letters["S"], letters["E"], letters["N"], letters["D"],
+			letters["M"], letters["O"], letters["R"], letters["E"],
+			letters["M"], letters["O"], letters["N"], letters["E"], letters["Y"],
+		},
+		LinEq, 0)
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil {
+		t.Fatal("SEND+MORE=MONEY unsolved")
+	}
+	get := func(l string) int { return sol.Value(letters[l]) }
+	send := 1000*get("S") + 100*get("E") + 10*get("N") + get("D")
+	more := 1000*get("M") + 100*get("O") + 10*get("R") + get("E")
+	money := 10000*get("M") + 1000*get("O") + 100*get("N") + 10*get("E") + get("Y")
+	if send+more != money {
+		t.Errorf("%d + %d != %d", send, more, money)
+	}
+	if get("M") != 1 || get("O") != 0 || get("S") != 9 {
+		t.Errorf("non-canonical solution: S=%d M=%d O=%d", get("S"), get("M"), get("O"))
+	}
+}
+
+func TestMaximize(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 10)
+	y := m.NewIntVar("y", 0, 10)
+	obj := m.NewIntVar("obj", 0, 20)
+	m.Linear([]int{1, 1, -1}, []*IntVar{x, y, obj}, LinEq, 0) // obj = x+y
+	m.Linear([]int{2, 1}, []*IntVar{x, y}, LinLe, 14)
+	sv := &Solver{Model: m, Objective: obj}
+	sol := sv.Solve()
+	if sol == nil {
+		t.Fatal("no solution")
+	}
+	// Maximize x+y subject to 2x+y ≤ 14 with x,y ≤ 10: y=10 forces x ≤ 2,
+	// giving the optimum 12.
+	if sol.Value(obj) != 12 {
+		t.Errorf("objective = %d, want 12 (x=%d y=%d)", sol.Value(obj), sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveAllEarlyStop(t *testing.T) {
+	m := NewModel()
+	m.NewIntVar("x", 0, 99)
+	sv := &Solver{Model: m}
+	n := 0
+	sv.SolveAll(func(Solution) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop after %d solutions, want 5", n)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A big unsatisfiable pigeonhole-ish problem that cannot finish fast.
+	m := NewModel()
+	vars := make([]*IntVar, 14)
+	for i := range vars {
+		vars[i] = m.NewIntVar("p", 0, 12)
+	}
+	m.AllDifferent(vars) // 14 pigeons, 13 holes: UNSAT but exponential for this propagator
+	sv := &Solver{Model: m, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	sol := sv.Solve()
+	if sol != nil {
+		t.Error("pigeonhole should be unsatisfiable")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout not honored: %v", elapsed)
+	}
+	if !sv.Stats().TimedOut && sv.Stats().Elapsed > 100*time.Millisecond {
+		t.Error("TimedOut flag not set despite long run")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 3)
+	y := m.NewIntVar("y", 0, 3)
+	m.Ne(x, y)
+	sv := &Solver{Model: m}
+	var n int
+	sv.SolveAll(func(Solution) bool { n++; return true })
+	st := sv.Stats()
+	if st.Solutions != int64(n) || n != 12 {
+		t.Errorf("solutions: stat=%d cb=%d want 12", st.Solutions, n)
+	}
+	if st.Nodes == 0 {
+		t.Error("no nodes counted")
+	}
+}
+
+func TestFirstFailSubset(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 9)
+	y := m.NewIntVar("y", 0, 1)
+	_ = x
+	sv := &Solver{Model: m, Branch: &FirstFail{Vars: []*IntVar{y}}}
+	n := 0
+	sv.SolveAll(func(sol Solution) bool {
+		n++
+		return true
+	})
+	// Branching only on y: 2 "solutions" (x left at min).
+	if n != 2 {
+		t.Errorf("solutions = %d, want 2", n)
+	}
+}
+
+func TestMaxValueFirst(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 5)
+	sv := &Solver{Model: m, Branch: &MaxValueFirst{}}
+	sol := sv.Solve()
+	if sol == nil || sol.Value(x) != 5 {
+		t.Errorf("MaxValueFirst first solution x=%v, want 5", sol)
+	}
+}
+
+// TestMagicSeries solves the magic series problem with the Count
+// constraint: s[i] = number of occurrences of i in s. Length 4 has two
+// solutions ([1 2 1 0] and [2 0 2 0]); lengths 5 and 7 have one each.
+func TestMagicSeries(t *testing.T) {
+	for n, wantSols := range map[int]int{4: 2, 5: 1, 7: 1} {
+		m := NewModel()
+		s := make([]*IntVar, n)
+		for i := range s {
+			s[i] = m.NewIntVar("s", 0, n)
+		}
+		for i := 0; i < n; i++ {
+			m.Count(s, i, s[i])
+		}
+		// Classic redundant constraint to prune: sum s[i] = n.
+		m.SumEq(s, n)
+		sols := 0
+		(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+			sols++
+			// Self-consistency: s[i] really counts the occurrences of i.
+			for i := 0; i < n; i++ {
+				occ := 0
+				for j := 0; j < n; j++ {
+					if sol.Value(s[j]) == i {
+						occ++
+					}
+				}
+				if occ != sol.Value(s[i]) {
+					t.Errorf("n=%d: s[%d] = %d but %d occurs %d times",
+						n, i, sol.Value(s[i]), i, occ)
+				}
+			}
+			return true
+		})
+		if sols != wantSols {
+			t.Errorf("n=%d: %d solutions, want %d", n, sols, wantSols)
+		}
+	}
+}
+
+func TestCountPropagation(t *testing.T) {
+	m := NewModel()
+	a := m.NewIntVar("a", 0, 2)
+	b := m.NewIntVar("b", 0, 2)
+	c := m.NewIntVar("c", 0, 2)
+	n := m.NewIntVar("n", 0, 3)
+	m.Count([]*IntVar{a, b, c}, 1, n)
+	m.EqC(n, 3) // all three must be 1
+	sol := (&Solver{Model: m}).Solve()
+	if sol == nil || sol.Value(a) != 1 || sol.Value(b) != 1 || sol.Value(c) != 1 {
+		t.Errorf("count=3 should force all ones: %v", sol)
+	}
+
+	m2 := NewModel()
+	a2 := m2.NewIntVar("a", 1, 1) // fixed at the value
+	b2 := m2.NewIntVar("b", 0, 2)
+	n2 := m2.NewIntVar("n", 1, 1) // exactly one occurrence
+	m2.Count([]*IntVar{a2, b2}, 1, n2)
+	sol = (&Solver{Model: m2}).Solve()
+	if sol == nil || sol.Value(b2) == 1 {
+		t.Errorf("count=1 with a fixed occurrence should exclude b=1: %v", sol)
+	}
+}

@@ -1,0 +1,386 @@
+package ddg
+
+import (
+	"sort"
+	"strings"
+
+	"discovery/internal/mir"
+)
+
+// This file implements the graph algorithms that back the pattern
+// definitions of paper §4: weak connectivity (1d), reachability and
+// convexity (1e, 3c), induced-subgraph boundaries (2c, 2d, 3e, 3f), and the
+// operation-labelled isomorphism relaxation (1c, 4c).
+
+// WeaklyConnectedComponents partitions the induced subgraph over nodes into
+// its weakly connected components, returned in deterministic order (by
+// smallest member id).
+func (g *Graph) WeaklyConnectedComponents(nodes Set) []Set {
+	if len(nodes) == 0 {
+		return nil
+	}
+	parent := make(map[NodeID]NodeID, len(nodes))
+	for _, u := range nodes {
+		parent[u] = u
+	}
+	var find func(NodeID) NodeID
+	find = func(u NodeID) NodeID {
+		for parent[u] != u {
+			parent[u] = parent[parent[u]]
+			u = parent[u]
+		}
+		return u
+	}
+	union := func(u, v NodeID) {
+		ru, rv := find(u), find(v)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	for _, u := range nodes {
+		for _, v := range g.succ[u] {
+			if _, in := parent[v]; in {
+				union(u, v)
+			}
+		}
+	}
+	groups := map[NodeID]Set{}
+	for _, u := range nodes {
+		r := find(u)
+		groups[r] = append(groups[r], u)
+	}
+	out := make([]Set, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, NewSet(members...))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// WeaklyConnected reports whether the induced subgraph over nodes is
+// weakly connected (constraint 1d).
+func (g *Graph) WeaklyConnected(nodes Set) bool {
+	return len(nodes) <= 1 || len(g.WeaklyConnectedComponents(nodes)) == 1
+}
+
+// WeaklyConnectedWithInputs checks constraint (1d) under the relaxation
+// required by this IR's transparent loads: two operations that read the
+// same value are connected through its defining node, which in LLVM's DDG
+// would be the load node inside the component. The component is accepted
+// if all its nodes fall in one weakly connected component of the subgraph
+// induced by the component plus its direct external predecessors.
+func (g *Graph) WeaklyConnectedWithInputs(nodes Set) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	var preds []NodeID
+	for _, u := range nodes {
+		preds = append(preds, g.pred[u]...)
+	}
+	extended := nodes.Union(NewSet(preds...))
+	for _, comp := range g.WeaklyConnectedComponents(extended) {
+		if comp.Contains(nodes[0]) {
+			return nodes.SubsetOf(comp)
+		}
+	}
+	return false
+}
+
+// ReachableFrom returns every node reachable from any node in from
+// (inclusive), restricted to within if non-nil.
+func (g *Graph) ReachableFrom(from Set, within Set) Set {
+	var inWithin func(NodeID) bool
+	if within == nil {
+		inWithin = func(NodeID) bool { return true }
+	} else {
+		inWithin = within.Contains
+	}
+	seen := map[NodeID]bool{}
+	stack := make([]NodeID, 0, len(from))
+	for _, u := range from {
+		if inWithin(u) && !seen[u] {
+			seen[u] = true
+			stack = append(stack, u)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if inWithin(v) && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make(Set, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	return NewSet(out...)
+}
+
+// Reaches reports whether there is a (possibly empty) path from u to v in
+// the whole graph.
+func (g *Graph) Reaches(u, v NodeID) bool {
+	if u == v {
+		return true
+	}
+	seen := map[NodeID]bool{u: true}
+	stack := []NodeID{u}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, x := range g.succ[w] {
+			if x == v {
+				return true
+			}
+			if !seen[x] {
+				seen[x] = true
+				stack = append(stack, x)
+			}
+		}
+	}
+	return false
+}
+
+// Convex checks pattern convexity (constraint 1e) of the node set within
+// the ambient node set: no path may leave the set and re-enter it. ambient
+// may be nil to mean the whole graph.
+//
+// Traced DDGs satisfy a topological-id invariant — every arc goes from a
+// lower to a higher node id, because a value's defining execution precedes
+// its uses in time (and InducedSubgraph renumbers in sorted order, which
+// preserves it). A path that leaves the set and re-enters it therefore
+// never passes through exterior nodes above the set's maximum id (ids only
+// grow along the path, and re-entry lands at an id ≤ max) nor below its
+// minimum (symmetrically, backwards); both searches prune accordingly,
+// which keeps the check local to the pattern's id range.
+func (g *Graph) Convex(nodes Set, ambient Set) bool {
+	if len(nodes) == 0 {
+		return true
+	}
+	var inAmbient func(NodeID) bool
+	if ambient == nil {
+		inAmbient = func(NodeID) bool { return true }
+	} else {
+		inAmbient = ambient.Contains
+	}
+	minID, maxID := nodes[0], nodes[len(nodes)-1]
+	// Forward: exterior nodes reachable from the set (bounded by maxID).
+	fwd := map[NodeID]bool{}
+	var stack []NodeID
+	push := func(v NodeID) {
+		if v < maxID && inAmbient(v) && !nodes.Contains(v) && !fwd[v] {
+			fwd[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for _, u := range nodes {
+		for _, v := range g.succ[u] {
+			push(v)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			push(v)
+		}
+	}
+	if len(fwd) == 0 {
+		return true
+	}
+	// Backward: exterior nodes that reach the set (bounded by minID).
+	bwd := map[NodeID]bool{}
+	stack = stack[:0]
+	pushB := func(v NodeID) {
+		if v > minID && inAmbient(v) && !nodes.Contains(v) && !bwd[v] {
+			bwd[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for _, u := range nodes {
+		for _, v := range g.pred[u] {
+			pushB(v)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.pred[u] {
+			pushB(v)
+		}
+	}
+	// A node both reachable from the set and reaching the set witnesses a
+	// path that leaves and re-enters: not convex.
+	for u := range fwd {
+		if bwd[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundary classifies the arcs crossing a node set's boundary within an
+// ambient set (nil = whole graph).
+type Boundary struct {
+	// In holds external predecessors feeding the set; Out holds external
+	// successors fed by the set, keyed by the internal endpoint.
+	In  map[NodeID][]NodeID // internal node -> external sources
+	Out map[NodeID][]NodeID // internal node -> external sinks
+}
+
+// BoundaryOf computes the boundary arcs of nodes within ambient.
+func (g *Graph) BoundaryOf(nodes Set, ambient Set) Boundary {
+	var inAmbient func(NodeID) bool
+	if ambient == nil {
+		inAmbient = func(NodeID) bool { return true }
+	} else {
+		inAmbient = ambient.Contains
+	}
+	b := Boundary{In: map[NodeID][]NodeID{}, Out: map[NodeID][]NodeID{}}
+	for _, u := range nodes {
+		for _, v := range g.pred[u] {
+			if inAmbient(v) && !nodes.Contains(v) {
+				b.In[u] = append(b.In[u], v)
+			}
+		}
+		for _, v := range g.succ[u] {
+			if inAmbient(v) && !nodes.Contains(v) {
+				b.Out[u] = append(b.Out[u], v)
+			}
+		}
+	}
+	return b
+}
+
+// HasExternalIn reports whether any node of the set has an incoming arc
+// from outside the set (within ambient).
+func (g *Graph) HasExternalIn(nodes Set, ambient Set) bool {
+	b := g.BoundaryOf(nodes, ambient)
+	return len(b.In) > 0
+}
+
+// HasExternalOut reports whether any node of the set has an outgoing arc to
+// outside the set (within ambient).
+func (g *Graph) HasExternalOut(nodes Set, ambient Set) bool {
+	b := g.BoundaryOf(nodes, ambient)
+	return len(b.Out) > 0
+}
+
+// ArcsBetween returns the arcs from set a into set b.
+func (g *Graph) ArcsBetween(a, b Set) [][2]NodeID {
+	var arcs [][2]NodeID
+	for _, u := range a {
+		for _, v := range g.succ[u] {
+			if b.Contains(v) {
+				arcs = append(arcs, [2]NodeID{u, v})
+			}
+		}
+	}
+	return arcs
+}
+
+// Adjacent reports whether all arcs between a and b flow from a into b,
+// with at least one such arc.
+func (g *Graph) Adjacent(a, b Set) bool {
+	if len(g.ArcsBetween(b, a)) > 0 {
+		return false
+	}
+	return len(g.ArcsBetween(a, b)) > 0
+}
+
+// FlowsInto reports the fusion precondition of paper §5: all arcs from a
+// flow into b — every outgoing arc of a lands in b (a's output is consumed
+// exclusively by b), there is at least one such arc, and no arc flows back
+// from b to a. Arcs into a from elsewhere are unconstrained.
+func (g *Graph) FlowsInto(a, b Set) bool {
+	found := false
+	for _, u := range a {
+		for _, v := range g.succ[u] {
+			if a.Contains(v) {
+				continue
+			}
+			if !b.Contains(v) {
+				return false
+			}
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	return len(g.ArcsBetween(b, a)) == 0
+}
+
+// LabelKey returns an opaque canonical key for the operation multiset of a
+// node set (a counting sort over the operation codes). Two components with
+// equal label keys are isomorphic under the relaxation used by the pattern
+// models (constraints 1c and 4c; see paper §5, Pattern Matching, on
+// relaxing isomorphism).
+func (g *Graph) LabelKey(nodes Set) string {
+	var counts [256]uint32
+	for _, u := range nodes {
+		counts[g.ops[u]]++
+	}
+	buf := make([]byte, 0, len(nodes))
+	for op, c := range counts {
+		for ; c > 0; c-- {
+			buf = append(buf, byte(op))
+		}
+	}
+	return string(buf)
+}
+
+// OpSetKey returns the coarser operation-set label (duplicates collapsed).
+// Conditional patterns compare op-set labels, since components that skip
+// their conditional branch execute strictly fewer operations.
+func (g *Graph) OpSetKey(nodes Set) string {
+	seen := map[string]bool{}
+	var names []string
+	for _, u := range nodes {
+		n := g.ops[u].String()
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// OpSetSubset reports whether the operation set of a is a subset of the
+// operation set of b.
+func (g *Graph) OpSetSubset(a, b Set) bool {
+	have := map[mir.Op]bool{}
+	for _, u := range b {
+		have[g.ops[u]] = true
+	}
+	for _, u := range a {
+		if !have[g.ops[u]] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllAssociative reports whether every node in the set executes the same
+// associative operation, returning that operation. This is the paper's
+// under-approximation of the associativity test (3b): each reduction
+// component is a single node whose operation is known to be associative.
+func (g *Graph) AllAssociative(nodes Set) (mir.Op, bool) {
+	if len(nodes) == 0 {
+		return mir.OpInvalid, false
+	}
+	op := g.ops[nodes[0]]
+	if !op.Associative() {
+		return mir.OpInvalid, false
+	}
+	for _, u := range nodes[1:] {
+		if g.ops[u] != op {
+			return mir.OpInvalid, false
+		}
+	}
+	return op, true
+}

@@ -1,0 +1,48 @@
+package ddg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph (or the induced subgraph over nodes, if non-nil) in
+// Graphviz format for debugging and documentation figures. Highlight maps
+// node sets to fill colors, mirroring the shaded pattern regions of the
+// paper's Figure 2c.
+func (g *Graph) DOT(nodes Set, highlight map[string]Set) string {
+	var sb strings.Builder
+	sb.WriteString("digraph ddg {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	include := func(u NodeID) bool { return nodes == nil || nodes.Contains(u) }
+	color := func(u NodeID) string {
+		for c, set := range highlight {
+			if set.Contains(u) {
+				return c
+			}
+		}
+		return ""
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		u := NodeID(i)
+		if !include(u) {
+			continue
+		}
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%v:%d", g.ops[u], u))
+		if c := color(u); c != "" {
+			attrs += fmt.Sprintf(", style=filled, fillcolor=%q", c)
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", u, attrs)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		u := NodeID(i)
+		if !include(u) {
+			continue
+		}
+		for _, v := range g.succ[u] {
+			if include(v) {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", u, v)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,179 @@
+// Package ddg implements dynamic dataflow graphs (DDGs), the program
+// representation of the pattern-finding analysis (paper §3).
+//
+// A DDG is a directed acyclic graph where each node corresponds to one
+// execution of an IR operation and there is an arc (u,v) whenever execution
+// v uses a value defined by execution u. Unlike static dataflow graphs,
+// each node represents a single operation execution, which is what allows
+// the analysis to reason about the parallel arrangement of individual
+// executions (paper challenge 3).
+package ddg
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense and start at 0.
+type NodeID uint32
+
+// NoNode is the sentinel for "no defining node" (e.g. a constant operand,
+// which the paper depicts as a sourceless arc).
+const NoNode = ^NodeID(0)
+
+// Graph is a dynamic dataflow graph. The struct-of-arrays layout keeps
+// traces of hundreds of thousands of nodes compact.
+type Graph struct {
+	ops    []mir.Op
+	pos    []mir.Pos
+	thread []int32
+	scope  []*Scope
+	succ   [][]NodeID
+	pred   [][]NodeID
+	arcs   int
+}
+
+// New returns an empty graph with capacity for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		ops:    make([]mir.Op, 0, n),
+		pos:    make([]mir.Pos, 0, n),
+		thread: make([]int32, 0, n),
+		scope:  make([]*Scope, 0, n),
+		succ:   make([][]NodeID, 0, n),
+		pred:   make([][]NodeID, 0, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.ops) }
+
+// NumArcs returns the number of arcs.
+func (g *Graph) NumArcs() int { return g.arcs }
+
+// AddNode appends a node and returns its id. The caller must synchronize
+// concurrent additions (the tracer serializes through its own lock, the
+// analogue of the paper's synchronized shadow memory).
+func (g *Graph) AddNode(op mir.Op, pos mir.Pos, thread int32, scope *Scope) NodeID {
+	id := NodeID(len(g.ops))
+	g.ops = append(g.ops, op)
+	g.pos = append(g.pos, pos)
+	g.thread = append(g.thread, thread)
+	g.scope = append(g.scope, scope)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddArc adds the def-use arc (u, v), ignoring duplicates and sentinels.
+func (g *Graph) AddArc(u, v NodeID) {
+	if u == NoNode || v == NoNode || u == v {
+		return
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.arcs++
+}
+
+// Op returns the operation executed by node u.
+func (g *Graph) Op(u NodeID) mir.Op { return g.ops[u] }
+
+// Pos returns the source position of node u.
+func (g *Graph) Pos(u NodeID) mir.Pos { return g.pos[u] }
+
+// Thread returns the thread that executed node u.
+func (g *Graph) Thread(u NodeID) int32 { return g.thread[u] }
+
+// ScopeOf returns the dynamic loop scope of node u (may be nil).
+func (g *Graph) ScopeOf(u NodeID) *Scope { return g.scope[u] }
+
+// Succs returns the successors of u. The returned slice is shared; callers
+// must not mutate it.
+func (g *Graph) Succs(u NodeID) []NodeID { return g.succ[u] }
+
+// Preds returns the predecessors of u. The returned slice is shared.
+func (g *Graph) Preds(u NodeID) []NodeID { return g.pred[u] }
+
+// Nodes returns all node ids.
+func (g *Graph) Nodes() Set {
+	s := make(Set, g.NumNodes())
+	for i := range s {
+		s[i] = NodeID(i)
+	}
+	return s
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("ddg(%d nodes, %d arcs)", g.NumNodes(), g.NumArcs())
+}
+
+// InducedSubgraph materializes the subgraph induced by keep as a fresh
+// graph, returning it together with the mapping from new to old ids. It is
+// used by DDG simplification, which rebuilds the graph without auxiliary
+// computation.
+func (g *Graph) InducedSubgraph(keep Set) (*Graph, []NodeID) {
+	remap := make(map[NodeID]NodeID, len(keep))
+	back := make([]NodeID, 0, len(keep))
+	out := New(len(keep))
+	for _, u := range keep {
+		remap[u] = out.AddNode(g.ops[u], g.pos[u], g.thread[u], g.scope[u])
+		back = append(back, u)
+	}
+	for _, u := range keep {
+		for _, v := range g.succ[u] {
+			if nv, ok := remap[v]; ok {
+				out.AddArc(remap[u], nv)
+			}
+		}
+	}
+	return out, back
+}
+
+// CheckAcyclic verifies that the graph is a DAG, which every well-formed
+// dynamic dataflow graph must be (values flow forward in time). It returns
+// an error naming a node on a cycle otherwise.
+func (g *Graph) CheckAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, g.NumNodes())
+	// Iterative DFS to avoid stack overflow on long chains.
+	type frame struct {
+		node NodeID
+		next int
+	}
+	for start := 0; start < g.NumNodes(); start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{NodeID(start), 0}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.succ[f.node]) {
+				v := g.succ[f.node][f.next]
+				f.next++
+				switch color[v] {
+				case grey:
+					return fmt.Errorf("ddg: cycle through node %d (%v)", v, g.ops[v])
+				case white:
+					color[v] = grey
+					stack = append(stack, frame{v, 0})
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"discovery/internal/mir"
+)
+
+// buildDiamond builds the graph 0 -> {1, 2} -> 3 with ops fmul at 1,2 and
+// fadd elsewhere.
+func buildDiamond() *Graph {
+	g := New(4)
+	g.AddNode(mir.OpFAdd, mir.Pos{}, 0, nil) // 0
+	g.AddNode(mir.OpFMul, mir.Pos{}, 0, nil) // 1
+	g.AddNode(mir.OpFMul, mir.Pos{}, 0, nil) // 2
+	g.AddNode(mir.OpFAdd, mir.Pos{}, 0, nil) // 3
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	return g
+}
+
+// buildChain builds a linear chain of n fadd nodes.
+func buildChain(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(mir.OpFAdd, mir.Pos{}, 0, nil)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddArc(NodeID(i), NodeID(i+1))
+	}
+	return g
+}
+
+func TestAddArcDedup(t *testing.T) {
+	g := buildDiamond()
+	before := g.NumArcs()
+	g.AddArc(0, 1) // duplicate
+	g.AddArc(1, 1) // self loop ignored
+	g.AddArc(NoNode, 1)
+	g.AddArc(1, NoNode)
+	if g.NumArcs() != before {
+		t.Errorf("arcs changed from %d to %d", before, g.NumArcs())
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := New(1)
+	scope := (&Scope{}).Enter(3, 7)
+	id := g.AddNode(mir.OpMul, mir.Pos{File: "f.c", Line: 12}, 2, scope)
+	if g.Op(id) != mir.OpMul || g.Pos(id).Line != 12 || g.Thread(id) != 2 {
+		t.Error("node attributes not stored")
+	}
+	if g.ScopeOf(id) != scope {
+		t.Error("scope not stored")
+	}
+	if !strings.Contains(g.String(), "1 nodes") {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := buildDiamond()
+	// Full graph: one component.
+	if comps := g.WeaklyConnectedComponents(g.Nodes()); len(comps) != 1 {
+		t.Errorf("diamond has %d WCCs, want 1", len(comps))
+	}
+	// Nodes 1 and 2 are not connected to each other within {1, 2}.
+	comps := g.WeaklyConnectedComponents(NewSet(1, 2))
+	if len(comps) != 2 {
+		t.Errorf("induced {1,2} has %d WCCs, want 2", len(comps))
+	}
+	if !g.WeaklyConnected(NewSet(0, 1)) {
+		t.Error("{0,1} should be weakly connected")
+	}
+	if g.WeaklyConnected(NewSet(1, 2)) {
+		t.Error("{1,2} should not be weakly connected")
+	}
+	if !g.WeaklyConnected(NewSet(3)) || !g.WeaklyConnected(nil) {
+		t.Error("singleton and empty sets are trivially connected")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := buildDiamond()
+	if !g.Reaches(0, 3) || !g.Reaches(1, 3) {
+		t.Error("missing reachability")
+	}
+	if g.Reaches(1, 2) || g.Reaches(3, 0) {
+		t.Error("spurious reachability")
+	}
+	got := g.ReachableFrom(NewSet(0), nil)
+	if !got.Equal(NewSet(0, 1, 2, 3)) {
+		t.Errorf("ReachableFrom(0) = %v", got)
+	}
+	// Restricted to {0, 1}: cannot pass through 2.
+	got = g.ReachableFrom(NewSet(0), NewSet(0, 1))
+	if !got.Equal(NewSet(0, 1)) {
+		t.Errorf("restricted ReachableFrom = %v", got)
+	}
+}
+
+func TestConvexity(t *testing.T) {
+	g := buildDiamond()
+	// {0, 3} is not convex: paths through 1 (outside) connect them.
+	if g.Convex(NewSet(0, 3), nil) {
+		t.Error("{0,3} should not be convex")
+	}
+	// {0, 1, 2, 3} is convex.
+	if !g.Convex(g.Nodes(), nil) {
+		t.Error("whole graph should be convex")
+	}
+	// {1} is convex.
+	if !g.Convex(NewSet(1), nil) {
+		t.Error("singleton should be convex")
+	}
+	// {0, 3} within ambient {0, 3} (excluding the middle): convex, because
+	// the connecting path is outside the ambient graph.
+	if !g.Convex(NewSet(0, 3), NewSet(0, 3)) {
+		t.Error("{0,3} should be convex within itself")
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	g := buildDiamond()
+	b := g.BoundaryOf(NewSet(1), nil)
+	if len(b.In[1]) != 1 || b.In[1][0] != 0 {
+		t.Errorf("In boundary of {1} = %v", b.In)
+	}
+	if len(b.Out[1]) != 1 || b.Out[1][0] != 3 {
+		t.Errorf("Out boundary of {1} = %v", b.Out)
+	}
+	if !g.HasExternalIn(NewSet(1), nil) || !g.HasExternalOut(NewSet(1), nil) {
+		t.Error("external arcs not detected")
+	}
+	if g.HasExternalIn(g.Nodes(), nil) || g.HasExternalOut(g.Nodes(), nil) {
+		t.Error("whole graph has no external arcs")
+	}
+}
+
+func TestArcsBetweenAndAdjacent(t *testing.T) {
+	g := buildDiamond()
+	arcs := g.ArcsBetween(NewSet(0), NewSet(1, 2))
+	if len(arcs) != 2 {
+		t.Errorf("ArcsBetween = %v", arcs)
+	}
+	if !g.Adjacent(NewSet(0), NewSet(1, 2)) {
+		t.Error("{0} should be adjacent into {1,2}")
+	}
+	if g.Adjacent(NewSet(1, 2), NewSet(0)) {
+		t.Error("adjacency should be directional")
+	}
+	if g.Adjacent(NewSet(0), NewSet(3)) {
+		t.Error("no direct arcs 0->3; not adjacent")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := buildDiamond()
+	if g.LabelKey(NewSet(1)) != g.LabelKey(NewSet(2)) {
+		t.Error("identical single ops should share a label")
+	}
+	if g.LabelKey(NewSet(0, 1)) == g.LabelKey(NewSet(0, 3)) {
+		t.Error("fadd+fmul should differ from fadd+fadd")
+	}
+	if g.OpSetKey(NewSet(0, 3)) != "fadd" {
+		t.Errorf("OpSetKey collapses duplicates: %q", g.OpSetKey(NewSet(0, 3)))
+	}
+	if !g.OpSetSubset(NewSet(0), NewSet(0, 1)) {
+		t.Error("fadd ⊆ {fadd,fmul}")
+	}
+	if g.OpSetSubset(NewSet(0, 1), NewSet(0)) {
+		t.Error("{fadd,fmul} ⊄ {fadd}")
+	}
+}
+
+func TestAllAssociative(t *testing.T) {
+	g := buildDiamond()
+	if op, ok := g.AllAssociative(NewSet(1, 2)); !ok || op != mir.OpFMul {
+		t.Errorf("AllAssociative({1,2}) = %v, %v", op, ok)
+	}
+	if _, ok := g.AllAssociative(NewSet(0, 1)); ok {
+		t.Error("mixed ops should not be associative-uniform")
+	}
+	if _, ok := g.AllAssociative(nil); ok {
+		t.Error("empty set should not report associative")
+	}
+	g2 := New(1)
+	g2.AddNode(mir.OpFSub, mir.Pos{}, 0, nil)
+	if _, ok := g2.AllAssociative(NewSet(0)); ok {
+		t.Error("fsub is not associative")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildDiamond()
+	sub, back := g.InducedSubgraph(NewSet(0, 1, 3))
+	if sub.NumNodes() != 3 {
+		t.Fatalf("induced has %d nodes", sub.NumNodes())
+	}
+	if sub.NumArcs() != 2 { // 0->1 and 1->3 survive; 0->2->3 does not
+		t.Errorf("induced has %d arcs, want 2", sub.NumArcs())
+	}
+	if len(back) != 3 || back[0] != 0 || back[1] != 1 || back[2] != 3 {
+		t.Errorf("back map = %v", back)
+	}
+}
+
+func TestCheckAcyclic(t *testing.T) {
+	g := buildChain(100)
+	if err := g.CheckAcyclic(); err != nil {
+		t.Errorf("chain reported cyclic: %v", err)
+	}
+	// Force a cycle (cannot arise from tracing, but the checker must see it).
+	g.AddArc(99, 0)
+	if err := g.CheckAcyclic(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestIterationOf(t *testing.T) {
+	g := New(2)
+	s := (&Scope{Loop: 0}).Enter(1, 5) // loop 1, invocation 5, iter 0
+	s = s.NextIter().NextIter()        // iter 2
+	u := g.AddNode(mir.OpAdd, mir.Pos{}, 0, s)
+	v := g.AddNode(mir.OpAdd, mir.Pos{}, 0, nil)
+	key, ok := g.IterationOf(u, 1)
+	if !ok || key.Iter != 2 || key.Invocation != 5 {
+		t.Errorf("IterationOf = %+v, %v", key, ok)
+	}
+	if _, ok := g.IterationOf(v, 1); ok {
+		t.Error("node without scope should have no iteration")
+	}
+}
+
+func TestScopeBasics(t *testing.T) {
+	var root *Scope
+	s := root.Enter(1, 0)
+	s = s.Enter(2, 1)
+	if !s.Contains(1) || !s.Contains(2) || s.Contains(3) {
+		t.Error("Contains misbehaves")
+	}
+	if s.Depth() != 2 {
+		t.Errorf("Depth = %d", s.Depth())
+	}
+	s2 := s.NextIter()
+	if s2.Iter != 1 || s2.Loop != 2 {
+		t.Errorf("NextIter = %+v", s2)
+	}
+	if s2.Exit().Loop != 1 {
+		t.Error("Exit should pop to loop 1")
+	}
+	if got := s.String(); !strings.Contains(got, "L1#0[0]/L2#1[0]") {
+		t.Errorf("String = %q", got)
+	}
+	if (*Scope)(nil).String() != "-" {
+		t.Error("nil scope String")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildDiamond()
+	dot := g.DOT(nil, map[string]Set{"gray": NewSet(1, 2)})
+	for _, want := range []string{"digraph", "n0 -> n1", "fillcolor=\"gray\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	sub := g.DOT(NewSet(0, 1), nil)
+	if strings.Contains(sub, "n3") {
+		t.Error("restricted DOT includes excluded node")
+	}
+}

@@ -1,0 +1,142 @@
+// Package machine models the two evaluation architectures of the paper's
+// portability study (§6.3): a CPU-centric machine (12-core Intel Xeon
+// E5-2680 v3 with a low-end NVIDIA NVS 310) and a GPU-centric machine
+// (4-core Intel Core i7-4770 with a high-end NVIDIA GeForce GTX Titan).
+//
+// Absolute hardware timings are obviously not reproducible on arbitrary
+// hosts, so the study runs against a deterministic analytic cost model: a
+// kernel is characterized by its element count, arithmetic intensity, and
+// memory traffic, and each device converts that into simulated seconds.
+// The model is calibrated so that the *shape* of the paper's Figure 8 —
+// who wins on which machine, and by roughly what factor — is reproduced;
+// the real computations still execute (on the host) for correctness.
+package machine
+
+import "fmt"
+
+// GPUSpec describes a GPU device for the cost model.
+type GPUSpec struct {
+	Name string
+	// Throughput is the effective compute rate in work units per second
+	// for a fully utilized device.
+	Throughput float64
+	// TransferRate is the host-device copy bandwidth in data units/s.
+	TransferRate float64
+	// LegacyOccupancy is the utilization achieved by kernels hand-tuned
+	// for a GTX 280-era device (the Rodinia CUDA port of §6.3): block
+	// sizes and memory layouts tuned for 2008 hardware map well onto the
+	// low-end NVS 310 but poorly onto the much wider GTX Titan, which is
+	// the paper's explanation for Rodinia's limited speedup there.
+	LegacyOccupancy float64
+}
+
+// Architecture is one evaluation machine.
+type Architecture struct {
+	Name string
+	// CPUCores is the number of CPU cores.
+	CPUCores int
+	// CoreThroughput is the per-core compute rate in work units/s.
+	CoreThroughput float64
+	// GPU is the machine's GPU.
+	GPU GPUSpec
+}
+
+// CPUCentric returns the paper's CPU-centric machine: many fast cores,
+// weak GPU.
+func CPUCentric() *Architecture {
+	return &Architecture{
+		Name:           "CPU-centric (12-core Xeon E5-2680 v3, NVS 310)",
+		CPUCores:       12,
+		CoreThroughput: 1.0,
+		GPU: GPUSpec{
+			Name:            "NVS 310",
+			Throughput:      3.4,
+			TransferRate:    40,
+			LegacyOccupancy: 0.9,
+		},
+	}
+}
+
+// GPUCentric returns the paper's GPU-centric machine: few (faster) cores,
+// powerful GPU.
+func GPUCentric() *Architecture {
+	return &Architecture{
+		Name:           "GPU-centric (4-core i7-4770, GTX Titan)",
+		CPUCores:       4,
+		CoreThroughput: 1.27,
+		GPU: GPUSpec{
+			Name:            "GTX Titan",
+			Throughput:      26.0,
+			TransferRate:    160,
+			LegacyOccupancy: 0.33,
+		},
+	}
+}
+
+// Workload characterizes one data-parallel kernel invocation for the cost
+// model.
+type Workload struct {
+	// Elements is the number of independent work items.
+	Elements int
+	// WorkPerElement is the computational work per item (arbitrary units;
+	// 1.0 equals one unit of a reference core's throughput).
+	WorkPerElement float64
+	// BytesPerElement is the host-device traffic per item, charged only
+	// when a kernel runs on the GPU.
+	BytesPerElement float64
+}
+
+// Work returns the total computational work of the workload.
+func (w Workload) Work() float64 {
+	return float64(w.Elements) * w.WorkPerElement
+}
+
+// SeqTime returns the simulated sequential execution time on this
+// machine's CPU.
+func (a *Architecture) SeqTime(w Workload) float64 {
+	return w.Work() / a.CoreThroughput
+}
+
+// Fixed per-invocation costs, in the same time units the throughputs
+// define. They make tiny kernels run sequentially (as real skeleton
+// runtimes do) and are negligible at the reference workload scale.
+const (
+	// cpuDispatchOverhead is the thread-pool fork/join cost.
+	cpuDispatchOverhead = 2000
+	// gpuLaunchOverhead is the kernel launch and driver cost.
+	gpuLaunchOverhead = 5000
+)
+
+// CPUTime returns the simulated multi-threaded CPU time with the given
+// parallel efficiency (synchronization and load-imbalance losses).
+func (a *Architecture) CPUTime(w Workload, threads int, efficiency float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > a.CPUCores {
+		threads = a.CPUCores
+	}
+	return cpuDispatchOverhead + w.Work()/(float64(threads)*a.CoreThroughput*efficiency)
+}
+
+// GPUTime returns the simulated GPU time: launch cost plus host-device
+// transfers plus kernel execution at the given occupancy (1.0 = code
+// fully tuned for this device).
+func (a *Architecture) GPUTime(w Workload, occupancy float64) float64 {
+	transfer := float64(w.Elements) * w.BytesPerElement / a.GPU.TransferRate
+	compute := w.Work() / (a.GPU.Throughput * occupancy)
+	return gpuLaunchOverhead + transfer + compute
+}
+
+func (a *Architecture) String() string { return a.Name }
+
+// Validate sanity-checks an architecture description.
+func (a *Architecture) Validate() error {
+	if a.CPUCores < 1 || a.CoreThroughput <= 0 {
+		return fmt.Errorf("machine: invalid CPU description for %s", a.Name)
+	}
+	if a.GPU.Throughput <= 0 || a.GPU.TransferRate <= 0 {
+		return fmt.Errorf("machine: invalid GPU description for %s", a.Name)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package machine
+
+import "testing"
+
+func TestArchitecturesValidate(t *testing.T) {
+	for _, a := range []*Architecture{CPUCentric(), GPUCentric()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if a.String() == "" {
+			t.Error("empty name")
+		}
+	}
+	bad := &Architecture{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid architecture accepted")
+	}
+}
+
+func TestWorkloadWork(t *testing.T) {
+	w := Workload{Elements: 10, WorkPerElement: 2.5}
+	if w.Work() != 25 {
+		t.Errorf("Work = %g", w.Work())
+	}
+}
+
+func TestCPUTimeScaling(t *testing.T) {
+	a := CPUCentric()
+	w := Workload{Elements: 1000000, WorkPerElement: 10}
+	seq := a.SeqTime(w)
+	par := a.CPUTime(w, 12, 1.0)
+	if par >= seq {
+		t.Error("parallel not faster than sequential")
+	}
+	// Dispatch overhead keeps the speedup just shy of ideal.
+	if got := seq / par; got < 11.9 || got > 12 {
+		t.Errorf("12-core speedup = %g, want just below 12", got)
+	}
+	// Threads are capped at the core count.
+	if a.CPUTime(w, 100, 1.0) != par {
+		t.Error("thread count not capped at cores")
+	}
+	// Zero threads clamp to one.
+	if a.CPUTime(w, 0, 1.0) != a.CPUTime(w, 1, 1.0) {
+		t.Error("zero threads should clamp to one")
+	}
+	// Efficiency slows things down.
+	if a.CPUTime(w, 12, 0.5) <= par {
+		t.Error("efficiency not applied")
+	}
+	// Tiny workloads are not worth dispatching.
+	tiny := Workload{Elements: 4, WorkPerElement: 1}
+	if a.CPUTime(tiny, 12, 1.0) <= a.SeqTime(tiny) {
+		t.Error("dispatch overhead missing for tiny workloads")
+	}
+}
+
+func TestGPUTimeComponents(t *testing.T) {
+	a := GPUCentric()
+	compute := Workload{Elements: 1000, WorkPerElement: 100, BytesPerElement: 0}
+	transfer := Workload{Elements: 1000, WorkPerElement: 0, BytesPerElement: 1000}
+	if a.GPUTime(compute, 1.0) <= 0 || a.GPUTime(transfer, 1.0) <= 0 {
+		t.Error("GPU time must be positive")
+	}
+	// Halving occupancy doubles compute time but not launch/transfers.
+	full := a.GPUTime(compute, 1.0)
+	half := a.GPUTime(compute, 0.5)
+	if half <= full {
+		t.Errorf("occupancy scaling: full=%g half=%g", full, half)
+	}
+	tFull := a.GPUTime(transfer, 1.0)
+	if a.GPUTime(transfer, 0.5) != tFull {
+		t.Error("occupancy must not affect transfers")
+	}
+}
+
+// TestFigure8Calibration checks the relative machine characteristics that
+// Figure 8's shape depends on: the GPU-centric machine has fewer but
+// faster cores and a far stronger GPU; the CPU-centric machine wins on
+// threads.
+func TestFigure8Calibration(t *testing.T) {
+	c, g := CPUCentric(), GPUCentric()
+	if c.CPUCores <= g.CPUCores {
+		t.Error("CPU-centric machine should have more cores")
+	}
+	if g.CoreThroughput <= c.CoreThroughput {
+		t.Error("GPU-centric cores should be individually faster")
+	}
+	if g.GPU.Throughput <= c.GPU.Throughput {
+		t.Error("GPU-centric GPU should be stronger")
+	}
+	w := Workload{Elements: 200000, WorkPerElement: 128, BytesPerElement: 512}
+	// On the CPU-centric machine the CPU beats its weak GPU...
+	if c.CPUTime(w, c.CPUCores, 0.8) >= c.GPUTime(w, 1.0) {
+		t.Error("CPU-centric: CPU should beat the NVS 310")
+	}
+	// ...and on the GPU-centric machine the GPU wins.
+	if g.GPUTime(w, 1.0) >= g.CPUTime(w, g.CPUCores, 0.8) {
+		t.Error("GPU-centric: the Titan should beat 4 cores")
+	}
+}

@@ -1,0 +1,381 @@
+package mir
+
+// Pos is a source position in the pretty-printed program listing. Positions
+// are assigned by Program.Layout, so pattern reports can point into an
+// honest source listing exactly as the paper's Figure 6 reports do.
+type Pos struct {
+	File string
+	Line int
+}
+
+// Valid reports whether the position has been assigned.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// LoopID identifies a static loop in the program. Every loop in a program
+// has a distinct id; dynamic loop scopes in the trace refer to these ids.
+type LoopID int32
+
+// Expr is an IR expression. Evaluating an expression may create dynamic
+// dataflow graph nodes (one per value-producing operation execution).
+type Expr interface {
+	expr()
+	// Position returns the source position assigned by Layout.
+	Position() Pos
+}
+
+// posHolder gives expressions and statements a settable position.
+type posHolder struct{ Pos Pos }
+
+func (p *posHolder) Position() Pos     { return p.Pos }
+func (p *posHolder) setPosition(q Pos) { p.Pos = q }
+
+type positioned interface{ setPosition(Pos) }
+
+// ConstExpr is a literal constant. Constants do not create DDG nodes: the
+// paper depicts initial values (such as the addition identity 0) as
+// sourceless arcs.
+type ConstExpr struct {
+	posHolder
+	V Value
+}
+
+// VarExpr reads a local variable. Reads do not create nodes; they propagate
+// the node that last defined the variable.
+type VarExpr struct {
+	posHolder
+	Name string
+}
+
+// BinExpr applies a binary operation; each evaluation creates one DDG node.
+type BinExpr struct {
+	posHolder
+	Op   Op
+	X, Y Expr
+}
+
+// UnExpr applies a unary operation; each evaluation creates one DDG node.
+type UnExpr struct {
+	posHolder
+	Op Op
+	X  Expr
+}
+
+// LoadExpr reads heap memory. Loads do not create nodes: the value's
+// defining node is fetched from the shadow memory, which is what makes data
+// transfers transparent in the DDG (paper challenge 5).
+type LoadExpr struct {
+	posHolder
+	Addr Expr
+}
+
+// CallExpr calls a function and yields its return value. Calls themselves
+// do not create nodes; the callee's operations do. This is how patterns
+// spanning translation units are found (paper challenge 4).
+type CallExpr struct {
+	posHolder
+	Fn   string
+	Args []Expr
+}
+
+// AllocExpr reserves Count fresh heap cells and yields the base address.
+// Allocation is auxiliary and creates no node.
+type AllocExpr struct {
+	posHolder
+	Count Expr
+}
+
+func (*ConstExpr) expr() {}
+func (*VarExpr) expr()   {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}
+func (*LoadExpr) expr()  {}
+func (*CallExpr) expr()  {}
+func (*AllocExpr) expr() {}
+
+// Stmt is an IR statement.
+type Stmt interface {
+	stmt()
+	Position() Pos
+}
+
+// AssignStmt assigns an expression to a local variable.
+type AssignStmt struct {
+	posHolder
+	Var string
+	X   Expr
+}
+
+// StoreStmt writes a value to heap memory. Stores create no nodes; they
+// update the shadow memory binding for the target address.
+type StoreStmt struct {
+	posHolder
+	Addr Expr
+	Val  Expr
+}
+
+// ForStmt is a counted loop over [From, To) with the given step. The
+// induction variable is a local of the enclosing frame. Loop iterations are
+// traced as dynamic loop scope frames; the induction arithmetic itself is
+// implicit (the paper's generalized iterator recognition removes explicit
+// induction updates, and this IR simply never materializes them).
+type ForStmt struct {
+	posHolder
+	Loop LoopID
+	Var  string
+	From Expr
+	To   Expr
+	Step Expr
+	Body []Stmt
+}
+
+// WhileStmt is a condition-controlled loop, also traced as a loop scope.
+type WhileStmt struct {
+	posHolder
+	Loop LoopID
+	Cond Expr
+	Body []Stmt
+}
+
+// IfStmt is conditional control flow. Branches are not DDG nodes; only the
+// condition's comparison operations are.
+type IfStmt struct {
+	posHolder
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// CallStmt calls a function for effect.
+type CallStmt struct {
+	posHolder
+	Call *CallExpr
+}
+
+// ReturnStmt returns from the enclosing function, optionally with a value.
+type ReturnStmt struct {
+	posHolder
+	X Expr // may be nil
+}
+
+// SpawnStmt starts a new thread running Fn(Args...) and stores an opaque
+// thread handle in Var. The analogue of pthread_create.
+type SpawnStmt struct {
+	posHolder
+	Var  string
+	Fn   string
+	Args []Expr
+}
+
+// JoinStmt waits for the thread whose handle is X. The analogue of
+// pthread_join.
+type JoinStmt struct {
+	posHolder
+	X Expr
+}
+
+// BarrierStmt waits on the named barrier declared in the program. The
+// analogue of pthread_barrier_wait.
+type BarrierStmt struct {
+	posHolder
+	Name string
+}
+
+// LockStmt acquires the named mutex; UnlockStmt releases it.
+type LockStmt struct {
+	posHolder
+	Name string
+}
+
+// UnlockStmt releases the named mutex.
+type UnlockStmt struct {
+	posHolder
+	Name string
+}
+
+func (*AssignStmt) stmt()  {}
+func (*StoreStmt) stmt()   {}
+func (*ForStmt) stmt()     {}
+func (*WhileStmt) stmt()   {}
+func (*IfStmt) stmt()      {}
+func (*CallStmt) stmt()    {}
+func (*ReturnStmt) stmt()  {}
+func (*SpawnStmt) stmt()   {}
+func (*JoinStmt) stmt()    {}
+func (*BarrierStmt) stmt() {}
+func (*LockStmt) stmt()    {}
+func (*UnlockStmt) stmt()  {}
+
+// Func is an IR function. Parameters are passed by value; memory is shared
+// through the single program heap.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	// File is the translation unit the function belongs to. Benchmarks use
+	// multiple files to reproduce the paper's cross-translation-unit
+	// pattern instances (challenge 4).
+	File string
+}
+
+// Program is a complete IR program: functions, named synchronization
+// objects, and an entry point.
+type Program struct {
+	Name  string
+	Funcs map[string]*Func
+	Entry string
+	// Barriers maps barrier names to their participant counts.
+	Barriers map[string]int
+	// Mutexes lists declared mutex names.
+	Mutexes []string
+	// Statics lists global arrays allocated at machine start, in order.
+	Statics []StaticDef
+
+	nextLoop LoopID
+	laidOut  bool
+	listing  map[string][]string // file -> lines, filled by Layout
+}
+
+// NewProgram creates an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:     name,
+		Funcs:    map[string]*Func{},
+		Barriers: map[string]int{},
+	}
+}
+
+// AddFunc registers a function. The first function added becomes the entry
+// point unless SetEntry overrides it.
+func (p *Program) AddFunc(f *Func) {
+	if f.File == "" {
+		f.File = p.Name + ".c"
+	}
+	p.Funcs[f.Name] = f
+	if p.Entry == "" {
+		p.Entry = f.Name
+	}
+}
+
+// SetEntry sets the entry function name.
+func (p *Program) SetEntry(name string) { p.Entry = name }
+
+// DeclareBarrier declares a named barrier with n participants.
+func (p *Program) DeclareBarrier(name string, n int) { p.Barriers[name] = n }
+
+// DeclareMutex declares a named mutex.
+func (p *Program) DeclareMutex(name string) { p.Mutexes = append(p.Mutexes, name) }
+
+// DeclareStatic declares a named global array of size cells.
+func (p *Program) DeclareStatic(name string, size int64) {
+	p.Statics = append(p.Statics, StaticDef{Name: name, Size: size})
+}
+
+// NewLoopID hands out a fresh static loop id.
+func (p *Program) NewLoopID() LoopID {
+	p.nextLoop++
+	return p.nextLoop
+}
+
+// NumLoops returns the number of static loops allocated so far.
+func (p *Program) NumLoops() int { return int(p.nextLoop) }
+
+// walkStmts visits every statement in a list, recursing into bodies.
+func walkStmts(list []Stmt, fn func(Stmt)) {
+	for _, s := range list {
+		fn(s)
+		switch s := s.(type) {
+		case *ForStmt:
+			walkStmts(s.Body, fn)
+		case *WhileStmt:
+			walkStmts(s.Body, fn)
+		case *IfStmt:
+			walkStmts(s.Then, fn)
+			walkStmts(s.Else, fn)
+		}
+	}
+}
+
+// walkExprs visits every expression reachable from a statement.
+func walkExprs(s Stmt, fn func(Expr)) {
+	var ex func(Expr)
+	ex = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch e := e.(type) {
+		case *BinExpr:
+			ex(e.X)
+			ex(e.Y)
+		case *UnExpr:
+			ex(e.X)
+		case *LoadExpr:
+			ex(e.Addr)
+		case *CallExpr:
+			for _, a := range e.Args {
+				ex(a)
+			}
+		case *AllocExpr:
+			ex(e.Count)
+		}
+	}
+	switch s := s.(type) {
+	case *AssignStmt:
+		ex(s.X)
+	case *StoreStmt:
+		ex(s.Addr)
+		ex(s.Val)
+	case *ForStmt:
+		ex(s.From)
+		ex(s.To)
+		ex(s.Step)
+	case *WhileStmt:
+		ex(s.Cond)
+	case *IfStmt:
+		ex(s.Cond)
+	case *CallStmt:
+		ex(s.Call)
+	case *ReturnStmt:
+		ex(s.X)
+	case *SpawnStmt:
+		for _, a := range s.Args {
+			ex(a)
+		}
+	case *JoinStmt:
+		ex(s.X)
+	}
+}
+
+// Loops returns the static loops of the program keyed by id, with the
+// function each belongs to.
+func (p *Program) Loops() map[LoopID]string {
+	loops := map[LoopID]string{}
+	for name, f := range p.Funcs {
+		walkStmts(f.Body, func(s Stmt) {
+			switch s := s.(type) {
+			case *ForStmt:
+				loops[s.Loop] = name
+			case *WhileStmt:
+				loops[s.Loop] = name
+			}
+		})
+	}
+	return loops
+}
+
+// StaticDef declares a named global array of the given size, allocated at
+// machine start in declaration order. Benchmarks use statics for their
+// input/output buffers so tests can inspect results.
+type StaticDef struct {
+	Name string
+	Size int64
+}
+
+// StaticExpr yields the base address of a declared static array. It is an
+// address leaf and creates no node.
+type StaticExpr struct {
+	posHolder
+	Name string
+}
+
+func (*StaticExpr) expr() {}

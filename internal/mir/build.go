@@ -1,0 +1,213 @@
+package mir
+
+// This file provides the construction API used by benchmark kernels and
+// examples. Expression constructors are free functions (C, F, V, Add, ...);
+// statements are appended through a Block builder that tracks nesting.
+
+// C builds an integer constant expression.
+func C(i int64) Expr { return &ConstExpr{V: IntV(i)} }
+
+// F builds a floating-point constant expression.
+func F(f float64) Expr { return &ConstExpr{V: FloatV(f)} }
+
+// V reads a local variable.
+func V(name string) Expr { return &VarExpr{Name: name} }
+
+// Bin builds a binary operation expression.
+func Bin(op Op, x, y Expr) Expr { return &BinExpr{Op: op, X: x, Y: y} }
+
+// Un builds a unary operation expression.
+func Un(op Op, x Expr) Expr { return &UnExpr{Op: op, X: x} }
+
+// Arithmetic and logic shorthands.
+
+// Add builds an integer addition.
+func Add(x, y Expr) Expr { return Bin(OpAdd, x, y) }
+
+// Sub builds an integer subtraction.
+func Sub(x, y Expr) Expr { return Bin(OpSub, x, y) }
+
+// Mul builds an integer multiplication.
+func Mul(x, y Expr) Expr { return Bin(OpMul, x, y) }
+
+// Div builds an integer division.
+func Div(x, y Expr) Expr { return Bin(OpDiv, x, y) }
+
+// Mod builds an integer remainder.
+func Mod(x, y Expr) Expr { return Bin(OpMod, x, y) }
+
+// FAdd builds a floating-point addition.
+func FAdd(x, y Expr) Expr { return Bin(OpFAdd, x, y) }
+
+// FSub builds a floating-point subtraction.
+func FSub(x, y Expr) Expr { return Bin(OpFSub, x, y) }
+
+// FMul builds a floating-point multiplication.
+func FMul(x, y Expr) Expr { return Bin(OpFMul, x, y) }
+
+// FDiv builds a floating-point division.
+func FDiv(x, y Expr) Expr { return Bin(OpFDiv, x, y) }
+
+// And builds a bitwise and.
+func And(x, y Expr) Expr { return Bin(OpAnd, x, y) }
+
+// Or builds a bitwise or.
+func Or(x, y Expr) Expr { return Bin(OpOr, x, y) }
+
+// Xor builds a bitwise xor.
+func Xor(x, y Expr) Expr { return Bin(OpXor, x, y) }
+
+// Shl builds a 32-bit left shift.
+func Shl(x, y Expr) Expr { return Bin(OpShl, x, y) }
+
+// Shr builds a 32-bit logical right shift.
+func Shr(x, y Expr) Expr { return Bin(OpShr, x, y) }
+
+// Rotl builds a 32-bit left rotation.
+func Rotl(x, y Expr) Expr { return Bin(OpRotl, x, y) }
+
+// Comparison shorthands.
+
+// Eq builds an equality comparison.
+func Eq(x, y Expr) Expr { return Bin(OpEq, x, y) }
+
+// Ne builds an inequality comparison.
+func Ne(x, y Expr) Expr { return Bin(OpNe, x, y) }
+
+// Lt builds a less-than comparison.
+func Lt(x, y Expr) Expr { return Bin(OpLt, x, y) }
+
+// Le builds a less-or-equal comparison.
+func Le(x, y Expr) Expr { return Bin(OpLe, x, y) }
+
+// Gt builds a greater-than comparison.
+func Gt(x, y Expr) Expr { return Bin(OpGt, x, y) }
+
+// Ge builds a greater-or-equal comparison.
+func Ge(x, y Expr) Expr { return Bin(OpGe, x, y) }
+
+// Sqrt builds a square root.
+func Sqrt(x Expr) Expr { return Un(OpSqrt, x) }
+
+// I2F converts an integer to a float.
+func I2F(x Expr) Expr { return Un(OpI2F, x) }
+
+// F2I converts a float to an integer (truncating).
+func F2I(x Expr) Expr { return Un(OpF2I, x) }
+
+// Idx builds an address computation base + offset. Its class is ClassAddr,
+// so it is removed by DDG simplification.
+func Idx(base, offset Expr) Expr { return Bin(OpIndex, base, offset) }
+
+// At builds the common addressing idiom base + i*scale as index(base,
+// mul(i, scale)); both operations are ClassAddr-reachable and removed by
+// simplification when used only for addressing. When scale is 1 the
+// multiplication is omitted.
+func At(base Expr, i Expr, scale int64) Expr {
+	if scale == 1 {
+		return Idx(base, i)
+	}
+	return Idx(base, Mul(i, C(scale)))
+}
+
+// G yields the base address of a declared static (global) array.
+func G(name string) Expr { return &StaticExpr{Name: name} }
+
+// Load reads heap memory at the given address.
+func Load(addr Expr) Expr { return &LoadExpr{Addr: addr} }
+
+// Call builds a call expression.
+func Call(fn string, args ...Expr) Expr { return &CallExpr{Fn: fn, Args: args} }
+
+// Alloc reserves count heap cells and yields the base address.
+func Alloc(count Expr) Expr { return &AllocExpr{Count: count} }
+
+// Block builds a statement list. It is the receiver for all statement
+// constructors; nested blocks (loop and branch bodies) are built through
+// callbacks, which keeps kernel definitions structurally identical to the
+// C sources they mirror.
+type Block struct {
+	prog  *Program
+	stmts []Stmt
+}
+
+// NewFunc starts building a function in the program, returning the function
+// and its body block. The caller must Finish the block.
+func (p *Program) NewFunc(name, file string, params ...string) (*Func, *Block) {
+	f := &Func{Name: name, Params: params, File: file}
+	p.AddFunc(f)
+	return f, &Block{prog: p}
+}
+
+// Finish installs the built statements into the function body.
+func (b *Block) Finish(f *Func) { f.Body = b.stmts }
+
+func (b *Block) add(s Stmt) { b.stmts = append(b.stmts, s) }
+
+// Assign appends var = x.
+func (b *Block) Assign(name string, x Expr) { b.add(&AssignStmt{Var: name, X: x}) }
+
+// Store appends mem[addr] = val.
+func (b *Block) Store(addr, val Expr) { b.add(&StoreStmt{Addr: addr, Val: val}) }
+
+// For appends a counted loop for v = from; v < to; v += step and builds its
+// body through the callback. It returns the loop's static id.
+func (b *Block) For(v string, from, to, step Expr, body func(*Block)) LoopID {
+	id := b.prog.NewLoopID()
+	inner := &Block{prog: b.prog}
+	body(inner)
+	b.add(&ForStmt{Loop: id, Var: v, From: from, To: to, Step: step, Body: inner.stmts})
+	return id
+}
+
+// While appends a condition-controlled loop.
+func (b *Block) While(cond Expr, body func(*Block)) LoopID {
+	id := b.prog.NewLoopID()
+	inner := &Block{prog: b.prog}
+	body(inner)
+	b.add(&WhileStmt{Loop: id, Cond: cond, Body: inner.stmts})
+	return id
+}
+
+// If appends a conditional with only a then branch.
+func (b *Block) If(cond Expr, then func(*Block)) {
+	b.IfElse(cond, then, nil)
+}
+
+// IfElse appends a conditional with then and else branches.
+func (b *Block) IfElse(cond Expr, then, els func(*Block)) {
+	t := &Block{prog: b.prog}
+	then(t)
+	var es []Stmt
+	if els != nil {
+		e := &Block{prog: b.prog}
+		els(e)
+		es = e.stmts
+	}
+	b.add(&IfStmt{Cond: cond, Then: t.stmts, Else: es})
+}
+
+// CallStmt appends a call for effect.
+func (b *Block) CallStmt(fn string, args ...Expr) {
+	b.add(&CallStmt{Call: &CallExpr{Fn: fn, Args: args}})
+}
+
+// Return appends a return statement; x may be nil.
+func (b *Block) Return(x Expr) { b.add(&ReturnStmt{X: x}) }
+
+// Spawn appends a thread creation storing the handle in v.
+func (b *Block) Spawn(v, fn string, args ...Expr) {
+	b.add(&SpawnStmt{Var: v, Fn: fn, Args: args})
+}
+
+// Join appends a thread join on the handle expression.
+func (b *Block) Join(x Expr) { b.add(&JoinStmt{X: x}) }
+
+// Barrier appends a wait on the named barrier.
+func (b *Block) Barrier(name string) { b.add(&BarrierStmt{Name: name}) }
+
+// Lock appends an acquisition of the named mutex.
+func (b *Block) Lock(name string) { b.add(&LockStmt{Name: name}) }
+
+// Unlock appends a release of the named mutex.
+func (b *Block) Unlock(name string) { b.add(&UnlockStmt{Name: name}) }

@@ -1,0 +1,212 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSumProgram builds the canonical sequential reduction:
+//
+//	sum = 0; for i in [0,n): sum += mem[a+i]
+func buildSumProgram(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram("sum")
+	f, b := p.NewFunc("main", "sum.c")
+	b.Assign("a", Alloc(C(8)))
+	b.For("i", C(0), C(8), C(1), func(b *Block) {
+		b.Store(Idx(V("a"), V("i")), I2F(V("i")))
+	})
+	b.Assign("sum", F(0))
+	b.For("i", C(0), C(8), C(1), func(b *Block) {
+		b.Assign("sum", FAdd(V("sum"), Load(Idx(V("a"), V("i")))))
+	})
+	b.Return(V("sum"))
+	b.Finish(f)
+	return p
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildSumProgram(t)
+	if errs := p.Validate(); len(errs) > 0 {
+		t.Fatalf("validate: %v", errs)
+	}
+	if p.Entry != "main" {
+		t.Errorf("entry = %q, want main", p.Entry)
+	}
+	if n := p.NumLoops(); n != 2 {
+		t.Errorf("NumLoops = %d, want 2", n)
+	}
+}
+
+func TestLayoutAssignsPositions(t *testing.T) {
+	p := buildSumProgram(t)
+	p.Layout()
+	var missing int
+	for _, f := range p.Funcs {
+		walkStmts(f.Body, func(s Stmt) {
+			if !s.Position().Valid() {
+				missing++
+			}
+			walkExprs(s, func(e Expr) {
+				if !e.Position().Valid() {
+					missing++
+				}
+			})
+		})
+	}
+	if missing > 0 {
+		t.Errorf("%d statements/expressions without positions after Layout", missing)
+	}
+	lines := p.Listing("sum.c")
+	if len(lines) == 0 {
+		t.Fatal("empty listing")
+	}
+	text := strings.Join(lines, "\n")
+	for _, want := range []string{"func main()", "for (i = 0; i < 8; i += 1)", "sum = (sum + mem[&a[i]]);"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLayoutIdempotent(t *testing.T) {
+	p := buildSumProgram(t)
+	p.Layout()
+	first := p.String()
+	p.Layout()
+	if second := p.String(); first != second {
+		t.Error("Layout is not idempotent")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Program
+		want  string
+	}{
+		{"missing entry", func() *Program { return NewProgram("x") }, "no entry"},
+		{"entry with params", func() *Program {
+			p := NewProgram("x")
+			f, b := p.NewFunc("main", "x.c", "arg")
+			b.Finish(f)
+			return p
+		}, "no parameters"},
+		{"undefined call", func() *Program {
+			p := NewProgram("x")
+			f, b := p.NewFunc("main", "x.c")
+			b.Assign("v", Call("nope"))
+			b.Finish(f)
+			return p
+		}, "not defined"},
+		{"call arity", func() *Program {
+			p := NewProgram("x")
+			g, gb := p.NewFunc("g", "x.c", "a", "b")
+			gb.Return(V("a"))
+			gb.Finish(g)
+			f, b := p.NewFunc("main", "x.c")
+			b.Assign("v", Call("g", C(1)))
+			b.Finish(f)
+			p.SetEntry("main")
+			return p
+		}, "needs 2"},
+		{"undeclared barrier", func() *Program {
+			p := NewProgram("x")
+			f, b := p.NewFunc("main", "x.c")
+			b.Barrier("bar")
+			b.Finish(f)
+			return p
+		}, "not declared"},
+		{"undeclared mutex", func() *Program {
+			p := NewProgram("x")
+			f, b := p.NewFunc("main", "x.c")
+			b.Lock("mu")
+			b.Finish(f)
+			return p
+		}, "not declared"},
+		{"spawn undefined", func() *Program {
+			p := NewProgram("x")
+			f, b := p.NewFunc("main", "x.c")
+			b.Spawn("t", "worker")
+			b.Finish(f)
+			return p
+		}, "not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := c.build().Validate()
+			if len(errs) == 0 {
+				t.Fatal("expected validation errors, got none")
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error containing %q in %v", c.want, errs)
+			}
+		})
+	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValidate did not panic on invalid program")
+		}
+	}()
+	NewProgram("broken").MustValidate()
+}
+
+func TestLoopsMap(t *testing.T) {
+	p := buildSumProgram(t)
+	loops := p.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("Loops() returned %d entries, want 2", len(loops))
+	}
+	for id, fn := range loops {
+		if fn != "main" {
+			t.Errorf("loop %d attributed to %q, want main", id, fn)
+		}
+	}
+}
+
+func TestAtHelper(t *testing.T) {
+	// Scale 1 omits the multiplication node.
+	e := At(V("base"), V("i"), 1)
+	bin, ok := e.(*BinExpr)
+	if !ok || bin.Op != OpIndex {
+		t.Fatalf("At scale=1 should be a bare index, got %T", e)
+	}
+	if _, isVar := bin.Y.(*VarExpr); !isVar {
+		t.Error("At scale=1 should not introduce a multiplication")
+	}
+	e = At(V("base"), V("i"), 4)
+	bin = e.(*BinExpr)
+	if inner, ok := bin.Y.(*BinExpr); !ok || inner.Op != OpMul {
+		t.Error("At scale=4 should multiply the index")
+	}
+}
+
+func TestProgramStringIncludesAllFiles(t *testing.T) {
+	p := NewProgram("two")
+	f1, b1 := p.NewFunc("main", "a.c")
+	b1.Assign("x", Call("helper", C(1)))
+	b1.Finish(f1)
+	f2, b2 := p.NewFunc("helper", "b.c", "v")
+	b2.Return(Add(V("v"), C(1)))
+	b2.Finish(f2)
+	p.SetEntry("main")
+	if errs := p.Validate(); len(errs) > 0 {
+		t.Fatalf("validate: %v", errs)
+	}
+	s := p.String()
+	if !strings.Contains(s, "// a.c") || !strings.Contains(s, "// b.c") {
+		t.Errorf("String() missing file headers:\n%s", s)
+	}
+	if files := p.Files(); len(files) != 2 || files[0] != "a.c" || files[1] != "b.c" {
+		t.Errorf("Files() = %v", files)
+	}
+}

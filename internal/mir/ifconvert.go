@@ -1,0 +1,151 @@
+package mir
+
+// If-conversion (Allen et al. [1], as suggested by paper §8): patterns
+// expressed as conditional data transfers — swaps and min/max updates —
+// are invisible to a dataflow-based analysis, because the branch moves
+// values without computing them. Converting the control dependence into a
+// data dependence materializes a value-producing operation that the
+// pattern matchers can see.
+//
+// IfConvert recognizes the min/max update idioms
+//
+//	if (a < b) { x = a } [else { x = b }]     =>  x = min(a, b)
+//	if (a > b) { x = a } [else { x = b }]     =>  x = max(a, b)
+//	if (e < x) { x = e }                      =>  x = min(e, x)
+//	if (e > x) { x = e }                      =>  x = max(e, x)
+//
+// (and the float variants) and rewrites them in place. The pass is
+// conservative: only conditionals whose branches consist of a single
+// assignment to the same variable are touched, and only when the
+// assigned expressions are variable reads matching the comparison
+// operands, so the rewrite is always semantics-preserving. Returns the
+// number of conversions performed.
+func (p *Program) IfConvert() int {
+	total := 0
+	for _, f := range p.Funcs {
+		total += ifConvertStmts(f.Body)
+	}
+	if total > 0 {
+		// Positions change meaning after rewriting; force a fresh layout.
+		p.laidOut = false
+		p.listing = nil
+	}
+	return total
+}
+
+// QuasiPatternSites returns the source positions of conditionals that
+// IfConvert would rewrite, without mutating the program — the paper's §9
+// "quasi-patterns (which might be converted into patterns by simple
+// transformations)", reported as advice to the programmer.
+func (p *Program) QuasiPatternSites() []Pos {
+	p.Layout()
+	var sites []Pos
+	var scan func(list []Stmt)
+	scan = func(list []Stmt) {
+		for _, s := range list {
+			switch s := s.(type) {
+			case *ForStmt:
+				scan(s.Body)
+			case *WhileStmt:
+				scan(s.Body)
+			case *IfStmt:
+				if convertMinMax(s) != nil {
+					sites = append(sites, s.Position())
+					continue
+				}
+				scan(s.Then)
+				scan(s.Else)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		scan(f.Body)
+	}
+	return sites
+}
+
+func ifConvertStmts(list []Stmt) int {
+	n := 0
+	for i, s := range list {
+		switch s := s.(type) {
+		case *ForStmt:
+			n += ifConvertStmts(s.Body)
+		case *WhileStmt:
+			n += ifConvertStmts(s.Body)
+		case *IfStmt:
+			if conv := convertMinMax(s); conv != nil {
+				list[i] = conv
+				n++
+				continue
+			}
+			n += ifConvertStmts(s.Then)
+			n += ifConvertStmts(s.Else)
+		}
+	}
+	return n
+}
+
+// convertMinMax returns the replacement assignment for a min/max idiom
+// conditional, or nil.
+func convertMinMax(s *IfStmt) *AssignStmt {
+	cmp, ok := s.Cond.(*BinExpr)
+	if !ok {
+		return nil
+	}
+	var takeSmaller bool
+	switch cmp.Op {
+	case OpLt, OpLe:
+		takeSmaller = true
+	case OpGt, OpGe:
+		takeSmaller = false
+	default:
+		return nil
+	}
+	a, aok := cmp.X.(*VarExpr)
+	b, bok := cmp.Y.(*VarExpr)
+	if !aok || !bok {
+		return nil
+	}
+	thenAsn := singleAssign(s.Then)
+	if thenAsn == nil {
+		return nil
+	}
+	thenSrc, ok := thenAsn.X.(*VarExpr)
+	if !ok || thenSrc.Name != a.Name {
+		return nil // the taken branch must keep the comparison's left side
+	}
+	x := thenAsn.Var
+	if len(s.Else) == 0 {
+		// if (a < x) { x = a }  =>  x = min(a, x)
+		if b.Name != x {
+			return nil
+		}
+	} else {
+		// if (a < b) { x = a } else { x = b }  =>  x = min(a, b)
+		elseAsn := singleAssign(s.Else)
+		if elseAsn == nil || elseAsn.Var != x {
+			return nil
+		}
+		elseSrc, ok := elseAsn.X.(*VarExpr)
+		if !ok || elseSrc.Name != b.Name {
+			return nil
+		}
+	}
+	op := OpFMin
+	if !takeSmaller {
+		op = OpFMax
+	}
+	return &AssignStmt{Var: x, X: Bin(op, V(a.Name), V(b.Name))}
+}
+
+// singleAssign returns the sole assignment of a one-statement block.
+func singleAssign(block []Stmt) *AssignStmt {
+	if len(block) != 1 {
+		return nil
+	}
+	asn, ok := block[0].(*AssignStmt)
+	if !ok {
+		return nil
+	}
+	return asn
+}

@@ -1,0 +1,142 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+// minLoopProgram builds the §8 limitation shape: a running-minimum loop
+// expressed as a conditional data transfer.
+func minLoopProgram(n int64) *Program {
+	p := NewProgram("minloop")
+	p.DeclareStatic("data", n)
+	p.DeclareStatic("result", 1)
+	f, b := p.NewFunc("main", "minloop.c")
+	b.For("i", C(0), C(n), C(1), func(b *Block) {
+		b.Store(Idx(G("data"), V("i")),
+			FDiv(I2F(Mod(Mul(V("i"), C(53)), C(17))), F(17)))
+	})
+	b.Assign("best", F(1e30))
+	b.For("i", C(0), C(n), C(1), func(b *Block) {
+		b.Assign("x", Load(Idx(G("data"), V("i"))))
+		b.If(Lt(V("x"), V("best")), func(b *Block) {
+			b.Assign("best", V("x"))
+		})
+	})
+	b.Store(Idx(G("result"), C(0)), FMul(V("best"), F(2)))
+	b.Finish(f)
+	return p
+}
+
+func TestIfConvertMinUpdateIdiom(t *testing.T) {
+	p := minLoopProgram(8)
+	if n := p.IfConvert(); n != 1 {
+		t.Fatalf("converted %d conditionals, want 1", n)
+	}
+	// The conditional is gone; an fmin assignment replaced it.
+	text := p.String()
+	if !strings.Contains(text, "fmin(x, best)") {
+		t.Errorf("converted assignment missing:\n%s", text)
+	}
+	if strings.Contains(text, "if (") {
+		t.Errorf("conditional survived:\n%s", text)
+	}
+	if errs := p.Validate(); len(errs) > 0 {
+		t.Errorf("converted program invalid: %v", errs)
+	}
+}
+
+func TestIfConvertTwoSidedIdioms(t *testing.T) {
+	build := func(cmpOp Op, thenVar, elseVar string) *Program {
+		p := NewProgram("mm")
+		f, b := p.NewFunc("main", "mm.c")
+		b.Assign("a", F(1))
+		b.Assign("b", F(2))
+		b.IfElse(Bin(cmpOp, V("a"), V("b")),
+			func(b *Block) { b.Assign("x", V(thenVar)) },
+			func(b *Block) { b.Assign("x", V(elseVar)) })
+		b.Return(V("x"))
+		b.Finish(f)
+		return p
+	}
+	// if (a < b) x=a else x=b  => fmin
+	p := build(OpLt, "a", "b")
+	if p.IfConvert() != 1 || !strings.Contains(p.String(), "fmin(a, b)") {
+		t.Errorf("two-sided min not converted:\n%s", p.String())
+	}
+	// if (a > b) x=a else x=b  => fmax
+	p = build(OpGt, "a", "b")
+	if p.IfConvert() != 1 || !strings.Contains(p.String(), "fmax(a, b)") {
+		t.Errorf("two-sided max not converted:\n%s", p.String())
+	}
+	// Mismatched branch sources must not convert.
+	p = build(OpLt, "b", "a")
+	if p.IfConvert() != 0 {
+		t.Error("swapped-branch conditional wrongly converted")
+	}
+}
+
+func TestIfConvertLeavesGeneralConditionals(t *testing.T) {
+	p := NewProgram("general")
+	p.DeclareStatic("out", 4)
+	f, b := p.NewFunc("main", "g.c")
+	b.Assign("x", F(1))
+	// Condition on a computed expression: not the idiom.
+	b.If(Lt(FMul(V("x"), F(2)), F(3)), func(b *Block) {
+		b.Assign("y", V("x"))
+	})
+	// Branch with a store: not the idiom.
+	b.If(Lt(V("x"), V("x")), func(b *Block) {
+		b.Store(Idx(G("out"), C(0)), V("x"))
+	})
+	// Multi-statement branch: not the idiom.
+	b.IfElse(Lt(V("x"), V("x")),
+		func(b *Block) { b.Assign("y", V("x")); b.Assign("z", V("x")) },
+		func(b *Block) { b.Assign("y", V("x")) })
+	b.Finish(f)
+	if n := p.IfConvert(); n != 0 {
+		t.Errorf("converted %d general conditionals", n)
+	}
+}
+
+func TestIfConvertNested(t *testing.T) {
+	p := NewProgram("nested")
+	f, b := p.NewFunc("main", "n.c")
+	b.Assign("best", F(100))
+	b.For("i", C(0), C(4), C(1), func(b *Block) {
+		b.For("j", C(0), C(4), C(1), func(b *Block) {
+			b.Assign("v", I2F(Add(V("i"), V("j"))))
+			b.If(Gt(V("v"), V("best")), func(b *Block) {
+				b.Assign("best", V("v"))
+			})
+		})
+	})
+	b.Return(V("best"))
+	b.Finish(f)
+	if n := p.IfConvert(); n != 1 {
+		t.Errorf("nested conversion count = %d", n)
+	}
+	if !strings.Contains(p.String(), "fmax(v, best)") {
+		t.Errorf("nested max not converted:\n%s", p.String())
+	}
+}
+
+func TestQuasiPatternSites(t *testing.T) {
+	p := minLoopProgram(8)
+	sites := p.QuasiPatternSites()
+	if len(sites) != 1 {
+		t.Fatalf("quasi-pattern sites = %d, want 1", len(sites))
+	}
+	if sites[0].File != "minloop.c" || sites[0].Line == 0 {
+		t.Errorf("site = %+v", sites[0])
+	}
+	// Advisory only: the program is unchanged.
+	if !strings.Contains(p.String(), "if (") {
+		t.Error("QuasiPatternSites mutated the program")
+	}
+	// After conversion, no sites remain.
+	p.IfConvert()
+	if len(p.QuasiPatternSites()) != 0 {
+		t.Error("sites remain after conversion")
+	}
+}

@@ -1,0 +1,206 @@
+// Package mir defines a small typed compiler intermediate representation
+// (IR) used as the substrate for dynamic dataflow tracing.
+//
+// The paper instruments LLVM IR with DataFlowSanitizer; this package plays
+// the role of that IR. Programs are structured (functions, loops,
+// conditionals) rather than basic-block based, which keeps benchmark
+// kernels readable while still exposing one node per executed operation to
+// the tracer. Every value-producing operation carries a source position so
+// that found patterns can be reported against a source listing, exactly as
+// the paper's HTML reports do.
+package mir
+
+import "fmt"
+
+// Op identifies an IR operation. The set mirrors the LLVM operations that
+// appear in the paper's dynamic dataflow graphs: integer and floating-point
+// arithmetic, bitwise logic, comparisons, conversions, and explicit address
+// computations (the analogue of LLVM's getelementptr).
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer arithmetic.
+	OpAdd // add
+	OpSub // sub
+	OpMul // mul
+	OpDiv // sdiv
+	OpMod // srem
+
+	// Floating-point arithmetic.
+	OpFAdd // fadd
+	OpFSub // fsub
+	OpFMul // fmul
+	OpFDiv // fdiv
+
+	// Bitwise logic and shifts (32-bit semantics, as used by md5).
+	OpAnd  // and
+	OpOr   // or
+	OpXor  // xor
+	OpShl  // shl
+	OpShr  // lshr
+	OpRotl // rotl (fused shift pair, kept primitive for md5 clarity)
+
+	// Min/max selections. These are value-producing selections rather than
+	// conditional control flow, so they are traceable (see paper §8 on the
+	// swap/min/max limitation of branch-based implementations).
+	OpMin  // smin
+	OpMax  // smax
+	OpFMin // fmin
+	OpFMax // fmax
+
+	// Comparisons. Comparison results feed either conditional control flow
+	// (not represented in the DDG) or selections.
+	OpEq // icmp eq / fcmp oeq
+	OpNe // icmp ne
+	OpLt // icmp slt / fcmp olt
+	OpLe // icmp sle
+	OpGt // icmp sgt
+	OpGe // icmp sge
+
+	// Unary operations.
+	OpNeg   // neg
+	OpFNeg  // fneg
+	OpNot   // not (logical)
+	OpSqrt  // call @llvm.sqrt
+	OpFloor // call @llvm.floor
+	OpI2F   // sitofp
+	OpF2I   // fptosi
+
+	// Address computation: base + index*scale. The analogue of
+	// getelementptr; tagged ClassAddr so DDG simplification removes it.
+	OpIndex // index
+
+	opCount
+)
+
+// Class partitions operations into the categories that matter to DDG
+// simplification: plain computation, comparisons, conversions, and address
+// arithmetic (which simplification removes, per paper §5).
+type Class uint8
+
+const (
+	ClassArith Class = iota // value computation
+	ClassCmp                // comparison
+	ClassConv               // type conversion
+	ClassAddr               // memory address calculation
+)
+
+type opInfo struct {
+	name   string
+	class  Class
+	arity  int
+	assoc  bool // operator is associative (paper constraint 3b registry)
+	float  bool // operates on floats
+	result rkind
+}
+
+type rkind uint8
+
+const (
+	rSame  rkind = iota // result kind follows operands
+	rInt                // result is integer
+	rFloat              // result is float
+)
+
+var opTable = [opCount]opInfo{
+	OpAdd:   {"add", ClassArith, 2, true, false, rInt},
+	OpSub:   {"sub", ClassArith, 2, false, false, rInt},
+	OpMul:   {"mul", ClassArith, 2, true, false, rInt},
+	OpDiv:   {"sdiv", ClassArith, 2, false, false, rInt},
+	OpMod:   {"srem", ClassArith, 2, false, false, rInt},
+	OpFAdd:  {"fadd", ClassArith, 2, true, true, rFloat},
+	OpFSub:  {"fsub", ClassArith, 2, false, true, rFloat},
+	OpFMul:  {"fmul", ClassArith, 2, true, true, rFloat},
+	OpFDiv:  {"fdiv", ClassArith, 2, false, true, rFloat},
+	OpAnd:   {"and", ClassArith, 2, true, false, rInt},
+	OpOr:    {"or", ClassArith, 2, true, false, rInt},
+	OpXor:   {"xor", ClassArith, 2, true, false, rInt},
+	OpShl:   {"shl", ClassArith, 2, false, false, rInt},
+	OpShr:   {"lshr", ClassArith, 2, false, false, rInt},
+	OpRotl:  {"rotl", ClassArith, 2, false, false, rInt},
+	OpMin:   {"smin", ClassArith, 2, true, false, rInt},
+	OpMax:   {"smax", ClassArith, 2, true, false, rInt},
+	OpFMin:  {"fmin", ClassArith, 2, true, true, rFloat},
+	OpFMax:  {"fmax", ClassArith, 2, true, true, rFloat},
+	OpEq:    {"cmpeq", ClassCmp, 2, false, false, rInt},
+	OpNe:    {"cmpne", ClassCmp, 2, false, false, rInt},
+	OpLt:    {"cmplt", ClassCmp, 2, false, false, rInt},
+	OpLe:    {"cmple", ClassCmp, 2, false, false, rInt},
+	OpGt:    {"cmpgt", ClassCmp, 2, false, false, rInt},
+	OpGe:    {"cmpge", ClassCmp, 2, false, false, rInt},
+	OpNeg:   {"neg", ClassArith, 1, false, false, rInt},
+	OpFNeg:  {"fneg", ClassArith, 1, false, true, rFloat},
+	OpNot:   {"not", ClassArith, 1, false, false, rInt},
+	OpSqrt:  {"sqrt", ClassArith, 1, false, true, rFloat},
+	OpFloor: {"floor", ClassArith, 1, false, true, rFloat},
+	OpI2F:   {"sitofp", ClassConv, 1, false, false, rFloat},
+	OpF2I:   {"fptosi", ClassConv, 1, false, true, rInt},
+	OpIndex: {"index", ClassAddr, 2, false, false, rInt},
+}
+
+// String returns the IR mnemonic of the operation.
+func (op Op) String() string {
+	if op == OpInvalid || op >= opCount {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class reports the operation's simplification category.
+func (op Op) Class() Class {
+	return opTable[op].class
+}
+
+// Arity reports the number of operands.
+func (op Op) Arity() int {
+	return opTable[op].arity
+}
+
+// Associative reports whether the operation is in the associative-operator
+// registry used to under-approximate constraint (3b) of the paper. Note
+// that floating-point addition and multiplication are treated as
+// associative, exactly as reduction-parallelizing tools (and the paper's
+// evaluation) do.
+func (op Op) Associative() bool {
+	return opTable[op].assoc
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool {
+	return op > OpInvalid && op < opCount
+}
+
+// Ops returns all defined operations, in declaration order.
+func Ops() []Op {
+	all := make([]Op, 0, int(opCount)-1)
+	for op := OpAdd; op < opCount; op++ {
+		all = append(all, op)
+	}
+	return all
+}
+
+// OpByName resolves an IR mnemonic back to its Op, or OpInvalid.
+func OpByName(name string) Op {
+	for op := OpAdd; op < opCount; op++ {
+		if opTable[op].name == name {
+			return op
+		}
+	}
+	return OpInvalid
+}
+
+func (c Class) String() string {
+	switch c {
+	case ClassArith:
+		return "arith"
+	case ClassCmp:
+		return "cmp"
+	case ClassConv:
+		return "conv"
+	case ClassAddr:
+		return "addr"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}

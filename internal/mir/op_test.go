@@ -1,0 +1,69 @@
+package mir
+
+import "testing"
+
+func TestOpTableComplete(t *testing.T) {
+	for _, op := range Ops() {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if a := op.Arity(); a != 1 && a != 2 {
+			t.Errorf("op %v has arity %d", op, a)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for _, op := range Ops() {
+		if got := OpByName(op.String()); got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if got := OpByName("no-such-op"); got != OpInvalid {
+		t.Errorf("OpByName(no-such-op) = %v, want OpInvalid", got)
+	}
+}
+
+func TestAssociativeRegistry(t *testing.T) {
+	assoc := []Op{OpAdd, OpMul, OpFAdd, OpFMul, OpAnd, OpOr, OpXor, OpMin, OpMax, OpFMin, OpFMax}
+	nonAssoc := []Op{OpSub, OpDiv, OpMod, OpFSub, OpFDiv, OpShl, OpShr, OpRotl, OpEq, OpLt, OpIndex, OpNeg, OpSqrt}
+	for _, op := range assoc {
+		if !op.Associative() {
+			t.Errorf("%v should be associative", op)
+		}
+	}
+	for _, op := range nonAssoc {
+		if op.Associative() {
+			t.Errorf("%v should not be associative", op)
+		}
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := map[Op]Class{
+		OpAdd:   ClassArith,
+		OpFMul:  ClassArith,
+		OpEq:    ClassCmp,
+		OpGe:    ClassCmp,
+		OpI2F:   ClassConv,
+		OpF2I:   ClassConv,
+		OpIndex: ClassAddr,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestInvalidOp(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid reported valid")
+	}
+	if Op(200).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op has empty string")
+	}
+}

@@ -1,0 +1,218 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layout pretty-prints the program into per-file source listings and
+// assigns every statement and expression its position in that listing.
+// Reports produced by the pattern finder point into these listings, which
+// is the analogue of the paper's reports pointing into the original C
+// sources. Layout is idempotent.
+func (p *Program) Layout() {
+	if p.laidOut {
+		return
+	}
+	p.listing = map[string][]string{}
+
+	files := map[string][]*Func{}
+	for _, f := range p.Funcs {
+		files[f.File] = append(files[f.File], f)
+	}
+	names := make([]string, 0, len(files))
+	for file := range files {
+		names = append(names, file)
+	}
+	sort.Strings(names)
+
+	for _, file := range names {
+		funcs := files[file]
+		sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+		var lines []string
+		emit := func(depth int, text string) int {
+			lines = append(lines, strings.Repeat("    ", depth)+text)
+			return len(lines) // 1-based line number
+		}
+		for _, f := range funcs {
+			if len(lines) > 0 {
+				emit(0, "")
+			}
+			emit(0, fmt.Sprintf("func %s(%s) {", f.Name, strings.Join(f.Params, ", ")))
+			layoutStmts(f.Body, 1, file, emit)
+			emit(0, "}")
+		}
+		p.listing[file] = lines
+	}
+	p.laidOut = true
+}
+
+// Listing returns the pretty-printed lines of a source file. Layout must
+// have been called (it is called by String and by the tracer).
+func (p *Program) Listing(file string) []string {
+	p.Layout()
+	return p.listing[file]
+}
+
+// Files returns the program's translation units in sorted order.
+func (p *Program) Files() []string {
+	p.Layout()
+	names := make([]string, 0, len(p.listing))
+	for f := range p.listing {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the whole program as source text.
+func (p *Program) String() string {
+	p.Layout()
+	var sb strings.Builder
+	for _, file := range p.Files() {
+		fmt.Fprintf(&sb, "// %s\n", file)
+		for _, l := range p.listing[file] {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func layoutStmts(list []Stmt, depth int, file string, emit func(int, string) int) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *AssignStmt:
+			line := emit(depth, fmt.Sprintf("%s = %s;", s.Var, exprString(s.X)))
+			placeStmt(s, file, line)
+		case *StoreStmt:
+			line := emit(depth, fmt.Sprintf("mem[%s] = %s;", exprString(s.Addr), exprString(s.Val)))
+			placeStmt(s, file, line)
+		case *ForStmt:
+			line := emit(depth, fmt.Sprintf("for (%s = %s; %s < %s; %s += %s) {",
+				s.Var, exprString(s.From), s.Var, exprString(s.To), s.Var, exprString(s.Step)))
+			placeStmt(s, file, line)
+			layoutStmts(s.Body, depth+1, file, emit)
+			emit(depth, "}")
+		case *WhileStmt:
+			line := emit(depth, fmt.Sprintf("while (%s) {", exprString(s.Cond)))
+			placeStmt(s, file, line)
+			layoutStmts(s.Body, depth+1, file, emit)
+			emit(depth, "}")
+		case *IfStmt:
+			line := emit(depth, fmt.Sprintf("if (%s) {", exprString(s.Cond)))
+			placeStmt(s, file, line)
+			layoutStmts(s.Then, depth+1, file, emit)
+			if len(s.Else) > 0 {
+				emit(depth, "} else {")
+				layoutStmts(s.Else, depth+1, file, emit)
+			}
+			emit(depth, "}")
+		case *CallStmt:
+			line := emit(depth, exprString(s.Call)+";")
+			placeStmt(s, file, line)
+		case *ReturnStmt:
+			text := "return;"
+			if s.X != nil {
+				text = fmt.Sprintf("return %s;", exprString(s.X))
+			}
+			line := emit(depth, text)
+			placeStmt(s, file, line)
+		case *SpawnStmt:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = exprString(a)
+			}
+			line := emit(depth, fmt.Sprintf("%s = pthread_create(%s, %s);", s.Var, s.Fn, strings.Join(args, ", ")))
+			placeStmt(s, file, line)
+		case *JoinStmt:
+			line := emit(depth, fmt.Sprintf("pthread_join(%s);", exprString(s.X)))
+			placeStmt(s, file, line)
+		case *BarrierStmt:
+			line := emit(depth, fmt.Sprintf("pthread_barrier_wait(&%s);", s.Name))
+			placeStmt(s, file, line)
+		case *LockStmt:
+			line := emit(depth, fmt.Sprintf("pthread_mutex_lock(&%s);", s.Name))
+			placeStmt(s, file, line)
+		case *UnlockStmt:
+			line := emit(depth, fmt.Sprintf("pthread_mutex_unlock(&%s);", s.Name))
+			placeStmt(s, file, line)
+		}
+	}
+}
+
+// placeStmt assigns the statement's position and propagates it to every
+// expression directly contained in the statement.
+func placeStmt(s Stmt, file string, line int) {
+	pos := Pos{File: file, Line: line}
+	if ph, ok := s.(positioned); ok {
+		ph.setPosition(pos)
+	}
+	walkExprs(s, func(e Expr) {
+		if ph, ok := e.(positioned); ok {
+			ph.setPosition(pos)
+		}
+	})
+}
+
+var binSyms = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpFAdd: "+", OpFSub: "-", OpFMul: "*", OpFDiv: "/",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *ConstExpr:
+		return e.V.String()
+	case *VarExpr:
+		return e.Name
+	case *StaticExpr:
+		return e.Name
+	case *BinExpr:
+		if sym, ok := binSyms[e.Op]; ok {
+			return fmt.Sprintf("(%s %s %s)", exprString(e.X), sym, exprString(e.Y))
+		}
+		switch e.Op {
+		case OpIndex:
+			return fmt.Sprintf("&%s[%s]", exprString(e.X), exprString(e.Y))
+		default:
+			return fmt.Sprintf("%s(%s, %s)", e.Op, exprString(e.X), exprString(e.Y))
+		}
+	case *UnExpr:
+		switch e.Op {
+		case OpNeg, OpFNeg:
+			return fmt.Sprintf("-%s", exprString(e.X))
+		case OpNot:
+			return fmt.Sprintf("!%s", exprString(e.X))
+		case OpI2F:
+			return fmt.Sprintf("(float)%s", exprString(e.X))
+		case OpF2I:
+			return fmt.Sprintf("(int)%s", exprString(e.X))
+		default:
+			return fmt.Sprintf("%s(%s)", e.Op, exprString(e.X))
+		}
+	case *LoadExpr:
+		return fmt.Sprintf("mem[%s]", exprString(e.Addr))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(args, ", "))
+	case *AllocExpr:
+		return fmt.Sprintf("malloc(%s)", exprString(e.Count))
+	}
+	return "?"
+}
+
+// Relayout discards the cached listing so the next Layout reflects program
+// transformations (if-conversion, modernization rewrites).
+func (p *Program) Relayout() {
+	p.laidOut = false
+	p.listing = nil
+}

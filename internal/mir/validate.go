@@ -1,0 +1,144 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate performs static sanity checks on the program: the entry point
+// exists and takes no parameters, every called or spawned function is
+// defined, barrier and mutex references resolve to declarations, loop ids
+// are unique, and binary/unary expression arities match their operations.
+// It returns all problems found.
+func (p *Program) Validate() []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if p.Entry == "" {
+		fail("program %q has no entry point", p.Name)
+	} else if f, ok := p.Funcs[p.Entry]; !ok {
+		fail("entry function %q is not defined", p.Entry)
+	} else if len(f.Params) != 0 {
+		fail("entry function %q must take no parameters, has %d", p.Entry, len(f.Params))
+	}
+
+	mutexes := map[string]bool{}
+	for _, m := range p.Mutexes {
+		if mutexes[m] {
+			fail("mutex %q declared twice", m)
+		}
+		mutexes[m] = true
+	}
+
+	statics := map[string]bool{}
+	for _, s := range p.Statics {
+		if statics[s.Name] {
+			fail("static %q declared twice", s.Name)
+		}
+		if s.Size <= 0 {
+			fail("static %q has non-positive size %d", s.Name, s.Size)
+		}
+		statics[s.Name] = true
+	}
+
+	loopSeen := map[LoopID]string{}
+
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := p.Funcs[name]
+		if f.Name != name {
+			fail("function registered as %q has name %q", name, f.Name)
+		}
+		params := map[string]bool{}
+		for _, param := range f.Params {
+			if params[param] {
+				fail("%s: duplicate parameter %q", name, param)
+			}
+			params[param] = true
+		}
+		walkStmts(f.Body, func(s Stmt) {
+			switch s := s.(type) {
+			case *ForStmt:
+				if prev, dup := loopSeen[s.Loop]; dup {
+					fail("%s: loop id %d reused (first in %s)", name, s.Loop, prev)
+				}
+				loopSeen[s.Loop] = name
+				if s.Var == "" {
+					fail("%s: for loop %d has no induction variable", name, s.Loop)
+				}
+			case *WhileStmt:
+				if prev, dup := loopSeen[s.Loop]; dup {
+					fail("%s: loop id %d reused (first in %s)", name, s.Loop, prev)
+				}
+				loopSeen[s.Loop] = name
+			case *BarrierStmt:
+				if _, ok := p.Barriers[s.Name]; !ok {
+					fail("%s: barrier %q not declared", name, s.Name)
+				}
+			case *LockStmt:
+				if !mutexes[s.Name] {
+					fail("%s: mutex %q not declared", name, s.Name)
+				}
+			case *UnlockStmt:
+				if !mutexes[s.Name] {
+					fail("%s: mutex %q not declared", name, s.Name)
+				}
+			case *SpawnStmt:
+				callee, ok := p.Funcs[s.Fn]
+				if !ok {
+					fail("%s: spawned function %q not defined", name, s.Fn)
+				} else if len(callee.Params) != len(s.Args) {
+					fail("%s: spawn of %q passes %d args, needs %d",
+						name, s.Fn, len(s.Args), len(callee.Params))
+				}
+			}
+			walkExprs(s, func(e Expr) {
+				switch e := e.(type) {
+				case *BinExpr:
+					if !e.Op.Valid() || e.Op.Arity() != 2 {
+						fail("%s: binary expression with op %v", name, e.Op)
+					}
+					if e.X == nil || e.Y == nil {
+						fail("%s: binary %v with nil operand", name, e.Op)
+					}
+				case *UnExpr:
+					if !e.Op.Valid() || e.Op.Arity() != 1 {
+						fail("%s: unary expression with op %v", name, e.Op)
+					}
+					if e.X == nil {
+						fail("%s: unary %v with nil operand", name, e.Op)
+					}
+				case *CallExpr:
+					callee, ok := p.Funcs[e.Fn]
+					if !ok {
+						fail("%s: called function %q not defined", name, e.Fn)
+					} else if len(callee.Params) != len(e.Args) {
+						fail("%s: call of %q passes %d args, needs %d",
+							name, e.Fn, len(e.Args), len(callee.Params))
+					}
+				case *StaticExpr:
+					if !statics[e.Name] {
+						fail("%s: static %q not declared", name, e.Name)
+					}
+				}
+			})
+		})
+	}
+	return errs
+}
+
+// MustValidate panics if the program is invalid. Benchmark constructors use
+// it so that malformed kernels fail loudly at build time.
+func (p *Program) MustValidate() *Program {
+	if errs := p.Validate(); len(errs) > 0 {
+		panic(fmt.Sprintf("mir: invalid program %q: %v", p.Name, errs[0]))
+	}
+	return p
+}

@@ -1,0 +1,191 @@
+package mir
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Value is a runtime scalar: either a 64-bit signed integer or a 64-bit
+// float. Benchmarks that need 32-bit unsigned semantics (md5) mask through
+// the dedicated helpers. The zero Value is the integer 0, which doubles as
+// the additive identity shown as a "sourceless arc" in the paper's Figure 2c.
+type Value struct {
+	f     float64
+	i     int64
+	float bool
+}
+
+// IntV returns an integer value.
+func IntV(i int64) Value { return Value{i: i} }
+
+// FloatV returns a floating-point value.
+func FloatV(f float64) Value { return Value{f: f, float: true} }
+
+// BoolV returns 1 or 0 as an integer value.
+func BoolV(b bool) Value {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}
+
+// IsFloat reports whether the value is a float.
+func (v Value) IsFloat() bool { return v.float }
+
+// Int returns the value as an integer, truncating floats.
+func (v Value) Int() int64 {
+	if v.float {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// Float returns the value as a float, converting integers.
+func (v Value) Float() float64 {
+	if v.float {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// Bool reports whether the value is non-zero.
+func (v Value) Bool() bool {
+	if v.float {
+		return v.f != 0
+	}
+	return v.i != 0
+}
+
+// String formats the value for diagnostics and program output.
+func (v Value) String() string {
+	if v.float {
+		return fmt.Sprintf("%g", v.f)
+	}
+	return fmt.Sprintf("%d", v.i)
+}
+
+// Equal reports exact equality of kind and payload.
+func (v Value) Equal(w Value) bool {
+	if v.float != w.float {
+		return false
+	}
+	if v.float {
+		return v.f == w.f || (math.IsNaN(v.f) && math.IsNaN(w.f))
+	}
+	return v.i == w.i
+}
+
+// EvalBinary applies a binary operation to two values. It panics on arity
+// mismatch (a programming error caught by Program.Validate) and returns an
+// error only for runtime conditions such as division by zero.
+func EvalBinary(op Op, a, b Value) (Value, error) {
+	switch op {
+	case OpAdd:
+		return IntV(a.Int() + b.Int()), nil
+	case OpSub:
+		return IntV(a.Int() - b.Int()), nil
+	case OpMul:
+		return IntV(a.Int() * b.Int()), nil
+	case OpDiv:
+		if b.Int() == 0 {
+			return Value{}, fmt.Errorf("integer division by zero")
+		}
+		return IntV(a.Int() / b.Int()), nil
+	case OpMod:
+		if b.Int() == 0 {
+			return Value{}, fmt.Errorf("integer modulo by zero")
+		}
+		return IntV(a.Int() % b.Int()), nil
+	case OpFAdd:
+		return FloatV(a.Float() + b.Float()), nil
+	case OpFSub:
+		return FloatV(a.Float() - b.Float()), nil
+	case OpFMul:
+		return FloatV(a.Float() * b.Float()), nil
+	case OpFDiv:
+		return FloatV(a.Float() / b.Float()), nil
+	case OpAnd:
+		return IntV(a.Int() & b.Int()), nil
+	case OpOr:
+		return IntV(a.Int() | b.Int()), nil
+	case OpXor:
+		return IntV(a.Int() ^ b.Int()), nil
+	case OpShl:
+		return IntV(int64(uint32(a.Int()) << (uint64(b.Int()) & 31))), nil
+	case OpShr:
+		return IntV(int64(uint32(a.Int()) >> (uint64(b.Int()) & 31))), nil
+	case OpRotl:
+		return IntV(int64(bits.RotateLeft32(uint32(a.Int()), int(b.Int()&31)))), nil
+	case OpMin:
+		return IntV(min(a.Int(), b.Int())), nil
+	case OpMax:
+		return IntV(max(a.Int(), b.Int())), nil
+	case OpFMin:
+		return FloatV(math.Min(a.Float(), b.Float())), nil
+	case OpFMax:
+		return FloatV(math.Max(a.Float(), b.Float())), nil
+	case OpEq:
+		return BoolV(compare(a, b) == 0), nil
+	case OpNe:
+		return BoolV(compare(a, b) != 0), nil
+	case OpLt:
+		return BoolV(compare(a, b) < 0), nil
+	case OpLe:
+		return BoolV(compare(a, b) <= 0), nil
+	case OpGt:
+		return BoolV(compare(a, b) > 0), nil
+	case OpGe:
+		return BoolV(compare(a, b) >= 0), nil
+	case OpIndex:
+		return IntV(a.Int() + b.Int()), nil
+	}
+	panic(fmt.Sprintf("mir: EvalBinary called with non-binary op %v", op))
+}
+
+// EvalUnary applies a unary operation to a value.
+func EvalUnary(op Op, a Value) (Value, error) {
+	switch op {
+	case OpNeg:
+		return IntV(-a.Int()), nil
+	case OpFNeg:
+		return FloatV(-a.Float()), nil
+	case OpNot:
+		return BoolV(!a.Bool()), nil
+	case OpSqrt:
+		if a.Float() < 0 {
+			return Value{}, fmt.Errorf("sqrt of negative value %v", a)
+		}
+		return FloatV(math.Sqrt(a.Float())), nil
+	case OpFloor:
+		return FloatV(math.Floor(a.Float())), nil
+	case OpI2F:
+		return FloatV(float64(a.Int())), nil
+	case OpF2I:
+		return IntV(int64(a.Float())), nil
+	}
+	panic(fmt.Sprintf("mir: EvalUnary called with non-unary op %v", op))
+}
+
+// compare orders two values, promoting to float if either is a float.
+func compare(a, b Value) int {
+	if a.float || b.float {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.i < b.i:
+		return -1
+	case a.i > b.i:
+		return 1
+	default:
+		return 0
+	}
+}

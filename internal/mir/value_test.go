@@ -1,0 +1,210 @@
+package mir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	i := IntV(42)
+	if i.IsFloat() || i.Int() != 42 || i.Float() != 42.0 {
+		t.Errorf("IntV(42) misbehaves: %v", i)
+	}
+	f := FloatV(2.5)
+	if !f.IsFloat() || f.Float() != 2.5 || f.Int() != 2 {
+		t.Errorf("FloatV(2.5) misbehaves: %v", f)
+	}
+	if !BoolV(true).Bool() || BoolV(false).Bool() {
+		t.Error("BoolV misbehaves")
+	}
+	if IntV(3).String() != "3" || FloatV(1.5).String() != "1.5" {
+		t.Error("String misbehaves")
+	}
+}
+
+func TestEvalBinaryInt(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpAdd, 3, 4, 7},
+		{OpSub, 3, 4, -1},
+		{OpMul, 3, 4, 12},
+		{OpDiv, 9, 2, 4},
+		{OpMod, 9, 2, 1},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 4, 16},
+		{OpShr, 16, 4, 1},
+		{OpMin, 3, -7, -7},
+		{OpMax, 3, -7, 3},
+		{OpIndex, 100, 5, 105},
+	}
+	for _, c := range cases {
+		got, err := EvalBinary(c.op, IntV(c.a), IntV(c.b))
+		if err != nil {
+			t.Fatalf("%v(%d,%d): %v", c.op, c.a, c.b, err)
+		}
+		if got.Int() != c.want || got.IsFloat() {
+			t.Errorf("%v(%d,%d) = %v, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinaryFloat(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpFAdd, 1.5, 2.25, 3.75},
+		{OpFSub, 1.5, 2.25, -0.75},
+		{OpFMul, 1.5, 2.0, 3.0},
+		{OpFDiv, 3.0, 2.0, 1.5},
+		{OpFMin, 1.5, -2.0, -2.0},
+		{OpFMax, 1.5, -2.0, 1.5},
+	}
+	for _, c := range cases {
+		got, err := EvalBinary(c.op, FloatV(c.a), FloatV(c.b))
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got.Float() != c.want || !got.IsFloat() {
+			t.Errorf("%v(%g,%g) = %v, want %g", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinary32BitSemantics(t *testing.T) {
+	// md5 relies on 32-bit wrapping shifts and rotations.
+	got, _ := EvalBinary(OpShl, IntV(0x80000000), IntV(1))
+	if got.Int() != 0 {
+		t.Errorf("shl wraps at 32 bits: got %d", got.Int())
+	}
+	got, _ = EvalBinary(OpRotl, IntV(0x80000001), IntV(1))
+	if got.Int() != 3 {
+		t.Errorf("rotl(0x80000001, 1) = %d, want 3", got.Int())
+	}
+	got, _ = EvalBinary(OpShr, IntV(0xffffffff), IntV(28))
+	if got.Int() != 0xf {
+		t.Errorf("lshr(0xffffffff, 28) = %d, want 15", got.Int())
+	}
+}
+
+func TestEvalBinaryComparisons(t *testing.T) {
+	type cmpCase struct {
+		op   Op
+		a, b Value
+		want bool
+	}
+	cases := []cmpCase{
+		{OpEq, IntV(3), IntV(3), true},
+		{OpNe, IntV(3), IntV(3), false},
+		{OpLt, IntV(2), IntV(3), true},
+		{OpLe, IntV(3), IntV(3), true},
+		{OpGt, IntV(3), IntV(2), true},
+		{OpGe, IntV(2), IntV(3), false},
+		{OpLt, FloatV(1.5), IntV(2), true}, // mixed promotes to float
+		{OpGt, IntV(2), FloatV(1.5), true},
+		{OpEq, FloatV(2), IntV(2), true},
+	}
+	for _, c := range cases {
+		got, err := EvalBinary(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got.Bool() != c.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinaryErrors(t *testing.T) {
+	if _, err := EvalBinary(OpDiv, IntV(1), IntV(0)); err == nil {
+		t.Error("division by zero not reported")
+	}
+	if _, err := EvalBinary(OpMod, IntV(1), IntV(0)); err == nil {
+		t.Error("modulo by zero not reported")
+	}
+	if _, err := EvalUnary(OpSqrt, FloatV(-1)); err == nil {
+		t.Error("sqrt of negative not reported")
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	check := func(op Op, in Value, want Value) {
+		t.Helper()
+		got, err := EvalUnary(op, in)
+		if err != nil {
+			t.Fatalf("%v(%v): %v", op, in, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v(%v) = %v, want %v", op, in, got, want)
+		}
+	}
+	check(OpNeg, IntV(5), IntV(-5))
+	check(OpFNeg, FloatV(2.5), FloatV(-2.5))
+	check(OpNot, IntV(0), IntV(1))
+	check(OpNot, IntV(7), IntV(0))
+	check(OpSqrt, FloatV(9), FloatV(3))
+	check(OpFloor, FloatV(2.7), FloatV(2))
+	check(OpI2F, IntV(3), FloatV(3))
+	check(OpF2I, FloatV(3.9), IntV(3))
+}
+
+func TestEvalBinaryPanicsOnUnary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalBinary(OpNeg) did not panic")
+		}
+	}()
+	_, _ = EvalBinary(OpNeg, IntV(1), IntV(2))
+}
+
+// Property: the ops registered as associative really associate on small
+// integers (floats associate only approximately, checked with tolerance).
+func TestAssociativityProperty(t *testing.T) {
+	intOps := []Op{OpAdd, OpMul, OpAnd, OpOr, OpXor, OpMin, OpMax}
+	prop := func(a, b, c int16) bool {
+		for _, op := range intOps {
+			ab, _ := EvalBinary(op, IntV(int64(a)), IntV(int64(b)))
+			abc1, _ := EvalBinary(op, ab, IntV(int64(c)))
+			bc, _ := EvalBinary(op, IntV(int64(b)), IntV(int64(c)))
+			abc2, _ := EvalBinary(op, IntV(int64(a)), bc)
+			if abc1.Int() != abc2.Int() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparisons are a total preorder consistent with negation.
+func TestComparisonDualityProperty(t *testing.T) {
+	prop := func(a, b int32) bool {
+		lt, _ := EvalBinary(OpLt, IntV(int64(a)), IntV(int64(b)))
+		ge, _ := EvalBinary(OpGe, IntV(int64(a)), IntV(int64(b)))
+		eq, _ := EvalBinary(OpEq, IntV(int64(a)), IntV(int64(b)))
+		ne, _ := EvalBinary(OpNe, IntV(int64(a)), IntV(int64(b)))
+		return lt.Bool() != ge.Bool() && eq.Bool() != ne.Bool()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEqualNaN(t *testing.T) {
+	nan := FloatV(math.NaN())
+	if !nan.Equal(nan) {
+		t.Error("NaN should Equal itself for test stability")
+	}
+	if FloatV(1).Equal(IntV(1)) {
+		t.Error("float 1 should not Equal int 1")
+	}
+}

@@ -1,0 +1,344 @@
+// Package modernize turns found patterns into modernized code, the step
+// the paper leaves as future work ("Automating the port itself is part of
+// future work", §6.3). Two capabilities:
+//
+//   - Suggest renders the skeleton-library call a pattern should become —
+//     the paper's Figure 2b transformation, as advice attached to the
+//     report;
+//   - ParallelizeMap performs the port for map patterns inside the IR
+//     itself: the matched loop is extracted into a worker function with
+//     the classic block-split prologue, and the original loop is replaced
+//     by thread creation and joining. The transformed program runs on the
+//     same VM, computes the same results, and — because the analysis is
+//     oblivious to sequential vs. parallel coding — re-analyzing it finds
+//     the same map again.
+//
+// The rewrite is exactly as safe as the analysis' verdict: a map's
+// components are independent (constraints 2b/1e), so its iterations can be
+// distributed. As the paper notes, deployment would put a programmer
+// confirmation in front of this step.
+package modernize
+
+import (
+	"fmt"
+	"sort"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/patterns"
+)
+
+// Suggest renders a SkePU-style modernization suggestion for a found
+// pattern (compare the paper's Figure 2b).
+func Suggest(g *ddg.Graph, p *patterns.Pattern) string {
+	ops := p.OpsSummary(g)
+	switch p.Kind {
+	case patterns.KindMap, patterns.KindStencil:
+		if p.Kind == patterns.KindStencil {
+			return fmt.Sprintf("auto kernel = MapOverlap([](Region elems) { /* %s */ });", ops)
+		}
+		return fmt.Sprintf("auto kernel = Map([](Elem e) { /* %s */ });", ops)
+	case patterns.KindConditionalMap:
+		return fmt.Sprintf("auto kernel = Map([](Elem e) { /* %s; returns only when the condition holds */ });", ops)
+	case patterns.KindFusedMap:
+		return fmt.Sprintf("auto kernel = Map([](Elem e) { /* fused stages: %s */ });", ops)
+	case patterns.KindLinearReduction, patterns.KindTiledReduction, patterns.KindTreeReduction:
+		return fmt.Sprintf("auto total = Reduce([](Acc a, Acc b) { return a %s b; });", opSymbol(p.Op))
+	case patterns.KindLinearMapReduction, patterns.KindTiledMapReduction:
+		return fmt.Sprintf("auto total = MapReduce([](Elem e) { /* %s */ }, [](Acc a, Acc b) { return a %s b; });",
+			ops, opSymbol(p.Op))
+	case patterns.KindPipeline:
+		return "auto stages = Pipeline(stage1, stage2); // stream items through concurrent stages"
+	}
+	return "// no modernization template for " + p.Kind.String()
+}
+
+func opSymbol(op mir.Op) string {
+	switch op {
+	case mir.OpAdd, mir.OpFAdd:
+		return "+"
+	case mir.OpMul, mir.OpFMul:
+		return "*"
+	case mir.OpAnd:
+		return "&"
+	case mir.OpOr:
+		return "|"
+	case mir.OpXor:
+		return "^"
+	case mir.OpMin, mir.OpFMin:
+		return "/*min*/"
+	case mir.OpMax, mir.OpFMax:
+		return "/*max*/"
+	}
+	return op.String()
+}
+
+// SuggestAll renders suggestions for every final pattern of a result.
+func SuggestAll(g *ddg.Graph, pats []*patterns.Pattern) []string {
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		out[i] = Suggest(g, p)
+	}
+	return out
+}
+
+// ParallelizeMap rewrites the counted loop identified by loopID into an
+// nproc-threaded form, in place: the loop body moves into a fresh worker
+// function taking the thread id plus the body's free variables, and the
+// loop statement is replaced by spawn and join loops. The program must
+// contain the loop as a For with step 1. Returns an error when the loop
+// shape is outside the supported fragment; the program is unmodified then.
+func ParallelizeMap(prog *mir.Program, loopID mir.LoopID, nproc int64) error {
+	if nproc < 1 {
+		return fmt.Errorf("modernize: need at least one thread")
+	}
+	host, loop, err := findLoop(prog, loopID)
+	if err != nil {
+		return err
+	}
+	if !isConstOne(loop.Step) {
+		return fmt.Errorf("modernize: loop %d has a non-unit step", loopID)
+	}
+	// The worker receives the thread id plus every free variable of the
+	// loop (bounds and body), in deterministic order.
+	free := freeVars(loop)
+	params := append([]string{"pid"}, free...)
+
+	workerName := fmt.Sprintf("%s_loop%d_worker", host.Name, loopID)
+	if _, exists := prog.Funcs[workerName]; exists {
+		return fmt.Errorf("modernize: %s already exists", workerName)
+	}
+
+	// Worker body: the classic block split
+	//   len = to - from
+	//   lo  = from + pid*len/nproc
+	//   hi  = from + (pid+1)*len/nproc
+	// followed by the original loop over [lo, hi).
+	wb := []mir.Stmt{
+		&mir.AssignStmt{Var: "modernize_from", X: loop.From},
+		&mir.AssignStmt{Var: "modernize_len", X: mir.Sub(loop.To, mir.V("modernize_from"))},
+		&mir.AssignStmt{Var: "modernize_lo", X: mir.Add(mir.V("modernize_from"),
+			mir.Div(mir.Mul(mir.V("pid"), mir.V("modernize_len")), mir.C(nproc)))},
+		&mir.AssignStmt{Var: "modernize_hi", X: mir.Add(mir.V("modernize_from"),
+			mir.Div(mir.Mul(mir.Add(mir.V("pid"), mir.C(1)), mir.V("modernize_len")), mir.C(nproc)))},
+		&mir.ForStmt{
+			Loop: prog.NewLoopID(),
+			Var:  loop.Var,
+			From: mir.V("modernize_lo"),
+			To:   mir.V("modernize_hi"),
+			Step: mir.C(1),
+			Body: loop.Body,
+		},
+	}
+	prog.AddFunc(&mir.Func{
+		Name:   workerName,
+		Params: params,
+		Body:   wb,
+		File:   host.File,
+	})
+
+	// Replacement at the call site: spawn nproc workers, join them. Worker
+	// thread ids are captured per spawn into distinct handle variables.
+	var repl []mir.Stmt
+	for t := int64(0); t < nproc; t++ {
+		args := make([]mir.Expr, 0, len(params))
+		args = append(args, mir.C(t))
+		for _, fv := range free {
+			args = append(args, mir.V(fv))
+		}
+		repl = append(repl, &mir.SpawnStmt{
+			Var: fmt.Sprintf("modernize_h%d", t), Fn: workerName, Args: args,
+		})
+	}
+	for t := int64(0); t < nproc; t++ {
+		repl = append(repl, &mir.JoinStmt{X: mir.V(fmt.Sprintf("modernize_h%d", t))})
+	}
+	if !replaceStmt(host, loop, repl) {
+		return fmt.Errorf("modernize: loop %d not found for replacement", loopID)
+	}
+	if errs := prog.Validate(); len(errs) > 0 {
+		return fmt.Errorf("modernize: rewritten program invalid: %v", errs[0])
+	}
+	prog.Relayout()
+	return nil
+}
+
+func isConstOne(e mir.Expr) bool {
+	c, ok := e.(*mir.ConstExpr)
+	return ok && !c.V.IsFloat() && c.V.Int() == 1
+}
+
+// findLoop locates the For statement with the given id and its function.
+func findLoop(prog *mir.Program, loopID mir.LoopID) (*mir.Func, *mir.ForStmt, error) {
+	for _, f := range prog.Funcs {
+		if loop := findForIn(f.Body, loopID); loop != nil {
+			return f, loop, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("modernize: loop %d not found or not a counted loop", loopID)
+}
+
+func findForIn(list []mir.Stmt, loopID mir.LoopID) *mir.ForStmt {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *mir.ForStmt:
+			if s.Loop == loopID {
+				return s
+			}
+			if l := findForIn(s.Body, loopID); l != nil {
+				return l
+			}
+		case *mir.WhileStmt:
+			if l := findForIn(s.Body, loopID); l != nil {
+				return l
+			}
+		case *mir.IfStmt:
+			if l := findForIn(s.Then, loopID); l != nil {
+				return l
+			}
+			if l := findForIn(s.Else, loopID); l != nil {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// replaceStmt substitutes target with repl wherever it appears.
+func replaceStmt(f *mir.Func, target mir.Stmt, repl []mir.Stmt) bool {
+	var walk func(list []mir.Stmt) ([]mir.Stmt, bool)
+	walk = func(list []mir.Stmt) ([]mir.Stmt, bool) {
+		for i, s := range list {
+			if s == target {
+				out := append([]mir.Stmt{}, list[:i]...)
+				out = append(out, repl...)
+				out = append(out, list[i+1:]...)
+				return out, true
+			}
+			switch s := s.(type) {
+			case *mir.ForStmt:
+				if body, ok := walk(s.Body); ok {
+					s.Body = body
+					return list, true
+				}
+			case *mir.WhileStmt:
+				if body, ok := walk(s.Body); ok {
+					s.Body = body
+					return list, true
+				}
+			case *mir.IfStmt:
+				if body, ok := walk(s.Then); ok {
+					s.Then = body
+					return list, true
+				}
+				if body, ok := walk(s.Else); ok {
+					s.Else = body
+					return list, true
+				}
+			}
+		}
+		return list, false
+	}
+	body, ok := walk(f.Body)
+	if ok {
+		f.Body = body
+	}
+	return ok
+}
+
+// freeVars returns the variables the loop reads before defining, sorted —
+// they become worker parameters. The analysis threads a definitely-
+// assigned set through the statements; conditional branches contribute the
+// intersection of their assignments.
+func freeVars(loop *mir.ForStmt) []string {
+	free := map[string]bool{}
+	// The loop bounds are evaluated in the worker before the induction
+	// variable exists.
+	collectExprVars(loop.From, map[string]bool{}, free)
+	collectExprVars(loop.To, map[string]bool{}, free)
+	defined := map[string]bool{loop.Var: true}
+	scanStmts(loop.Body, defined, free)
+	names := make([]string, 0, len(free))
+	for n := range free {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func scanStmts(list []mir.Stmt, defined, free map[string]bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *mir.AssignStmt:
+			collectExprVars(s.X, defined, free)
+			defined[s.Var] = true
+		case *mir.StoreStmt:
+			collectExprVars(s.Addr, defined, free)
+			collectExprVars(s.Val, defined, free)
+		case *mir.ForStmt:
+			collectExprVars(s.From, defined, free)
+			collectExprVars(s.To, defined, free)
+			collectExprVars(s.Step, defined, free)
+			inner := copySet(defined)
+			inner[s.Var] = true
+			scanStmts(s.Body, inner, free)
+		case *mir.WhileStmt:
+			collectExprVars(s.Cond, defined, free)
+			scanStmts(s.Body, copySet(defined), free)
+		case *mir.IfStmt:
+			collectExprVars(s.Cond, defined, free)
+			thenDef := copySet(defined)
+			scanStmts(s.Then, thenDef, free)
+			elseDef := copySet(defined)
+			scanStmts(s.Else, elseDef, free)
+			// Definitely assigned after the conditional: both branches.
+			for n := range thenDef {
+				if elseDef[n] {
+					defined[n] = true
+				}
+			}
+		case *mir.CallStmt:
+			collectExprVars(s.Call, defined, free)
+		case *mir.ReturnStmt:
+			collectExprVars(s.X, defined, free)
+		case *mir.SpawnStmt:
+			for _, a := range s.Args {
+				collectExprVars(a, defined, free)
+			}
+			defined[s.Var] = true
+		case *mir.JoinStmt:
+			collectExprVars(s.X, defined, free)
+		}
+	}
+}
+
+func collectExprVars(e mir.Expr, defined, free map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *mir.VarExpr:
+		if !defined[e.Name] {
+			free[e.Name] = true
+		}
+	case *mir.BinExpr:
+		collectExprVars(e.X, defined, free)
+		collectExprVars(e.Y, defined, free)
+	case *mir.UnExpr:
+		collectExprVars(e.X, defined, free)
+	case *mir.LoadExpr:
+		collectExprVars(e.Addr, defined, free)
+	case *mir.CallExpr:
+		for _, a := range e.Args {
+			collectExprVars(a, defined, free)
+		}
+	case *mir.AllocExpr:
+		collectExprVars(e.Count, defined, free)
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package patterns
+
+import (
+	"sort"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+)
+
+// View is the matching substrate for one sub-DDG: a partition of the
+// sub-DDG's nodes into candidate component groups, with group-level arcs,
+// labels, and boundary information.
+//
+// Loop-derived sub-DDGs are viewed compacted — one group per dynamic loop
+// iteration, which is the paper's DDG Compaction phase (§5) — so that a
+// work-split Pthreads loop and its sequential counterpart present identical
+// views. Associative-component sub-DDGs are viewed node-per-node.
+type View struct {
+	G       *ddg.Graph
+	Ambient ddg.Set // the sub-DDG's nodes
+
+	Groups []ddg.Set // view node -> original nodes
+	Label  []string  // operation-multiset label per group (relaxed 1c)
+	OpSet  []string  // operation-set label per group (conditional variants)
+
+	Arcs   [][]int // group adjacency (original arcs between groups)
+	ExtIn  []bool  // group receives an arc from outside the sub-DDG
+	ExtOut []bool  // group sends an arc outside the sub-DDG
+
+	reach [][]bool // group-level reachability closure (lazy)
+}
+
+// LoopView builds the compacted view of a loop-derived sub-DDG: one group
+// per (invocation, iteration) of the given static loop. Nodes lacking a
+// frame for the loop are grouped separately per node (they are rare:
+// boundary computation hoisted around the loop).
+func LoopView(g *ddg.Graph, nodes ddg.Set, loop mir.LoopID) *View {
+	type key struct {
+		inv  uint64
+		iter int64
+	}
+	byIter := map[key][]ddg.NodeID{}
+	var loose []ddg.NodeID
+	for _, u := range nodes {
+		if k, ok := g.IterationOf(u, loop); ok {
+			byIter[key{k.Invocation, k.Iter}] = append(byIter[key{k.Invocation, k.Iter}], u)
+		} else {
+			loose = append(loose, u)
+		}
+	}
+	keys := make([]key, 0, len(byIter))
+	for k := range byIter {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].inv != keys[j].inv {
+			return keys[i].inv < keys[j].inv
+		}
+		return keys[i].iter < keys[j].iter
+	})
+	groups := make([]ddg.Set, 0, len(keys)+len(loose))
+	for _, k := range keys {
+		groups = append(groups, ddg.NewSet(byIter[k]...))
+	}
+	for _, u := range loose {
+		groups = append(groups, ddg.NewSet(u))
+	}
+	return newView(g, nodes, groups)
+}
+
+// NodeView builds the node-per-node view of a sub-DDG (associative
+// components).
+func NodeView(g *ddg.Graph, nodes ddg.Set) *View {
+	groups := make([]ddg.Set, len(nodes))
+	for i, u := range nodes {
+		groups[i] = ddg.NewSet(u)
+	}
+	return newView(g, nodes, groups)
+}
+
+func newView(g *ddg.Graph, nodes ddg.Set, groups []ddg.Set) *View {
+	v := &View{
+		G:       g,
+		Ambient: nodes,
+		Groups:  groups,
+		Label:   make([]string, len(groups)),
+		OpSet:   make([]string, len(groups)),
+		Arcs:    make([][]int, len(groups)),
+		ExtIn:   make([]bool, len(groups)),
+		ExtOut:  make([]bool, len(groups)),
+	}
+	// Dense group lookup: -1 marks nodes outside the sub-DDG.
+	groupOf := make([]int32, g.NumNodes())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for i, grp := range groups {
+		v.Label[i] = g.LabelKey(grp)
+		v.OpSet[i] = g.OpSetKey(grp)
+		for _, u := range grp {
+			groupOf[u] = int32(i)
+		}
+	}
+	arcSeen := map[int64]bool{}
+	for i, grp := range groups {
+		for _, u := range grp {
+			for _, w := range g.Succs(u) {
+				j := groupOf[w]
+				switch {
+				case j < 0:
+					v.ExtOut[i] = true
+				case int(j) != i:
+					key := int64(i)<<32 | int64(j)
+					if !arcSeen[key] {
+						arcSeen[key] = true
+						v.Arcs[i] = append(v.Arcs[i], int(j))
+					}
+				}
+			}
+			if !v.ExtIn[i] {
+				for _, w := range g.Preds(u) {
+					if groupOf[w] < 0 {
+						v.ExtIn[i] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for i := range v.Arcs {
+		sort.Ints(v.Arcs[i])
+	}
+	return v
+}
+
+// NumGroups returns the number of view groups.
+func (v *View) NumGroups() int { return len(v.Groups) }
+
+// HasArc reports a group-level arc i -> j.
+func (v *View) HasArc(i, j int) bool {
+	k := sort.SearchInts(v.Arcs[i], j)
+	return k < len(v.Arcs[i]) && v.Arcs[i][k] == j
+}
+
+// Reaches reports group-level reachability i ->* j (strictly forward,
+// i != j implied; Reaches(i,i) is true only on a cycle, which cannot occur
+// in a DAG view).
+func (v *View) Reaches(i, j int) bool {
+	if v.reach == nil {
+		v.computeReach()
+	}
+	return v.reach[i][j]
+}
+
+func (v *View) computeReach() {
+	n := len(v.Groups)
+	v.reach = make([][]bool, n)
+	// Reverse-topological accumulation would be fastest; a BFS per group is
+	// ample for view sizes (at most a few hundred groups).
+	for i := 0; i < n; i++ {
+		v.reach[i] = make([]bool, n)
+		stack := append([]int(nil), v.Arcs[i]...)
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v.reach[i][j] {
+				continue
+			}
+			v.reach[i][j] = true
+			stack = append(stack, v.Arcs[j]...)
+		}
+	}
+}
+
+// InDegree returns the number of distinct groups with arcs into group i.
+func (v *View) InDegree(i int) int {
+	n := 0
+	for j := range v.Groups {
+		if j != i && v.HasArc(j, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// OutDegree returns the number of distinct groups that group i has arcs to.
+func (v *View) OutDegree(i int) int { return len(v.Arcs[i]) }
+
+// GroupsUnion returns the original nodes of the given groups.
+func (v *View) GroupsUnion(idx ...int) ddg.Set {
+	sets := make([]ddg.Set, len(idx))
+	for k, i := range idx {
+		sets[k] = v.Groups[i]
+	}
+	return ddg.UnionAll(sets...)
+}

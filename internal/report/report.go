@@ -1,0 +1,139 @@
+// Package report renders pattern finding results against the analyzed
+// program's source listing, in the style of the paper's Figure 6 reports:
+// each line covered by a found pattern is annotated with the pattern kind
+// and the operations involved (e.g. "tiled_map_reduction fadd,fmul").
+// Text and HTML renderers are provided.
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"discovery/internal/core"
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/patterns"
+)
+
+// Annotation marks one pattern's presence on one source line.
+type Annotation struct {
+	Kind string // e.g. "tiled_map_reduction"
+	Ops  string // e.g. "fadd,fmul"
+}
+
+func (a Annotation) String() string { return a.Kind + " " + a.Ops }
+
+// kindSlug converts a pattern kind to the snake_case label used in the
+// paper's reports.
+func kindSlug(k patterns.Kind) string {
+	return strings.ReplaceAll(k.String(), " ", "_")
+}
+
+// Annotations maps file -> line -> annotations for the final patterns of a
+// finder result.
+func Annotations(g *ddg.Graph, pats []*patterns.Pattern) map[string]map[int][]Annotation {
+	out := map[string]map[int][]Annotation{}
+	for _, p := range pats {
+		ann := Annotation{Kind: kindSlug(p.Kind), Ops: p.OpsSummary(g)}
+		for _, pos := range p.Positions(g) {
+			if !pos.Valid() {
+				continue
+			}
+			if out[pos.File] == nil {
+				out[pos.File] = map[int][]Annotation{}
+			}
+			out[pos.File][pos.Line] = append(out[pos.File][pos.Line], ann)
+		}
+	}
+	return out
+}
+
+// Text renders the annotated source listing of the program.
+func Text(prog *mir.Program, res *core.Result) string {
+	ann := Annotations(res.Graph, res.Patterns)
+	var sb strings.Builder
+	for _, file := range prog.Files() {
+		fmt.Fprintf(&sb, "==== %s\n", file)
+		for i, line := range prog.Listing(file) {
+			fmt.Fprintf(&sb, "%4d  %s\n", i+1, line)
+			for _, a := range dedupe(ann[file][i+1]) {
+				fmt.Fprintf(&sb, "      ^ %s\n", a)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary renders a one-line-per-pattern overview of a finder result.
+func Summary(res *core.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DDG: %d nodes traced, %d after simplification (%.2fx)\n",
+		res.OriginalNodes, res.SimplifiedNodes,
+		float64(res.OriginalNodes)/float64(max(1, res.SimplifiedNodes)))
+	fmt.Fprintf(&sb, "iterations: %d, sub-DDG pool: %d, matches: %d\n",
+		res.Iterations, res.PoolSize, len(res.Matches))
+	fmt.Fprintf(&sb, "patterns reported: %d\n", len(res.Patterns))
+	for _, p := range res.Patterns {
+		fmt.Fprintf(&sb, "  - %s over %d nodes (%s)\n",
+			p.Kind, p.Nodes().Len(), p.OpsSummary(res.Graph))
+	}
+	return sb.String()
+}
+
+// HTML renders the annotated listing as a standalone HTML document with
+// highlighted pattern lines, as the paper's implementation outputs.
+func HTML(prog *mir.Program, res *core.Result) string {
+	ann := Annotations(res.Graph, res.Patterns)
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>pattern report</title>
+<style>
+body { font-family: monospace; background: #fff; }
+.line { white-space: pre; }
+.hit { background: #e8e8e8; }
+.ann { color: #802020; font-weight: bold; padding-left: 4em; }
+h2 { font-family: sans-serif; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h2>%s</h2>\n", html.EscapeString(prog.Name))
+	for _, file := range prog.Files() {
+		fmt.Fprintf(&sb, "<h2>%s</h2>\n<div>\n", html.EscapeString(file))
+		for i, line := range prog.Listing(file) {
+			annotations := dedupe(ann[file][i+1])
+			class := "line"
+			if len(annotations) > 0 {
+				class = "line hit"
+			}
+			fmt.Fprintf(&sb, `<div class=%q>%4d  %s</div>`+"\n",
+				class, i+1, html.EscapeString(line))
+			for _, a := range annotations {
+				fmt.Fprintf(&sb, `<div class="ann">%s</div>`+"\n", html.EscapeString(a.String()))
+			}
+		}
+		sb.WriteString("</div>\n")
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+// dedupe removes duplicate annotations, keeping a deterministic order.
+func dedupe(list []Annotation) []Annotation {
+	seen := map[Annotation]bool{}
+	var out []Annotation
+	for _, a := range list {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Ops < out[j].Ops
+	})
+	return out
+}

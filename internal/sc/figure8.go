@@ -1,0 +1,72 @@
+package sc
+
+import (
+	"discovery/internal/machine"
+	"discovery/internal/skel"
+)
+
+// The Figure 8 portability study: speedups of the legacy (Pthreads),
+// modernized (skeleton), and Rodinia CUDA streamcluster on the two
+// evaluation machines, relative to sequential execution on the CPU-centric
+// machine.
+
+// legacyEfficiency is the parallel efficiency of the hand-tuned Pthreads
+// version (slightly above the generic skeleton CPU backend).
+const legacyEfficiency = 0.85
+
+// Figure8Row is one bar of Figure 8.
+type Figure8Row struct {
+	Arch    string
+	Impl    string
+	Speedup float64
+	// Backend reports where the modernized version ran (CPU or GPU).
+	Backend string
+}
+
+// referenceWorkload characterizes the streamcluster reference input
+// (Table 2: 200000 points, 128 dimensions) for the machine model.
+func referenceWorkload() machine.Workload {
+	return machine.Workload{
+		Elements:        200000,
+		WorkPerElement:  128,
+		BytesPerElement: 128 * 4,
+	}
+}
+
+// Figure8 computes the portability study rows. The speedup baseline is the
+// sequential execution time on the CPU-centric machine, as in the paper.
+func Figure8() []Figure8Row {
+	w := referenceWorkload()
+	cpuArch := machine.CPUCentric()
+	gpuArch := machine.GPUCentric()
+	baseline := cpuArch.SeqTime(w)
+
+	var rows []Figure8Row
+	for _, arch := range []*machine.Architecture{cpuArch, gpuArch} {
+		// Legacy Pthreads: all CPU cores at hand-tuned efficiency.
+		legacy := arch.CPUTime(w, arch.CPUCores, legacyEfficiency)
+		rows = append(rows, Figure8Row{
+			Arch: arch.Name, Impl: "Starbench legacy (Pthreads)",
+			Speedup: baseline / legacy, Backend: "cpu",
+		})
+		// Modernized: the skeleton context picks the best backend.
+		ctx := skel.NewContext(arch)
+		cpuT := arch.CPUTime(w, arch.CPUCores, ctx.CPUEfficiency)
+		gpuT := arch.GPUTime(w, ctx.GPUOccupancy)
+		modT, backend := cpuT, "cpu"
+		if gpuT < modT {
+			modT, backend = gpuT, "gpu"
+		}
+		rows = append(rows, Figure8Row{
+			Arch: arch.Name, Impl: "Starbench modernized (SkePU)",
+			Speedup: baseline / modT, Backend: backend,
+		})
+		// Rodinia CUDA: GPU only, tuned for a GTX 280.
+		rodinia := arch.GPUTime(w, arch.GPU.LegacyOccupancy)
+		rows = append(rows, Figure8Row{
+			Arch: arch.Name, Impl: "Rodinia (CUDA)",
+			Speedup: baseline / rodinia, Backend: "gpu",
+		})
+	}
+	return rows
+}

@@ -1,0 +1,247 @@
+// Package sc implements the streamcluster kernel natively in Go, in the
+// three styles the paper's portability study compares (§6.3):
+//
+//   - Sequential: the single-threaded baseline;
+//   - Legacy: explicit low-level threading (worker goroutines, an explicit
+//     barrier, manual work splitting) — the Pthreads style the analysis
+//     modernizes away;
+//   - Modernized: the same computation expressed with the patterns the
+//     analysis found, as skel skeleton calls (paper Figure 2b);
+//   - RodiniaCUDA: a GPU-only variant tuned for a GTX 280-era device,
+//     standing in for the Rodinia comparison point.
+//
+// All variants compute identical results (verified by tests); their
+// simulated execution times on the paper's two machines reproduce
+// Figure 8's shape.
+package sc
+
+import (
+	"sync"
+
+	"discovery/internal/machine"
+	"discovery/internal/skel"
+)
+
+// Point is one weighted input point.
+type Point struct {
+	Coords []float64
+	Weight float64
+}
+
+// GeneratePoints builds a deterministic pseudo-random workload.
+func GeneratePoints(n, dims int) []Point {
+	pts := make([]Point, n)
+	h := uint64(88172645463325252)
+	next := func() float64 {
+		// xorshift64
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		return float64(h%100000) / 100000
+	}
+	for i := range pts {
+		coords := make([]float64, dims)
+		for d := range coords {
+			coords[d] = next()
+		}
+		pts[i] = Point{Coords: coords, Weight: 0.5 + next()}
+	}
+	return pts
+}
+
+// Result is the outcome of one clustering pass.
+type Result struct {
+	// Hiz is the total distance to the first point (the Figure 2
+	// map-reduction).
+	Hiz float64
+	// Cost is the weighted cost against the candidate center.
+	Cost float64
+	// Assign is the per-point assignment distance (the conditional maps).
+	Assign []float64
+	// Opened counts points whose assignment was opened.
+	Opened int
+}
+
+// dist is the squared euclidean distance between two points.
+func dist(a, b Point) float64 {
+	var dd float64
+	for d := range a.Coords {
+		df := a.Coords[d] - b.Coords[d]
+		dd += df * df
+	}
+	return dd
+}
+
+// Sequential computes the pass on one core.
+func Sequential(pts []Point) *Result {
+	res := &Result{Assign: make([]float64, len(pts))}
+	// hiz: total distance to the first point.
+	for i := range pts {
+		res.Hiz += dist(pts[i], pts[0])
+	}
+	thresh := res.Hiz / 8
+	// pspeedy: conditionally open assignments.
+	for i := range pts {
+		dw := dist(pts[i], pts[0]) * pts[i].Weight
+		if dw < thresh {
+			res.Assign[i] = dw
+			res.Opened++
+		} else {
+			res.Assign[i] = thresh
+		}
+	}
+	// cost against candidate center 1.
+	for i := range pts {
+		res.Cost += dist(pts[i], pts[1%len(pts)]) * pts[i].Weight
+	}
+	return res
+}
+
+// Legacy computes the pass with explicit low-level threading: per-thread
+// partial sums in shared arrays, barrier synchronization, and manual block
+// splitting — the shape of the original Pthreads streamcluster.
+func Legacy(pts []Point, nproc int) *Result {
+	if nproc < 1 {
+		nproc = 1
+	}
+	n := len(pts)
+	res := &Result{Assign: make([]float64, n)}
+	hizs := make([]float64, nproc)
+	costs := make([]float64, nproc)
+	opened := make([]int, nproc)
+	var thresh float64
+
+	bar := newBarrier(nproc)
+	var wg sync.WaitGroup
+	for pid := 0; pid < nproc; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			k1 := pid * n / nproc
+			k2 := (pid + 1) * n / nproc
+			var myhiz float64
+			for i := k1; i < k2; i++ {
+				myhiz += dist(pts[i], pts[0])
+			}
+			hizs[pid] = myhiz
+			bar.await()
+			if pid == 0 {
+				var hiz float64
+				for t := 0; t < nproc; t++ {
+					hiz += hizs[t]
+				}
+				res.Hiz = hiz
+				thresh = hiz / 8
+			}
+			bar.await()
+			for i := k1; i < k2; i++ {
+				dw := dist(pts[i], pts[0]) * pts[i].Weight
+				if dw < thresh {
+					res.Assign[i] = dw
+					opened[pid]++
+				} else {
+					res.Assign[i] = thresh
+				}
+			}
+			var mycost float64
+			for i := k1; i < k2; i++ {
+				mycost += dist(pts[i], pts[1%n]) * pts[i].Weight
+			}
+			costs[pid] = mycost
+			bar.await()
+			if pid == 0 {
+				for t := 0; t < nproc; t++ {
+					res.Cost += costs[t]
+					res.Opened += opened[t]
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return res
+}
+
+// kernelCost characterizes the streamcluster kernels for the machine
+// model: per point, work proportional to the dimensionality and traffic
+// proportional to the coordinate bytes.
+func kernelCost(dims int) skel.Cost {
+	return skel.Cost{
+		WorkPerElement:  float64(dims),
+		BytesPerElement: float64(dims) * 4,
+	}
+}
+
+// Modernized computes the pass with the patterns the analysis found,
+// expressed as skeleton calls (the Figure 2b form). The backend — CPU
+// threads or GPU — is chosen by the context per call.
+func Modernized(ctx *skel.Context, pts []Point) *Result {
+	dims := len(pts[0].Coords)
+	cost := kernelCost(dims)
+	res := &Result{}
+	// The found tiled map-reduction.
+	res.Hiz = skel.MapReduce(ctx, pts, cost,
+		func(p Point) float64 { return dist(p, pts[0]) },
+		0, func(a, b float64) float64 { return a + b })
+	thresh := res.Hiz / 8
+	// The found conditional map.
+	res.Assign = skel.Map(ctx, pts, cost, func(p Point) float64 {
+		dw := dist(p, pts[0]) * p.Weight
+		if dw < thresh {
+			return dw
+		}
+		return thresh
+	})
+	opened := skel.MapReduce(ctx, pts, cost, func(p Point) int {
+		if dist(p, pts[0])*p.Weight < thresh {
+			return 1
+		}
+		return 0
+	}, 0, func(a, b int) int { return a + b })
+	res.Opened = opened
+	// The second found map-reduction (cost phase).
+	res.Cost = skel.MapReduce(ctx, pts, cost,
+		func(p Point) float64 { return dist(p, pts[1%len(pts)]) * p.Weight },
+		0, func(a, b float64) float64 { return a + b })
+	return res
+}
+
+// NewRodiniaContext returns a context emulating the Rodinia CUDA port:
+// GPU-only execution with occupancy as achieved by GTX 280-era tuning on
+// the target device.
+func NewRodiniaContext(arch *machine.Architecture) *skel.Context {
+	ctx := skel.NewContext(arch)
+	ctx.Backend = skel.GPU
+	ctx.GPUOccupancy = arch.GPU.LegacyOccupancy
+	return ctx
+}
+
+// barrier is a reusable counting barrier (the pthread_barrier_t analogue).
+type barrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	wait int
+	gen  int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.wait++
+	if b.wait == b.n {
+		b.wait = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

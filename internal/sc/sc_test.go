@@ -1,0 +1,162 @@
+package sc
+
+import (
+	"math"
+	"testing"
+
+	"discovery/internal/machine"
+	"discovery/internal/skel"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a))
+}
+
+func TestGeneratePointsDeterministic(t *testing.T) {
+	a := GeneratePoints(100, 4)
+	b := GeneratePoints(100, 4)
+	for i := range a {
+		for d := range a[i].Coords {
+			if a[i].Coords[d] != b[i].Coords[d] {
+				t.Fatal("point generation not deterministic")
+			}
+		}
+	}
+	if len(a) != 100 || len(a[0].Coords) != 4 {
+		t.Error("wrong shape")
+	}
+	for _, p := range a {
+		if p.Weight < 0.5 || p.Weight > 1.5 {
+			t.Errorf("weight %g out of range", p.Weight)
+		}
+	}
+}
+
+// TestImplementationsAgree verifies that all streamcluster variants
+// compute the same results: the portability study compares equivalent
+// programs, not different algorithms.
+func TestImplementationsAgree(t *testing.T) {
+	pts := GeneratePoints(512, 8)
+	ref := Sequential(pts)
+	if ref.Hiz <= 0 || ref.Cost <= 0 {
+		t.Fatal("sequential result degenerate")
+	}
+
+	for _, nproc := range []int{1, 2, 4, 7} {
+		leg := Legacy(pts, nproc)
+		if !approx(ref.Hiz, leg.Hiz) || !approx(ref.Cost, leg.Cost) || ref.Opened != leg.Opened {
+			t.Errorf("legacy(nproc=%d) diverges: hiz %g vs %g, cost %g vs %g, opened %d vs %d",
+				nproc, ref.Hiz, leg.Hiz, ref.Cost, leg.Cost, ref.Opened, leg.Opened)
+		}
+		for i := range ref.Assign {
+			if !approx(ref.Assign[i], leg.Assign[i]) {
+				t.Fatalf("legacy assign[%d] = %g, want %g", i, leg.Assign[i], ref.Assign[i])
+			}
+		}
+	}
+
+	for _, arch := range []*machine.Architecture{machine.CPUCentric(), machine.GPUCentric()} {
+		ctx := skel.NewContext(arch)
+		mod := Modernized(ctx, pts)
+		if !approx(ref.Hiz, mod.Hiz) || !approx(ref.Cost, mod.Cost) || ref.Opened != mod.Opened {
+			t.Errorf("modernized on %s diverges: hiz %g vs %g", arch.Name, ref.Hiz, mod.Hiz)
+		}
+		for i := range ref.Assign {
+			if !approx(ref.Assign[i], mod.Assign[i]) {
+				t.Fatalf("modernized assign[%d] = %g, want %g", i, mod.Assign[i], ref.Assign[i])
+			}
+		}
+		if ctx.SimulatedTime() <= 0 {
+			t.Error("no simulated time accounted")
+		}
+	}
+
+	// The Rodinia-style context computes the same values too.
+	rod := Modernized(NewRodiniaContext(machine.GPUCentric()), pts)
+	if !approx(ref.Hiz, rod.Hiz) {
+		t.Error("rodinia-style context diverges")
+	}
+}
+
+func TestLegacyEdgeCases(t *testing.T) {
+	pts := GeneratePoints(7, 3) // uneven split
+	ref := Sequential(pts)
+	leg := Legacy(pts, 3)
+	if !approx(ref.Hiz, leg.Hiz) || !approx(ref.Cost, leg.Cost) {
+		t.Error("uneven split diverges")
+	}
+	leg0 := Legacy(pts, 0) // clamps to 1
+	if !approx(ref.Hiz, leg0.Hiz) {
+		t.Error("nproc=0 diverges")
+	}
+}
+
+// TestFigure8Shape verifies the portability claims of paper §6.3: on the
+// CPU-centric machine the legacy version leads and the modernized version
+// is competitive on the CPU, while the CUDA port is held back by the weak
+// GPU; on the GPU-centric machine the modernized version wins by moving to
+// the GPU, the legacy version collapses to the few cores, and the
+// mis-tuned CUDA port lands in between.
+func TestFigure8Shape(t *testing.T) {
+	rows := Figure8()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	get := func(archSub, impl string) Figure8Row {
+		for _, r := range rows {
+			if r.Impl == impl && containsSub(r.Arch, archSub) {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", archSub, impl)
+		return Figure8Row{}
+	}
+	const (
+		legacy = "Starbench legacy (Pthreads)"
+		modern = "Starbench modernized (SkePU)"
+		cuda   = "Rodinia (CUDA)"
+	)
+	cpuLegacy := get("CPU-centric", legacy)
+	cpuModern := get("CPU-centric", modern)
+	cpuCuda := get("CPU-centric", cuda)
+	gpuLegacy := get("GPU-centric", legacy)
+	gpuModern := get("GPU-centric", modern)
+	gpuCuda := get("GPU-centric", cuda)
+
+	near := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s speedup = %.2fx, paper reports %.1fx (tolerance %.1f)",
+				name, got, want, tol)
+		}
+	}
+	// Paper's reported speedups, with modelling tolerance.
+	near("CPU-centric legacy", cpuLegacy.Speedup, 10.0, 1.0)
+	near("CPU-centric modernized", cpuModern.Speedup, 9.6, 1.0)
+	near("CPU-centric rodinia", cpuCuda.Speedup, 2.4, 0.5)
+	near("GPU-centric legacy", gpuLegacy.Speedup, 4.3, 0.5)
+	near("GPU-centric modernized", gpuModern.Speedup, 15.6, 1.5)
+	near("GPU-centric rodinia", gpuCuda.Speedup, 7.1, 1.0)
+
+	// Shape: orderings that carry the paper's argument.
+	if !(cpuLegacy.Speedup > cpuCuda.Speedup) {
+		t.Error("CPU-centric: legacy should beat the CUDA port")
+	}
+	if !(gpuModern.Speedup > gpuCuda.Speedup && gpuCuda.Speedup > gpuLegacy.Speedup) {
+		t.Error("GPU-centric: modernized > rodinia > legacy expected")
+	}
+	if !(gpuModern.Speedup > cpuModern.Speedup) {
+		t.Error("modernized should improve on the GPU-centric machine")
+	}
+	if !(gpuLegacy.Speedup < cpuLegacy.Speedup) {
+		t.Error("legacy should degrade on the GPU-centric machine")
+	}
+	// The modernized version's backend choice flips between machines.
+	if cpuModern.Backend != "cpu" || gpuModern.Backend != "gpu" {
+		t.Errorf("modernized backends: %s / %s, want cpu / gpu",
+			cpuModern.Backend, gpuModern.Backend)
+	}
+}
+
+func containsSub(s, sub string) bool {
+	return len(s) >= len(sub) && (s[:len(sub)] == sub || containsSub(s[1:], sub))
+}

@@ -1,0 +1,41 @@
+package skel
+
+// MapOverlap is the stencil skeleton (SkePU's MapOverlap): each output
+// element is computed from its input element and a fixed-radius
+// neighbourhood. It is the modernization target for the stencil patterns
+// the extension matcher finds (patterns.MatchStencil). Edges use clamping
+// (the first/last element repeats), SkePU's duplicate-edge policy.
+
+// MapOverlap applies f to a sliding window of 2*radius+1 elements centred
+// on each input element. The window slice passed to f is reused between
+// calls on the same worker; f must not retain it.
+func MapOverlap[T, R any](c *Context, in []T, radius int, cost Cost, f func(window []T) R) []R {
+	if radius < 0 {
+		panic("skel: MapOverlap radius must be non-negative")
+	}
+	kind := c.choose(len(in), cost)
+	out := make([]R, len(in))
+	width := 2*radius + 1
+	run := func(lo, hi int) {
+		window := make([]T, width)
+		for i := lo; i < hi; i++ {
+			for k := -radius; k <= radius; k++ {
+				j := i + k
+				if j < 0 {
+					j = 0
+				}
+				if j >= len(in) {
+					j = len(in) - 1
+				}
+				window[k+radius] = in[j]
+			}
+			out[i] = f(window)
+		}
+	}
+	if kind == Sequential || len(in) < 2 {
+		run(0, len(in))
+	} else {
+		c.parallelFor(len(in), run)
+	}
+	return out
+}

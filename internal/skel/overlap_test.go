@@ -1,0 +1,77 @@
+package skel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOverlapBlur(t *testing.T) {
+	c := ctx()
+	in := []float64{3, 6, 9, 12, 15}
+	got := MapOverlap(c, in, 1, Cost{}, func(w []float64) float64 {
+		return (w[0] + w[1] + w[2]) / 3
+	})
+	// Edges clamp: (3+3+6)/3 = 4 and (12+15+15)/3 = 14.
+	want := []float64{4, 6, 9, 12, 14}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("blur[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapOverlapRadiusZero(t *testing.T) {
+	c := ctx()
+	in := []int{1, 2, 3}
+	got := MapOverlap(c, in, 0, Cost{}, func(w []int) int { return w[0] * 2 })
+	for i, v := range []int{2, 4, 6} {
+		if got[i] != v {
+			t.Errorf("got[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestMapOverlapNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative radius accepted")
+		}
+	}()
+	MapOverlap(ctx(), []int{1}, -1, Cost{}, func(w []int) int { return 0 })
+}
+
+// Property: the parallel stencil equals the sequential one.
+func TestMapOverlapMatchesSequentialProperty(t *testing.T) {
+	prop := func(raw []int16, r8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		radius := int(r8 % 4)
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		sum := func(w []int64) int64 {
+			var s int64
+			for _, v := range w {
+				s += v
+			}
+			return s
+		}
+		cSeq := ctx()
+		cSeq.Backend = Sequential
+		cPar := ctx()
+		cPar.Backend = CPU
+		a := MapOverlap(cSeq, in, radius, Cost{}, sum)
+		b := MapOverlap(cPar, in, radius, Cost{}, sum)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

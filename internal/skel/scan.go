@@ -1,0 +1,115 @@
+package skel
+
+import "sync"
+
+// Scan and Filter skeletons, completing the library's data-parallel core
+// (SkePU 2 provides the same set). Scan's parallel backend uses the
+// classic two-phase arrangement: per-block reductions, an exclusive scan
+// of the block sums, then per-block rescans — structurally the same
+// partial/final split as the paper's tiled reduction.
+
+// Scan returns the inclusive prefix combination of in under the
+// associative operator op with identity id.
+func Scan[T any](c *Context, in []T, cost Cost, id T, op func(T, T) T) []T {
+	kind := c.choose(len(in), cost)
+	out := make([]T, len(in))
+	if kind == Sequential || len(in) < 2 {
+		acc := id
+		for i, v := range in {
+			acc = op(acc, v)
+			out[i] = acc
+		}
+		return out
+	}
+	workers := c.workers()
+	if workers > len(in) {
+		workers = len(in)
+	}
+	chunk := (len(in) + workers - 1) / workers
+	type block struct{ lo, hi int }
+	var blocks []block
+	for lo := 0; lo < len(in); lo += chunk {
+		hi := lo + chunk
+		if hi > len(in) {
+			hi = len(in)
+		}
+		blocks = append(blocks, block{lo, hi})
+	}
+	// Phase 1: per-block totals.
+	totals := make([]T, len(blocks))
+	var wg sync.WaitGroup
+	for bi, blk := range blocks {
+		wg.Add(1)
+		go func(bi int, blk block) {
+			defer wg.Done()
+			acc := id
+			for i := blk.lo; i < blk.hi; i++ {
+				acc = op(acc, in[i])
+			}
+			totals[bi] = acc
+		}(bi, blk)
+	}
+	wg.Wait()
+	// Phase 2: exclusive scan of the block totals (sequential; one value
+	// per block).
+	offsets := make([]T, len(blocks))
+	acc := id
+	for bi := range blocks {
+		offsets[bi] = acc
+		acc = op(acc, totals[bi])
+	}
+	// Phase 3: per-block rescan with the block offset.
+	for bi, blk := range blocks {
+		wg.Add(1)
+		go func(bi int, blk block) {
+			defer wg.Done()
+			acc := offsets[bi]
+			for i := blk.lo; i < blk.hi; i++ {
+				acc = op(acc, in[i])
+				out[i] = acc
+			}
+		}(bi, blk)
+	}
+	wg.Wait()
+	return out
+}
+
+// Filter returns the elements of in for which keep returns true,
+// preserving order. The parallel backend marks in parallel and compacts
+// with a scan of the marks.
+func Filter[T any](c *Context, in []T, cost Cost, keep func(T) bool) []T {
+	kind := c.choose(len(in), cost)
+	if kind == Sequential || len(in) < 2 {
+		var out []T
+		for _, v := range in {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	marks := make([]int, len(in))
+	c.parallelFor(len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep(in[i]) {
+				marks[i] = 1
+			}
+		}
+	})
+	// Exclusive positions via an inclusive scan shifted by one.
+	total := 0
+	pos := make([]int, len(in))
+	for i, m := range marks {
+		pos[i] = total
+		total += m
+	}
+	out := make([]T, total)
+	c.parallelFor(len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if marks[i] == 1 {
+				out[pos[i]] = in[i]
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,110 @@
+package skel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScanInclusive(t *testing.T) {
+	c := ctx()
+	in := []int{1, 2, 3, 4, 5}
+	got := Scan(c, in, Cost{}, 0, func(a, b int) int { return a + b })
+	want := []int{1, 3, 6, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEmptyAndSingle(t *testing.T) {
+	c := ctx()
+	if got := Scan(c, nil, Cost{}, 7, func(a, b int) int { return a + b }); len(got) != 0 {
+		t.Error("empty scan should be empty")
+	}
+	got := Scan(c, []int{5}, Cost{}, 2, func(a, b int) int { return a + b })
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("single scan = %v", got)
+	}
+}
+
+// Property: the parallel scan agrees with the sequential fold for exactly
+// associative integer addition, at every prefix.
+func TestScanMatchesSequentialProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		c := ctx()
+		c.Backend = CPU
+		got := Scan(c, in, Cost{}, 0, func(a, b int64) int64 { return a + b })
+		var acc int64
+		for i, v := range in {
+			acc += v
+			if got[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := ctx()
+	in := []int{5, 2, 9, 1, 7, 4}
+	got := Filter(c, in, Cost{}, func(x int) bool { return x > 4 })
+	want := []int{5, 9, 7}
+	if len(got) != len(want) {
+		t.Fatalf("filter = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("filter[%d] = %d, want %d (order must be preserved)", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: parallel Filter equals the sequential filter, including order.
+func TestFilterMatchesSequentialProperty(t *testing.T) {
+	prop := func(raw []int8) bool {
+		in := make([]int, len(raw))
+		for i, v := range raw {
+			in[i] = int(v)
+		}
+		keep := func(x int) bool { return x%3 == 0 }
+		c := ctx()
+		c.Backend = CPU
+		got := Filter(c, in, Cost{}, keep)
+		var want []int
+		for _, v := range in {
+			if keep(v) {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanFilterAccountTime(t *testing.T) {
+	c := ctx()
+	Scan(c, make([]int, 100), Cost{}, 0, func(a, b int) int { return a + b })
+	Filter(c, make([]int, 100), Cost{}, func(int) bool { return true })
+	if c.Calls() != 2 || c.SimulatedTime() <= 0 {
+		t.Errorf("calls=%d time=%g", c.Calls(), c.SimulatedTime())
+	}
+}

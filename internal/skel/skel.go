@@ -1,0 +1,333 @@
+// Package skel is a parallel pattern (algorithmic skeleton) library in the
+// style of SkePU 2 [16]: Map, Reduce, and MapReduce skeletons with
+// pluggable backends. Code expressed against these skeletons is what the
+// paper calls "modernized": the same call runs sequentially, across CPU
+// threads, or on a GPU, chosen automatically per call from the machine
+// model — which is exactly how the modernized streamcluster of §6.3
+// "seamlessly capitalizes on the strengths of different hardware
+// architectures".
+//
+// Skeleton calls execute for real on the host (goroutine-parallel for the
+// CPU and GPU backends) and, in parallel, account simulated time on the
+// configured machine.Architecture, so the portability study is
+// deterministic while its results remain computed values.
+package skel
+
+import (
+	"runtime"
+	"sync"
+
+	"discovery/internal/machine"
+)
+
+// BackendKind selects how a skeleton executes.
+type BackendKind int
+
+// Backends.
+const (
+	// Auto picks the fastest backend for each call on the context's
+	// architecture (SkePU's auto-tuned hybrid execution).
+	Auto BackendKind = iota
+	// Sequential runs on one CPU core.
+	Sequential
+	// CPU runs on all CPU cores.
+	CPU
+	// GPU runs on the architecture's GPU.
+	GPU
+)
+
+// String names the backend.
+func (b BackendKind) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Sequential:
+		return "sequential"
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	}
+	return "unknown"
+}
+
+// Cost characterizes one skeleton call for the machine model.
+type Cost struct {
+	// WorkPerElement is the per-element compute work (machine units).
+	WorkPerElement float64
+	// BytesPerElement is the per-element host-device traffic.
+	BytesPerElement float64
+}
+
+// DefaultCost is assumed when the caller provides a zero Cost.
+var DefaultCost = Cost{WorkPerElement: 1, BytesPerElement: 8}
+
+// Context carries the target architecture, backend policy, and accumulated
+// simulated time across skeleton calls.
+type Context struct {
+	Arch    *machine.Architecture
+	Backend BackendKind
+	// CPUEfficiency is the parallel efficiency of the skeleton CPU
+	// backend (slightly below hand-tuned threading; default 0.8).
+	CPUEfficiency float64
+	// GPUOccupancy derates GPU execution for code not tuned to the device
+	// (default 1.0).
+	GPUOccupancy float64
+	// Workers bounds real host parallelism (default GOMAXPROCS).
+	Workers int
+
+	mu       sync.Mutex
+	simTime  float64
+	calls    int
+	lastKind BackendKind
+}
+
+// NewContext returns a context targeting the architecture with automatic
+// backend selection.
+func NewContext(arch *machine.Architecture) *Context {
+	return &Context{Arch: arch, Backend: Auto, CPUEfficiency: 0.8, GPUOccupancy: 1.0}
+}
+
+// SimulatedTime returns the simulated seconds accumulated so far.
+func (c *Context) SimulatedTime() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simTime
+}
+
+// Calls returns the number of skeleton invocations so far.
+func (c *Context) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// LastBackend returns the backend chosen by the most recent call.
+func (c *Context) LastBackend() BackendKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastKind
+}
+
+// Reset clears the accumulated simulated time.
+func (c *Context) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simTime = 0
+	c.calls = 0
+}
+
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// choose picks the backend and accounts its simulated time.
+func (c *Context) choose(n int, cost Cost) BackendKind {
+	if cost.WorkPerElement == 0 {
+		cost = DefaultCost
+	}
+	w := machine.Workload{
+		Elements:        n,
+		WorkPerElement:  cost.WorkPerElement,
+		BytesPerElement: cost.BytesPerElement,
+	}
+	kind := c.Backend
+	seqT := c.Arch.SeqTime(w)
+	cpuT := c.Arch.CPUTime(w, c.Arch.CPUCores, c.CPUEfficiency)
+	gpuT := c.Arch.GPUTime(w, c.GPUOccupancy)
+	if kind == Auto {
+		kind = Sequential
+		best := seqT
+		if cpuT < best {
+			kind, best = CPU, cpuT
+		}
+		if gpuT < best {
+			kind = GPU
+		}
+	}
+	var t float64
+	switch kind {
+	case Sequential:
+		t = seqT
+	case CPU:
+		t = cpuT
+	case GPU:
+		t = gpuT
+	}
+	c.mu.Lock()
+	c.simTime += t
+	c.calls++
+	c.lastKind = kind
+	c.mu.Unlock()
+	return kind
+}
+
+// parallelFor executes body(i) for i in [0, n) across the host's workers.
+func (c *Context) parallelFor(n int, body func(lo, hi int)) {
+	workers := c.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every element of in, returning the results.
+func Map[T, R any](c *Context, in []T, cost Cost, f func(T) R) []R {
+	kind := c.choose(len(in), cost)
+	out := make([]R, len(in))
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(in[i])
+		}
+	}
+	if kind == Sequential {
+		run(0, len(in))
+	} else {
+		c.parallelFor(len(in), run)
+	}
+	return out
+}
+
+// MapIndex applies f to every index and element of in.
+func MapIndex[T, R any](c *Context, in []T, cost Cost, f func(int, T) R) []R {
+	kind := c.choose(len(in), cost)
+	out := make([]R, len(in))
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(i, in[i])
+		}
+	}
+	if kind == Sequential {
+		run(0, len(in))
+	} else {
+		c.parallelFor(len(in), run)
+	}
+	return out
+}
+
+// Reduce combines in with the associative operator op, starting from the
+// identity id. Parallel backends use the tiled arrangement (per-worker
+// partial reductions combined by a final reduction — paper Figure 3).
+func Reduce[T any](c *Context, in []T, cost Cost, id T, op func(T, T) T) T {
+	kind := c.choose(len(in), cost)
+	if kind == Sequential || len(in) < 2 {
+		acc := id
+		for _, v := range in {
+			acc = op(acc, v)
+		}
+		return acc
+	}
+	workers := c.workers()
+	if workers > len(in) {
+		workers = len(in)
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	chunk := (len(in) + workers - 1) / workers
+	slot := 0
+	for lo := 0; lo < len(in); lo += chunk {
+		hi := lo + chunk
+		if hi > len(in) {
+			hi = len(in)
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, in[i])
+			}
+			partials[slot] = acc
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	acc := id
+	for _, v := range partials[:slot] {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// MapReduce fuses a map and a reduction over the same elements (the
+// compound pattern the paper's Figure 2b modernization uses).
+func MapReduce[T, R any](c *Context, in []T, cost Cost, f func(T) R, id R, op func(R, R) R) R {
+	kind := c.choose(len(in), cost)
+	if kind == Sequential || len(in) < 2 {
+		acc := id
+		for _, v := range in {
+			acc = op(acc, f(v))
+		}
+		return acc
+	}
+	workers := c.workers()
+	if workers > len(in) {
+		workers = len(in)
+	}
+	partials := make([]R, workers)
+	var wg sync.WaitGroup
+	chunk := (len(in) + workers - 1) / workers
+	slot := 0
+	for lo := 0; lo < len(in); lo += chunk {
+		hi := lo + chunk
+		if hi > len(in) {
+			hi = len(in)
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, f(in[i]))
+			}
+			partials[slot] = acc
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	acc := id
+	for _, v := range partials[:slot] {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// Map2 applies f pairwise to two equal-length slices (a zipped map).
+func Map2[A, B, R any](c *Context, a []A, b []B, cost Cost, f func(A, B) R) []R {
+	if len(a) != len(b) {
+		panic("skel: Map2 length mismatch")
+	}
+	kind := c.choose(len(a), cost)
+	out := make([]R, len(a))
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(a[i], b[i])
+		}
+	}
+	if kind == Sequential {
+		run(0, len(a))
+	} else {
+		c.parallelFor(len(a), run)
+	}
+	return out
+}

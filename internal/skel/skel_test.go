@@ -1,0 +1,163 @@
+package skel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"discovery/internal/machine"
+)
+
+func ctx() *Context { return NewContext(machine.CPUCentric()) }
+
+func TestMap(t *testing.T) {
+	in := []int{1, 2, 3, 4, 5}
+	out := Map(ctx(), in, Cost{}, func(x int) int { return x * x })
+	want := []int{1, 4, 9, 16, 25}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMapIndex(t *testing.T) {
+	in := make([]int, 100)
+	out := MapIndex(ctx(), in, Cost{}, func(i, _ int) int { return i * 2 })
+	for i := range out {
+		if out[i] != i*2 {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = 1
+	}
+	got := Reduce(ctx(), in, Cost{}, 0, func(a, b float64) float64 { return a + b })
+	if got != 1000 {
+		t.Errorf("sum = %g, want 1000", got)
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	got := MapReduce(ctx(), in, Cost{},
+		func(x float64) float64 { return x * x },
+		0, func(a, b float64) float64 { return a + b })
+	if got != 30 {
+		t.Errorf("sum of squares = %g, want 30", got)
+	}
+}
+
+func TestMap2(t *testing.T) {
+	a := []int{1, 2, 3}
+	b := []int{10, 20, 30}
+	out := Map2(ctx(), a, b, Cost{}, func(x, y int) int { return x + y })
+	if out[0] != 11 || out[2] != 33 {
+		t.Errorf("Map2 = %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not rejected")
+		}
+	}()
+	Map2(ctx(), a, b[:2], Cost{}, func(x, y int) int { return 0 })
+}
+
+// Property: parallel Reduce agrees with sequential folding for integer
+// addition (exactly associative).
+func TestReduceMatchesSequentialProperty(t *testing.T) {
+	prop := func(raw []int32) bool {
+		in := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			in[i] = int64(v)
+			want += int64(v)
+		}
+		c := ctx()
+		c.Backend = CPU
+		got := Reduce(c, in, Cost{}, 0, func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	// Tiny inputs run sequentially; big compute-heavy inputs pick CPU on
+	// the CPU-centric machine and GPU on the GPU-centric machine.
+	heavy := Cost{WorkPerElement: 128, BytesPerElement: 512}
+	big := make([]int, 200000)
+
+	c := NewContext(machine.CPUCentric())
+	Map(c, []int{1, 2}, heavy, func(x int) int { return x })
+	if c.LastBackend() != Sequential {
+		t.Errorf("tiny input chose %v", c.LastBackend())
+	}
+	Map(c, big, heavy, func(x int) int { return x })
+	if c.LastBackend() != CPU {
+		t.Errorf("CPU-centric chose %v, want cpu", c.LastBackend())
+	}
+
+	g := NewContext(machine.GPUCentric())
+	Map(g, big, heavy, func(x int) int { return x })
+	if g.LastBackend() != GPU {
+		t.Errorf("GPU-centric chose %v, want gpu", g.LastBackend())
+	}
+}
+
+func TestForcedBackend(t *testing.T) {
+	c := NewContext(machine.CPUCentric())
+	c.Backend = GPU
+	Map(c, make([]int, 10), Cost{}, func(x int) int { return x })
+	if c.LastBackend() != GPU {
+		t.Error("forced backend ignored")
+	}
+}
+
+func TestSimulatedTimeAccumulates(t *testing.T) {
+	c := ctx()
+	if c.SimulatedTime() != 0 {
+		t.Error("fresh context has nonzero time")
+	}
+	Map(c, make([]int, 1000), Cost{WorkPerElement: 1}, func(x int) int { return x })
+	t1 := c.SimulatedTime()
+	if t1 <= 0 {
+		t.Error("no time accounted")
+	}
+	Map(c, make([]int, 1000), Cost{WorkPerElement: 1}, func(x int) int { return x })
+	if c.SimulatedTime() <= t1 {
+		t.Error("time did not accumulate")
+	}
+	if c.Calls() != 2 {
+		t.Errorf("calls = %d", c.Calls())
+	}
+	c.Reset()
+	if c.SimulatedTime() != 0 || c.Calls() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	for b, want := range map[BackendKind]string{
+		Auto: "auto", Sequential: "sequential", CPU: "cpu", GPU: "gpu",
+		BackendKind(99): "unknown",
+	} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}
+
+func TestReduceEmptyAndSingle(t *testing.T) {
+	c := ctx()
+	if got := Reduce(c, nil, Cost{}, 42, func(a, b int) int { return a + b }); got != 42 {
+		t.Errorf("empty reduce = %d, want identity", got)
+	}
+	if got := Reduce(c, []int{7}, Cost{}, 0, func(a, b int) int { return a + b }); got != 7 {
+		t.Errorf("single reduce = %d", got)
+	}
+}

@@ -1,0 +1,77 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// Shared construction helpers for the benchmark kernels.
+//
+// Input buffers are filled by traced initialization loops (a hash of the
+// element index), because pattern inputs must have defining nodes in the
+// DDG — in the original benchmarks those are the file-parsing loops.
+// The init hash uses only non-associative operations (mod, div) around the
+// index so that it neither matches a pattern itself (its operands are loop
+// indices and constants, so components have no incoming arcs) nor chains
+// into kernel reductions.
+//
+// Output buffers are drained by an "emit" loop per buffer (the analogue of
+// writing the output file): a per-element division whose results are never
+// read. Emitting gives kernel map components their output arcs (2d)
+// without introducing a trailing reduction.
+
+// initFloat fills a static array with deterministic pseudo-random floats
+// in [0, 1): data[i] = ((i*a + c) mod m) / m.
+func initFloat(b *mir.Block, name string, n int64, a, c int64) {
+	b.For("ii", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		h := mir.Mod(mir.Add(mir.Mul(mir.V("ii"), mir.C(a)), mir.C(c)), mir.C(8191))
+		b.Store(mir.Idx(mir.G(name), mir.V("ii")),
+			mir.FDiv(mir.I2F(h), mir.F(8191)))
+	})
+}
+
+// initInt fills a static array with deterministic pseudo-random integers
+// in [0, m): data[i] = (i*a + c) mod m.
+func initInt(b *mir.Block, name string, n int64, a, c, m int64) {
+	b.For("ii", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G(name), mir.V("ii")),
+			mir.Mod(mir.Add(mir.Mul(mir.V("ii"), mir.C(a)), mir.C(c)), mir.C(m)))
+	})
+}
+
+// emit drains an output array: a per-element operation whose results are
+// never read. The loop gives the producing kernel its output arcs while
+// matching no pattern itself (no external output).
+func emit(b *mir.Block, src string, dst string, n int64) {
+	b.For("ie", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G(dst), mir.V("ie")),
+			mir.FDiv(mir.Load(mir.Idx(mir.G(src), mir.V("ie"))), mir.F(255)))
+	})
+}
+
+// spawnJoin spawns nproc workers running fn(pid) and joins them. Worker
+// thread ids are allocated in spawn order starting after already-spawned
+// threads; joining by id is exact because each benchmark spawns its
+// workers from the main thread only.
+func spawnJoin(b *mir.Block, fn string, nproc int64, firstThread int64) {
+	b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+		b.Spawn("h", fn, mir.V("t"))
+	})
+	b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+		b.Join(mir.Add(mir.V("t"), mir.C(firstThread)))
+	})
+}
+
+// blockRange assigns the [k1, k2) range of n elements for worker pid out
+// of nproc (the Starbench work-splitting idiom). n must be divisible by
+// nproc for the analysis inputs so that tiled reductions have equal
+// partial lengths.
+func blockRange(b *mir.Block, n, nproc int64) {
+	per := n / nproc
+	if per*nproc != n {
+		panic(fmt.Sprintf("starbench: %d elements not divisible by %d workers", n, nproc))
+	}
+	b.Assign("k1", mir.Mul(mir.V("pid"), mir.C(per)))
+	b.Assign("k2", mir.Add(mir.V("k1"), mir.C(per)))
+}

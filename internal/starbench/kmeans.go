@@ -1,0 +1,148 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// KMeans is the kmeans benchmark: one assignment+accumulation pass of
+// k-medians-style clustering. The per-point cluster assignment (an argmin
+// over centers) feeds memory addressing exclusively, so DDG simplification
+// strips the candidate map's output arcs — the documented kmeans miss
+// (paper §6.1): the map and its enclosing map-reduction are missed, while
+// the coordinate-sum reductions are found (linear in the sequential
+// version, tiled across threads in the Pthreads version).
+func KMeans() *Benchmark {
+	return &Benchmark{
+		Name:          "kmeans",
+		Analysis:      Params{"n": 8, "dims": 2, "k": 2, "nproc": 2},
+		Sensitivity:   Params{"n": 12, "dims": 2, "k": 2, "nproc": 2},
+		Reference:     Params{"n": 17695, "dims": 18, "k": 2000, "nproc": 12},
+		AnalysisDesc:  "8 pt., 2 dim., 2 clusters",
+		ReferenceDesc: "17695 pt., 18 dim., 2000 clusters",
+		Outputs:       []string{"newctr"},
+		Build:         buildKMeans,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "r", Anchors: []string{"kmeans_accum"}, Iteration: 1},
+				{Label: "m", Anchors: []string{"kmeans_assign"}, Missed: true,
+					MissReason: "cluster indices are consumed only by address calculations and simplified away"},
+				{Label: "mr", Anchors: []string{"kmeans_assign", "kmeans_accum"}, Missed: true,
+					MissReason: "the underlying map is missed"},
+			}
+		},
+	}
+}
+
+func buildKMeans(v Version, par Params) *Built {
+	n, dims, k, nproc := par.Get("n"), par.Get("dims"), par.Get("k"), par.Get("nproc")
+	p := mir.NewProgram(fmt.Sprintf("kmeans-%s", v))
+	bt := &Built{Prog: p}
+	p.DeclareStatic("px", n*dims)
+	p.DeclareStatic("ctr", k*dims)
+	p.DeclareStatic("sums", k*dims)
+	p.DeclareStatic("counts", k)
+	p.DeclareStatic("psums", nproc*k*dims)
+	p.DeclareStatic("pcounts", nproc*k)
+	p.DeclareStatic("newctr", k*dims)
+	p.DeclareStatic("ectr", k*dims)
+
+	// assignRange assigns points [k1, k2) to their nearest center and
+	// accumulates coordinates into the sums at base address sb (and counts
+	// at cb) — per-thread bases in the Pthreads version.
+	fn, fb := p.NewFunc("assignRange", "kmeans.c", "k1", "k2", "sb", "cb")
+	var accumLoop mir.LoopID
+	assignLoop := fb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("best", mir.F(1e30))
+		b.Assign("bi", mir.C(0))
+		b.For("c", mir.C(0), mir.C(k), mir.C(1), func(b *mir.Block) {
+			b.Assign("dd", mir.F(0))
+			b.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+				b.Assign("df", mir.FSub(
+					mir.Load(mir.Idx(mir.G("px"), mir.Add(mir.Mul(mir.V("i"), mir.C(dims)), mir.V("d")))),
+					mir.Load(mir.Idx(mir.G("ctr"), mir.Add(mir.Mul(mir.V("c"), mir.C(dims)), mir.V("d"))))))
+				b.Assign("dd", mir.FAdd(mir.V("dd"), mir.FMul(mir.V("df"), mir.V("df"))))
+			})
+			b.If(mir.Lt(mir.V("dd"), mir.V("best")), func(b *mir.Block) {
+				b.Assign("best", mir.V("dd"))
+				b.Assign("bi", mir.V("c"))
+			})
+		})
+		// The assignment index bi is used exclusively in addressing.
+		accumLoop = b.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+			b.Assign("sa", mir.Add(mir.V("sb"), mir.Add(mir.Mul(mir.V("bi"), mir.C(dims)), mir.V("d"))))
+			b.Store(mir.Idx(mir.V("sa"), mir.C(0)),
+				mir.FAdd(mir.Load(mir.Idx(mir.V("sa"), mir.C(0))),
+					mir.Load(mir.Idx(mir.G("px"), mir.Add(mir.Mul(mir.V("i"), mir.C(dims)), mir.V("d"))))))
+		})
+		b.Store(mir.Idx(mir.V("cb"), mir.V("bi")),
+			mir.Add(mir.Load(mir.Idx(mir.V("cb"), mir.V("bi"))), mir.C(1)))
+	})
+	fb.Finish(fn)
+	bt.anchor("kmeans_assign", assignLoop)
+	bt.anchor("kmeans_accum", accumLoop)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("worker", "kmeans.c", "pid")
+		blockRange(wb, n, nproc)
+		wb.CallStmt("assignRange", mir.V("k1"), mir.V("k2"),
+			mir.Add(mir.G("psums"), mir.Mul(mir.V("pid"), mir.C(k*dims))),
+			mir.Add(mir.G("pcounts"), mir.Mul(mir.V("pid"), mir.C(k))))
+		wb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "kmeans.c")
+	// Points alternate between two tight groups near the two centers so
+	// that the analysis input splits clusters evenly across threads (the
+	// Pthreads tiled reduction then has equal-length partial chains).
+	b.For("i", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		b.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+			h := mir.Add(mir.Mul(mir.Mod(mir.V("i"), mir.C(2)), mir.C(400)),
+				mir.Mod(mir.Add(mir.Mul(mir.V("i"), mir.C(37)), mir.Mul(mir.V("d"), mir.C(53))), mir.C(100)))
+			b.Store(mir.Idx(mir.G("px"), mir.Add(mir.Mul(mir.V("i"), mir.C(dims)), mir.V("d"))),
+				mir.FDiv(mir.I2F(h), mir.F(1000)))
+		})
+	})
+	b.For("c", mir.C(0), mir.C(k), mir.C(1), func(b *mir.Block) {
+		b.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+			b.Store(mir.Idx(mir.G("ctr"), mir.Add(mir.Mul(mir.V("c"), mir.C(dims)), mir.V("d"))),
+				mir.FDiv(mir.I2F(mir.Add(mir.Mul(mir.V("c"), mir.C(400)), mir.C(50))), mir.F(1000)))
+		})
+	})
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+		// Merge per-thread partial sums and counts.
+		b.For("cd", mir.C(0), mir.C(k*dims), mir.C(1), func(b *mir.Block) {
+			b.Assign("acc", mir.F(0))
+			b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+				b.Assign("acc", mir.FAdd(mir.V("acc"),
+					mir.Load(mir.Idx(mir.G("psums"), mir.Add(mir.Mul(mir.V("t"), mir.C(k*dims)), mir.V("cd"))))))
+			})
+			b.Store(mir.Idx(mir.G("sums"), mir.V("cd")), mir.V("acc"))
+		})
+		b.For("c", mir.C(0), mir.C(k), mir.C(1), func(b *mir.Block) {
+			b.Assign("cc", mir.C(0))
+			b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+				b.Assign("cc", mir.Add(mir.V("cc"),
+					mir.Load(mir.Idx(mir.G("pcounts"), mir.Add(mir.Mul(mir.V("t"), mir.C(k)), mir.V("c"))))))
+			})
+			b.Store(mir.Idx(mir.G("counts"), mir.V("c")), mir.V("cc"))
+		})
+	} else {
+		b.CallStmt("assignRange", mir.C(0), mir.C(n), mir.G("sums"), mir.G("counts"))
+	}
+	// Recompute centers from the accumulated sums.
+	b.For("c", mir.C(0), mir.C(k), mir.C(1), func(b *mir.Block) {
+		b.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+			b.Store(mir.Idx(mir.G("newctr"), mir.Add(mir.Mul(mir.V("c"), mir.C(dims)), mir.V("d"))),
+				mir.FDiv(mir.Load(mir.Idx(mir.G("sums"), mir.Add(mir.Mul(mir.V("c"), mir.C(dims)), mir.V("d")))),
+					mir.I2F(mir.Load(mir.Idx(mir.G("counts"), mir.V("c"))))))
+		})
+	})
+	emit(b, "newctr", "ectr", k*dims)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

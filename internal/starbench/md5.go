@@ -1,0 +1,144 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// MD5 is the md5 benchmark: independent MD5 digests over a set of buffers,
+// a map over the buffers whose components are the (identical) 64-round
+// digest computations. The full round structure is implemented with 32-bit
+// semantics (masked adds, rotates, and the real K/shift tables).
+//
+// Expected pattern (Table 3): one map over the buffers, both versions.
+func MD5() *Benchmark {
+	return &Benchmark{
+		Name:          "md5",
+		Analysis:      Params{"nbuf": 4, "bufwords": 4, "nproc": 2},
+		Sensitivity:   Params{"nbuf": 6, "bufwords": 4, "nproc": 2},
+		Reference:     Params{"nbuf": 128, "bufwords": 1024 * 1024, "nproc": 12},
+		AnalysisDesc:  "4 buffers, 2x2 B/buffer",
+		ReferenceDesc: "128 buffers, 1024x4096 B/buffer",
+		Outputs:       []string{"digest"},
+		Build:         buildMD5,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "m", Anchors: []string{"buffers"}, Iteration: 1},
+			}
+		},
+	}
+}
+
+// md5K is the standard MD5 sine-derived constant table.
+var md5K = [64]int64{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// md5S is the per-round left-rotation amounts.
+var md5S = [64]int64{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+const mask32 = 0xffffffff
+
+func buildMD5(v Version, par Params) *Built {
+	nbuf, words, nproc := par.Get("nbuf"), par.Get("bufwords"), par.Get("nproc")
+	p := mir.NewProgram(fmt.Sprintf("md5-%s", v))
+	bt := &Built{Prog: p}
+	p.DeclareStatic("bufs", nbuf*words)
+	p.DeclareStatic("digest", nbuf*4)
+	p.DeclareStatic("edig", nbuf*4)
+
+	fn, fb := p.NewFunc("digestRange", "md5.c", "k1", "k2")
+	loop := fb.For("bi", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("base", mir.Mul(mir.V("bi"), mir.C(words)))
+		b.Assign("A", mir.C(0x67452301))
+		b.Assign("B", mir.C(0xefcdab89))
+		b.Assign("C", mir.C(0x98badcfe))
+		b.Assign("D", mir.C(0x10325476))
+		for i := int64(0); i < 64; i++ {
+			var f mir.Expr
+			var g int64
+			switch {
+			case i < 16:
+				// F = (B & C) | (~B & D)
+				f = mir.Or(mir.And(mir.V("B"), mir.V("C")),
+					mir.And(mir.Xor(mir.V("B"), mir.C(mask32)), mir.V("D")))
+				g = i
+			case i < 32:
+				// F = (D & B) | (~D & C)
+				f = mir.Or(mir.And(mir.V("D"), mir.V("B")),
+					mir.And(mir.Xor(mir.V("D"), mir.C(mask32)), mir.V("C")))
+				g = (5*i + 1) % 16
+			case i < 48:
+				// F = B ^ C ^ D
+				f = mir.Xor(mir.Xor(mir.V("B"), mir.V("C")), mir.V("D"))
+				g = (3*i + 5) % 16
+			default:
+				// F = C ^ (B | ~D)
+				f = mir.Xor(mir.V("C"),
+					mir.Or(mir.V("B"), mir.Xor(mir.V("D"), mir.C(mask32))))
+				g = (7 * i) % 16
+			}
+			m := mir.Load(mir.Idx(mir.G("bufs"), mir.Add(mir.V("base"), mir.C(g%words))))
+			sum := mir.Add(mir.Add(mir.Add(mir.V("A"), f), mir.C(md5K[i])), m)
+			rot := mir.Rotl(sum, mir.C(md5S[i]))
+			b.Assign("tmp", mir.V("D"))
+			b.Assign("D", mir.V("C"))
+			b.Assign("C", mir.V("B"))
+			b.Assign("Bn", mir.And(mir.Add(mir.V("B"), rot), mir.C(mask32)))
+			b.Assign("A", mir.V("tmp"))
+			b.Assign("B", mir.V("Bn"))
+		}
+		b.Assign("dbase", mir.Mul(mir.V("bi"), mir.C(4)))
+		b.Store(mir.Idx(mir.G("digest"), mir.V("dbase")),
+			mir.And(mir.Add(mir.V("A"), mir.C(0x67452301)), mir.C(mask32)))
+		b.Store(mir.Idx(mir.G("digest"), mir.Add(mir.V("dbase"), mir.C(1))),
+			mir.And(mir.Add(mir.V("B"), mir.C(0xefcdab89)), mir.C(mask32)))
+		b.Store(mir.Idx(mir.G("digest"), mir.Add(mir.V("dbase"), mir.C(2))),
+			mir.And(mir.Add(mir.V("C"), mir.C(0x98badcfe)), mir.C(mask32)))
+		b.Store(mir.Idx(mir.G("digest"), mir.Add(mir.V("dbase"), mir.C(3))),
+			mir.And(mir.Add(mir.V("D"), mir.C(0x10325476)), mir.C(mask32)))
+	})
+	fb.Finish(fn)
+	bt.anchor("buffers", loop)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("worker", "md5.c", "pid")
+		blockRange(wb, nbuf, nproc)
+		wb.CallStmt("digestRange", mir.V("k1"), mir.V("k2"))
+		wb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "md5.c")
+	initInt(b, "bufs", nbuf*words, 2654435761, 104729, 256)
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+	} else {
+		b.CallStmt("digestRange", mir.C(0), mir.C(nbuf))
+	}
+	emit(b, "digest", "edig", nbuf*4)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

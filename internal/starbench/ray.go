@@ -1,0 +1,236 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// The ray tracing kernel shared by c-ray and ray-rot: for every pixel, a
+// primary ray is shaded against all objects with branchless soft-sphere
+// accumulation, so every pixel executes the same operations (the paper
+// finds a plain map in c-ray, not a conditional one). The object loop is a
+// per-pixel linear reduction over object contributions — one of the nested
+// patterns the paper reports as additional true patterns.
+
+// declareRayStatics declares the scene and image buffers.
+func declareRayStatics(p *mir.Program, img string, w, h, nobj int64) {
+	p.DeclareStatic("objx", nobj)
+	p.DeclareStatic("objy", nobj)
+	p.DeclareStatic("objr", nobj)
+	p.DeclareStatic("objc", nobj)
+	p.DeclareStatic("cam", 2)
+	p.DeclareStatic(img, w*h)
+}
+
+// initRayScene fills the scene buffers and camera parameters with traced
+// definitions.
+func initRayScene(b *mir.Block, w, h, nobj int64) {
+	initFloat(b, "objx", nobj, 61, 5)
+	initFloat(b, "objy", nobj, 89, 11)
+	initFloat(b, "objr", nobj, 113, 3)
+	initFloat(b, "objc", nobj, 151, 17)
+	// Camera scaling factors 1/w and 1/h, computed (hence traced) rather
+	// than constant so that pixel components have input arcs.
+	b.Store(mir.Idx(mir.G("cam"), mir.C(0)), mir.FDiv(mir.F(1), mir.F(float64(w))))
+	b.Store(mir.Idx(mir.G("cam"), mir.C(1)), mir.FDiv(mir.F(1), mir.F(float64(h))))
+}
+
+// addRayKernel adds renderRange(k1, k2[, pid]) rendering image rows
+// [k1, k2). withLum adds the per-thread luminance accumulation of the
+// Pthreads ray-rot version (a tiled reduction interleaved with the map,
+// which hides the map until the reduction is subtracted — the paper's
+// ray-rot it.2 case). Returns after registering the row/pixel anchors.
+func addRayKernel(p *mir.Program, bt *Built, img string, w, h, nobj int64, withLum bool) {
+	params := []string{"k1", "k2"}
+	if withLum {
+		params = append(params, "pid")
+	}
+	fn, fb := p.NewFunc("renderRange", "ray.c", params...)
+	if withLum {
+		fb.Assign("lum", mir.F(0))
+	}
+	var pixLoop mir.LoopID
+	rowLoop := fb.For("j", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		pixLoop = b.For("i", mir.C(0), mir.C(w), mir.C(1), func(b *mir.Block) {
+			b.Assign("px", mir.FSub(mir.FMul(mir.I2F(mir.V("i")),
+				mir.Load(mir.Idx(mir.G("cam"), mir.C(0)))), mir.F(0.5)))
+			b.Assign("py", mir.FSub(mir.FMul(mir.I2F(mir.V("j")),
+				mir.Load(mir.Idx(mir.G("cam"), mir.C(1)))), mir.F(0.5)))
+			b.Assign("shade", mir.F(0))
+			b.For("o", mir.C(0), mir.C(nobj), mir.C(1), func(b *mir.Block) {
+				b.Assign("dx", mir.FSub(mir.V("px"), mir.Load(mir.Idx(mir.G("objx"), mir.V("o")))))
+				b.Assign("dy", mir.FSub(mir.V("py"), mir.Load(mir.Idx(mir.G("objy"), mir.V("o")))))
+				b.Assign("d2", mir.FAdd(mir.FMul(mir.V("dx"), mir.V("dx")),
+					mir.FMul(mir.V("dy"), mir.V("dy"))))
+				b.Assign("rr", mir.Load(mir.Idx(mir.G("objr"), mir.V("o"))))
+				b.Assign("hit", mir.Bin(mir.OpFMax,
+					mir.FSub(mir.FMul(mir.V("rr"), mir.V("rr")), mir.V("d2")), mir.F(0)))
+				b.Assign("shade", mir.FAdd(mir.V("shade"),
+					mir.FMul(mir.V("hit"), mir.Load(mir.Idx(mir.G("objc"), mir.V("o"))))))
+			})
+			b.Store(mir.Idx(mir.G(img), mir.Add(mir.Mul(mir.V("j"), mir.C(w)), mir.V("i"))),
+				mir.V("shade"))
+			if withLum {
+				b.Assign("lum", mir.FAdd(mir.V("lum"), mir.V("shade")))
+			}
+		})
+	})
+	if withLum {
+		fb.Store(mir.Idx(mir.G("lums"), mir.V("pid")), mir.V("lum"))
+	}
+	fb.Finish(fn)
+	bt.anchor("ray_rows", rowLoop)
+	bt.anchor("ray_pixels", pixLoop)
+}
+
+// CRay is the c-ray benchmark: ray tracing a sphere scene.
+//
+// Expected pattern (Table 3): one map over the pixels, both versions.
+func CRay() *Benchmark {
+	return &Benchmark{
+		Name:          "c-ray",
+		Analysis:      Params{"w": 8, "h": 4, "nobj": 7, "nproc": 2},
+		Sensitivity:   Params{"w": 4, "h": 4, "nobj": 5, "nproc": 2},
+		Reference:     Params{"w": 1920, "h": 1080, "nobj": 192, "nproc": 12},
+		AnalysisDesc:  "7 objects, 8x4 pixels",
+		ReferenceDesc: "192 objects, 1920x1080 pixels",
+		Outputs:       []string{"img"},
+		Build:         buildCRay,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "m", Anchors: []string{"ray_pixels"}, Iteration: 1},
+			}
+		},
+	}
+}
+
+func buildCRay(v Version, par Params) *Built {
+	w, h, nobj, nproc := par.Get("w"), par.Get("h"), par.Get("nobj"), par.Get("nproc")
+	p := mir.NewProgram(fmt.Sprintf("c-ray-%s", v))
+	bt := &Built{Prog: p}
+	declareRayStatics(p, "img", w, h, nobj)
+	p.DeclareStatic("eimg", w*h)
+
+	addRayKernel(p, bt, "img", w, h, nobj, false)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("worker", "ray.c", "pid")
+		rows := h / nproc
+		wb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(rows)))
+		wb.Assign("k2", mir.Add(mir.V("k1"), mir.C(rows)))
+		wb.CallStmt("renderRange", mir.V("k1"), mir.V("k2"))
+		wb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "ray.c")
+	initRayScene(b, w, h, nobj)
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+	} else {
+		b.CallStmt("renderRange", mir.C(0), mir.C(h))
+	}
+	emit(b, "img", "eimg", w*h)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}
+
+// RayRot is the ray-rot benchmark: ray tracing followed by image rotation.
+// The two stages iterate over different spaces (the rotated image is
+// larger), which is exactly the mismatch that makes the paper's heuristics
+// miss the fused map (§6.1). The Pthreads version additionally accumulates
+// a per-thread luminance total, hiding the ray map until the reduction is
+// subtracted (found in it.2).
+//
+// Expected patterns (Table 3): seq m+cm found in it.1, fm missed;
+// pthreads cm in it.1, m in it.2, fm missed.
+func RayRot() *Benchmark {
+	return &Benchmark{
+		Name:          "ray-rot",
+		Analysis:      Params{"w": 8, "h": 4, "nobj": 7, "nproc": 2},
+		Sensitivity:   Params{"w": 4, "h": 4, "nobj": 5, "nproc": 2},
+		Reference:     Params{"w": 1920, "h": 1080, "nobj": 192, "nproc": 12},
+		AnalysisDesc:  "7 objects, 8x4 pixels",
+		ReferenceDesc: "192 objects, 1920x1080 pixels",
+		Outputs:       []string{"rimg"},
+		Build:         buildRayRot,
+		Expected: func(v Version) []Expectation {
+			miss := Expectation{
+				Label: "fm", Anchors: []string{"ray_pixels", "rot_pixels"},
+				Missed:     true,
+				MissReason: "ray and rotation loops have mismatching iteration spaces",
+			}
+			if v == Seq {
+				return []Expectation{
+					{Label: "m", Anchors: []string{"ray_pixels"}, Iteration: 1},
+					{Label: "cm", Anchors: []string{"rot_pixels"}, Iteration: 1},
+					miss,
+				}
+			}
+			return []Expectation{
+				{Label: "cm", Anchors: []string{"rot_pixels"}, Iteration: 1},
+				{Label: "m", Anchors: []string{"ray_pixels"}, Iteration: 2},
+				miss,
+			}
+		},
+	}
+}
+
+func buildRayRot(v Version, par Params) *Built {
+	w, h, nobj, nproc := par.Get("w"), par.Get("h"), par.Get("nobj"), par.Get("nproc")
+	w2, h2 := rotatedDims(w, h)
+	p := mir.NewProgram(fmt.Sprintf("ray-rot-%s", v))
+	bt := &Built{Prog: p}
+	declareRayStatics(p, "img", w, h, nobj)
+	p.DeclareStatic("rimg", w2*h2)
+	p.DeclareStatic("eimg", w2*h2)
+	p.DeclareStatic("rotp", 2)
+	withLum := v == Pthreads
+	if withLum {
+		p.DeclareStatic("lums", nproc)
+		p.DeclareStatic("lumout", 1)
+	}
+
+	addRayKernel(p, bt, "img", w, h, nobj, withLum)
+	addRotateKernel(p, bt, "img", "rimg", w, h, w2, h2)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("rayWorker", "ray.c", "pid")
+		rows := h / nproc
+		wb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(rows)))
+		wb.Assign("k2", mir.Add(mir.V("k1"), mir.C(rows)))
+		wb.CallStmt("renderRange", mir.V("k1"), mir.V("k2"), mir.V("pid"))
+		wb.Finish(wk)
+		rk, rb := p.NewFunc("rotWorker", "rot.c", "pid")
+		rows2 := h2 / nproc
+		rb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(rows2)))
+		rb.Assign("k2", mir.Add(mir.V("k1"), mir.C(rows2)))
+		rb.CallStmt("rotateRange", mir.V("k1"), mir.V("k2"))
+		rb.Finish(rk)
+	}
+
+	f, b := p.NewFunc("main", "ray.c")
+	initRayScene(b, w, h, nobj)
+	initFloat(b, "rimg", w2*h2, 173, 19) // rotation background
+	storeRotParams(b)
+	if v == Pthreads {
+		spawnJoin(b, "rayWorker", nproc, 1)
+		// Combine the per-thread luminance totals and consume the result.
+		b.Assign("lt", mir.F(0))
+		b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+			b.Assign("lt", mir.FAdd(mir.V("lt"), mir.Load(mir.Idx(mir.G("lums"), mir.V("t")))))
+		})
+		b.Store(mir.Idx(mir.G("lumout"), mir.C(0)), mir.FMul(mir.V("lt"), mir.F(0.5)))
+		spawnJoin(b, "rotWorker", nproc, 1+nproc)
+	} else {
+		b.CallStmt("renderRange", mir.C(0), mir.C(h))
+		b.CallStmt("rotateRange", mir.C(0), mir.C(h2))
+	}
+	emit(b, "rimg", "eimg", w2*h2)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

@@ -1,0 +1,86 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// RGBYUV is the rgbyuv benchmark: per-pixel RGB to YUV color space
+// conversion, the canonical data-parallel map. The Pthreads version splits
+// the pixel range over nproc threads.
+//
+// Expected pattern (Table 3): one map over the pixels, both versions.
+func RGBYUV() *Benchmark {
+	return &Benchmark{
+		Name:          "rgbyuv",
+		Analysis:      Params{"w": 4, "h": 4, "nproc": 2},
+		Sensitivity:   Params{"w": 8, "h": 4, "nproc": 2},
+		Reference:     Params{"w": 8141, "h": 2943, "nproc": 12},
+		AnalysisDesc:  "4x4 pixels",
+		ReferenceDesc: "8141x2943 pixels",
+		Outputs:       []string{"y", "u", "vv"},
+		Build:         buildRGBYUV,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "m", Anchors: []string{"pixels"}, Iteration: 1},
+			}
+		},
+	}
+}
+
+func buildRGBYUV(v Version, par Params) *Built {
+	w, h, nproc := par.Get("w"), par.Get("h"), par.Get("nproc")
+	n := w * h
+	p := mir.NewProgram(fmt.Sprintf("rgbyuv-%s", v))
+	bt := &Built{Prog: p}
+	for _, s := range []string{"r", "g", "b", "y", "u", "vv", "ey", "eu", "ev"} {
+		p.DeclareStatic(s, n)
+	}
+
+	// convertRange converts pixels [k1, k2).
+	conv, cb := p.NewFunc("convertRange", "rgbyuv.c", "k1", "k2")
+	loop := cb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("cr", mir.Load(mir.Idx(mir.G("r"), mir.V("i"))))
+		b.Assign("cg", mir.Load(mir.Idx(mir.G("g"), mir.V("i"))))
+		b.Assign("cb", mir.Load(mir.Idx(mir.G("b"), mir.V("i"))))
+		b.Store(mir.Idx(mir.G("y"), mir.V("i")),
+			mir.FAdd(mir.FAdd(mir.FMul(mir.V("cr"), mir.F(0.299)),
+				mir.FMul(mir.V("cg"), mir.F(0.587))),
+				mir.FMul(mir.V("cb"), mir.F(0.114))))
+		b.Store(mir.Idx(mir.G("u"), mir.V("i")),
+			mir.FAdd(mir.FSub(mir.FMul(mir.V("cb"), mir.F(0.436)),
+				mir.FMul(mir.V("cr"), mir.F(0.147))),
+				mir.FMul(mir.V("cg"), mir.F(-0.289))))
+		b.Store(mir.Idx(mir.G("vv"), mir.V("i")),
+			mir.FAdd(mir.FSub(mir.FMul(mir.V("cr"), mir.F(0.615)),
+				mir.FMul(mir.V("cg"), mir.F(0.515))),
+				mir.FMul(mir.V("cb"), mir.F(-0.1))))
+	})
+	cb.Finish(conv)
+	bt.anchor("pixels", loop)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("worker", "rgbyuv.c", "pid")
+		blockRange(wb, n, nproc)
+		wb.CallStmt("convertRange", mir.V("k1"), mir.V("k2"))
+		wb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "rgbyuv.c")
+	initFloat(b, "r", n, 131, 7)
+	initFloat(b, "g", n, 197, 13)
+	initFloat(b, "b", n, 233, 29)
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+	} else {
+		b.CallStmt("convertRange", mir.C(0), mir.C(n))
+	}
+	emit(b, "y", "ey", n)
+	emit(b, "u", "eu", n)
+	emit(b, "vv", "ev", n)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

@@ -1,0 +1,229 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// The image rotation kernel shared by rotate, rot-cc, and ray-rot: for
+// every pixel of the (larger) destination image, the source coordinates
+// are computed by an inverse rotation; pixels whose source lies inside the
+// source image are bilinearly interpolated and written, the rest keep the
+// background — a conditional map (paper §6.1: "input pixels are
+// transformed and output only if they appear in the final rotated image").
+
+// rotAngleCos and rotAngleSin define the 30-degree rotation used by all
+// rotation benchmarks.
+const (
+	rotAngleCos = 0.8660254
+	rotAngleSin = 0.5
+)
+
+// rotatedDims returns the destination image dimensions for a rotation of
+// a w x h source (the bounding box of the rotated image).
+func rotatedDims(w, h int64) (w2, h2 int64) {
+	w2 = int64(float64(w)*rotAngleCos+float64(h)*rotAngleSin) + 1
+	h2 = int64(float64(w)*rotAngleSin+float64(h)*rotAngleCos) + 1
+	// Keep dimensions even so threaded versions split rows evenly.
+	if w2%2 != 0 {
+		w2++
+	}
+	if h2%2 != 0 {
+		h2++
+	}
+	return w2, h2
+}
+
+// storeRotParams stores the rotation coefficients with traced definitions
+// (in the original code they come from parsing the angle argument).
+func storeRotParams(b *mir.Block) {
+	b.Store(mir.Idx(mir.G("rotp"), mir.C(0)), mir.FMul(mir.F(rotAngleCos), mir.F(1)))
+	b.Store(mir.Idx(mir.G("rotp"), mir.C(1)), mir.FMul(mir.F(rotAngleSin), mir.F(1)))
+}
+
+// addRotateKernel adds rotateRange(k1, k2) rotating destination rows
+// [k1, k2) from src (w x h) into dst (w2 x h2).
+func addRotateKernel(p *mir.Program, bt *Built, src, dst string, w, h, w2, h2 int64) {
+	fn, fb := p.NewFunc("rotateRange", "rot.c", "k1", "k2")
+	fb.Assign("ca", mir.Load(mir.Idx(mir.G("rotp"), mir.C(0))))
+	fb.Assign("sa", mir.Load(mir.Idx(mir.G("rotp"), mir.C(1))))
+	var pixLoop mir.LoopID
+	rowLoop := fb.For("j2", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		pixLoop = b.For("i2", mir.C(0), mir.C(w2), mir.C(1), func(b *mir.Block) {
+			b.Assign("xr", mir.FSub(mir.I2F(mir.V("i2")), mir.F(float64(w2)/2)))
+			b.Assign("yr", mir.FSub(mir.I2F(mir.V("j2")), mir.F(float64(h2)/2)))
+			b.Assign("xs", mir.FAdd(mir.FAdd(mir.FMul(mir.V("xr"), mir.V("ca")),
+				mir.FMul(mir.V("yr"), mir.V("sa"))), mir.F(float64(w)/2)))
+			b.Assign("ys", mir.FAdd(mir.FSub(mir.FMul(mir.V("yr"), mir.V("ca")),
+				mir.FMul(mir.V("xr"), mir.V("sa"))), mir.F(float64(h)/2)))
+			b.Assign("inb", mir.And(
+				mir.And(mir.Ge(mir.V("xs"), mir.F(0)), mir.Lt(mir.V("xs"), mir.F(float64(w-1)))),
+				mir.And(mir.Ge(mir.V("ys"), mir.F(0)), mir.Lt(mir.V("ys"), mir.F(float64(h-1))))))
+			b.If(mir.V("inb"), func(b *mir.Block) {
+				b.Assign("fxs", mir.Un(mir.OpFloor, mir.V("xs")))
+				b.Assign("fys", mir.Un(mir.OpFloor, mir.V("ys")))
+				b.Assign("xi", mir.F2I(mir.V("fxs")))
+				b.Assign("yi", mir.F2I(mir.V("fys")))
+				b.Assign("fx", mir.FSub(mir.V("xs"), mir.V("fxs")))
+				b.Assign("fy", mir.FSub(mir.V("ys"), mir.V("fys")))
+				b.Assign("base", mir.Add(mir.Mul(mir.V("yi"), mir.C(w)), mir.V("xi")))
+				b.Assign("v00", mir.Load(mir.Idx(mir.G(src), mir.V("base"))))
+				b.Assign("v01", mir.Load(mir.Idx(mir.G(src), mir.Add(mir.V("base"), mir.C(1)))))
+				b.Assign("v10", mir.Load(mir.Idx(mir.G(src), mir.Add(mir.V("base"), mir.C(w)))))
+				b.Assign("v11", mir.Load(mir.Idx(mir.G(src), mir.Add(mir.V("base"), mir.C(w+1)))))
+				b.Assign("v0", mir.FAdd(mir.FMul(mir.V("v00"), mir.FSub(mir.F(1), mir.V("fx"))),
+					mir.FMul(mir.V("v01"), mir.V("fx"))))
+				b.Assign("v1", mir.FAdd(mir.FMul(mir.V("v10"), mir.FSub(mir.F(1), mir.V("fx"))),
+					mir.FMul(mir.V("v11"), mir.V("fx"))))
+				b.Store(mir.Idx(mir.G(dst), mir.Add(mir.Mul(mir.V("j2"), mir.C(w2)), mir.V("i2"))),
+					mir.FAdd(mir.FMul(mir.V("v0"), mir.FSub(mir.F(1), mir.V("fy"))),
+						mir.FMul(mir.V("v1"), mir.V("fy"))))
+			})
+		})
+	})
+	fb.Finish(fn)
+	bt.anchor("rot_rows", rowLoop)
+	bt.anchor("rot_pixels", pixLoop)
+}
+
+// Rotate is the rotate benchmark: bilinear image rotation.
+//
+// Expected pattern (Table 3): one conditional map over the destination
+// pixels, both versions.
+func Rotate() *Benchmark {
+	return &Benchmark{
+		Name:          "rotate",
+		Analysis:      Params{"w": 4, "h": 4, "nproc": 2},
+		Sensitivity:   Params{"w": 6, "h": 4, "nproc": 2},
+		Reference:     Params{"w": 8141, "h": 2943, "nproc": 12},
+		AnalysisDesc:  "4x4 pixels",
+		ReferenceDesc: "8141x2943 pixels",
+		Outputs:       []string{"rimg"},
+		Build:         buildRotate,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "cm", Anchors: []string{"rot_pixels"}, Iteration: 1},
+			}
+		},
+	}
+}
+
+func buildRotate(v Version, par Params) *Built {
+	w, h, nproc := par.Get("w"), par.Get("h"), par.Get("nproc")
+	w2, h2 := rotatedDims(w, h)
+	p := mir.NewProgram(fmt.Sprintf("rotate-%s", v))
+	bt := &Built{Prog: p}
+	p.DeclareStatic("img", w*h)
+	p.DeclareStatic("rimg", w2*h2)
+	p.DeclareStatic("eimg", w2*h2)
+	p.DeclareStatic("rotp", 2)
+
+	addRotateKernel(p, bt, "img", "rimg", w, h, w2, h2)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("worker", "rot.c", "pid")
+		rows := h2 / nproc
+		wb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(rows)))
+		wb.Assign("k2", mir.Add(mir.V("k1"), mir.C(rows)))
+		wb.CallStmt("rotateRange", mir.V("k1"), mir.V("k2"))
+		wb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "rot.c")
+	initFloat(b, "img", w*h, 131, 7)
+	initFloat(b, "rimg", w2*h2, 173, 19) // background
+	storeRotParams(b)
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+	} else {
+		b.CallStmt("rotateRange", mir.C(0), mir.C(h2))
+	}
+	emit(b, "rimg", "eimg", w2*h2)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}
+
+// RotCC is the rot-cc benchmark: image rotation followed by per-pixel
+// color correction, in separate translation units. The color loop
+// consumes exactly the rotated image, so the two maps fuse — including
+// across translation units, the paper's challenge 4.
+//
+// Expected patterns (Table 3): m (color) and cm (rotation) in it.1, their
+// fused map in it.2, both versions.
+func RotCC() *Benchmark {
+	return &Benchmark{
+		Name:          "rot-cc",
+		Analysis:      Params{"w": 4, "h": 4, "nproc": 2},
+		Sensitivity:   Params{"w": 6, "h": 4, "nproc": 2},
+		Reference:     Params{"w": 8141, "h": 2943, "nproc": 12},
+		AnalysisDesc:  "4x4 pixels",
+		ReferenceDesc: "8141x2943 pixels",
+		Outputs:       []string{"cimg"},
+		Build:         buildRotCC,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "cm", Anchors: []string{"rot_pixels"}, Iteration: 1},
+				{Label: "m", Anchors: []string{"cc_pixels"}, Iteration: 1},
+				{Label: "fm", Anchors: []string{"rot_pixels", "cc_pixels"}, Iteration: 2},
+			}
+		},
+	}
+}
+
+func buildRotCC(v Version, par Params) *Built {
+	w, h, nproc := par.Get("w"), par.Get("h"), par.Get("nproc")
+	w2, h2 := rotatedDims(w, h)
+	n2 := w2 * h2
+	p := mir.NewProgram(fmt.Sprintf("rot-cc-%s", v))
+	bt := &Built{Prog: p}
+	p.DeclareStatic("img", w*h)
+	p.DeclareStatic("rimg", n2)
+	p.DeclareStatic("cimg", n2)
+	p.DeclareStatic("eimg", n2)
+	p.DeclareStatic("rotp", 2)
+
+	addRotateKernel(p, bt, "img", "rimg", w, h, w2, h2)
+
+	// Color correction lives in its own translation unit (cc.c).
+	cc, cb := p.NewFunc("colorRange", "cc.c", "k1", "k2")
+	ccLoop := cb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G("cimg"), mir.V("i")),
+			mir.FAdd(mir.FMul(mir.Load(mir.Idx(mir.G("rimg"), mir.V("i"))), mir.F(0.8)),
+				mir.F(0.1)))
+	})
+	cb.Finish(cc)
+	bt.anchor("cc_pixels", ccLoop)
+
+	if v == Pthreads {
+		wk, wb := p.NewFunc("rotWorker", "rot.c", "pid")
+		rows := h2 / nproc
+		wb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(rows)))
+		wb.Assign("k2", mir.Add(mir.V("k1"), mir.C(rows)))
+		wb.CallStmt("rotateRange", mir.V("k1"), mir.V("k2"))
+		wb.Finish(wk)
+		ck, cwb := p.NewFunc("ccWorker", "cc.c", "pid")
+		blockRange(cwb, n2, nproc)
+		cwb.CallStmt("colorRange", mir.V("k1"), mir.V("k2"))
+		cwb.Finish(ck)
+	}
+
+	f, b := p.NewFunc("main", "rot.c")
+	initFloat(b, "img", w*h, 131, 7)
+	initFloat(b, "rimg", n2, 173, 19) // background
+	storeRotParams(b)
+	if v == Pthreads {
+		spawnJoin(b, "rotWorker", nproc, 1)
+		spawnJoin(b, "ccWorker", nproc, 1+nproc)
+	} else {
+		b.CallStmt("rotateRange", mir.C(0), mir.C(h2))
+		b.CallStmt("colorRange", mir.C(0), mir.C(n2))
+	}
+	emit(b, "cimg", "eimg", n2)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

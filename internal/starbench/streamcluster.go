@@ -1,0 +1,265 @@
+package starbench
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// Streamcluster is the streamcluster benchmark, the paper's running
+// example and portability case study: k-medians clustering of a point
+// stream. It is the most pattern-rich benchmark:
+//
+//   - a weights map (m, it.1);
+//   - three conditional maps in the pspeedy / pgain / selectfeasible
+//     phases (cm x3, it.1);
+//   - the total-distance computation of Figure 2: a reduction (linear when
+//     sequential, tiled across threads) found in it.1, whose subtraction
+//     exposes the distance map in it.2, whose fusion yields the
+//     map-reduction in it.3;
+//   - a cost phase whose reduction also hides a distance map (the second
+//     it.2 map) but whose per-point values escape to another consumer, so
+//     no map-reduction arises there;
+//   - a "saved" phase with a conditional cost accumulation that the
+//     analysis input never triggers: the loop is reported as a map, which
+//     a larger input refutes — the paper's two false patterns (§6.1).
+func Streamcluster() *Benchmark {
+	return &Benchmark{
+		Name: "streamcluster",
+		Analysis: Params{
+			"n": 4, "dims": 2, "k": 2, "nproc": 2, "scale": 1,
+		},
+		Sensitivity: Params{
+			"n": 8, "dims": 2, "k": 2, "nproc": 2, "scale": 4,
+		},
+		Reference: Params{
+			"n": 200000, "dims": 128, "k": 20, "nproc": 12, "scale": 1,
+		},
+		AnalysisDesc:  "4 pt., 2 dim., 2 clusters",
+		ReferenceDesc: "200000 pt., 128 dim., 20 clusters",
+		Outputs:       []string{"saved", "saved2", "feas", "lower", "assignd", "cresult", "wgt"},
+		Build:         buildStreamcluster,
+		Expected: func(Version) []Expectation {
+			return []Expectation{
+				{Label: "m", Anchors: []string{"sc_weights"}, Iteration: 1},
+				{Label: "cm", Anchors: []string{"sc_speedy"}, Iteration: 1},
+				{Label: "cm", Anchors: []string{"sc_gain"}, Iteration: 1},
+				{Label: "cm", Anchors: []string{"sc_select"}, Iteration: 1},
+				{Label: "r", Anchors: []string{"sc_hiz"}, Iteration: 1},
+				{Label: "m", Anchors: []string{"sc_hiz"}, Iteration: 2},
+				{Label: "m", Anchors: []string{"sc_cost"}, Iteration: 2},
+				{Label: "mr", Anchors: []string{"sc_hiz"}, Iteration: 3},
+			}
+		},
+	}
+}
+
+// addDist adds dist(a, b): the squared euclidean distance between the
+// points at base addresses a and b, accumulated over the dimensions.
+func addDist(p *mir.Program, dims int64) {
+	fn, fb := p.NewFunc("dist", "streamcluster.c", "a", "b")
+	fb.Assign("dd", mir.F(0))
+	fb.For("d", mir.C(0), mir.C(dims), mir.C(1), func(b *mir.Block) {
+		b.Assign("df", mir.FSub(
+			mir.Load(mir.Idx(mir.V("a"), mir.V("d"))),
+			mir.Load(mir.Idx(mir.V("b"), mir.V("d")))))
+		b.Assign("dd", mir.FAdd(mir.V("dd"), mir.FMul(mir.V("df"), mir.V("df"))))
+	})
+	fb.Return(mir.V("dd"))
+	fb.Finish(fn)
+}
+
+// pointAddr returns the base address expression of point i.
+func pointAddr(i mir.Expr, dims int64) mir.Expr {
+	return mir.Add(mir.G("px"), mir.Mul(i, mir.C(dims)))
+}
+
+func buildStreamcluster(v Version, par Params) *Built {
+	n, dims, nproc := par.Get("n"), par.Get("dims"), par.Get("nproc")
+	scale := par.Get("scale")
+	p := mir.NewProgram(fmt.Sprintf("streamcluster-%s", v))
+	bt := &Built{Prog: p}
+	p.DeclareStatic("px", n*dims)
+	p.DeclareStatic("wgt", n)
+	p.DeclareStatic("assignd", n)
+	p.DeclareStatic("lower", n)
+	p.DeclareStatic("feas", n)
+	p.DeclareStatic("saved", n)
+	p.DeclareStatic("saved2", n)
+	p.DeclareStatic("hizs", nproc)
+	p.DeclareStatic("costp", nproc)
+	p.DeclareStatic("glout", nproc)
+	p.DeclareStatic("sparams", 2)
+	p.DeclareStatic("cresult", 1)
+	for _, e := range []string{"esaved", "esaved2", "efeas", "elower", "eassign"} {
+		p.DeclareStatic(e, n)
+	}
+	if v == Pthreads {
+		p.DeclareBarrier("bar", int(nproc))
+	}
+
+	addDist(p, dims)
+
+	// Phase 1: per-point weights (the plain map).
+	wf, wb := p.NewFunc("weightsRange", "streamcluster.c", "k1", "k2")
+	weightsLoop := wb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G("wgt"), mir.V("i")),
+			mir.FDiv(mir.FAdd(mir.Load(mir.Idx(mir.G("px"), mir.Mul(mir.V("i"), mir.C(dims)))),
+				mir.F(1)), mir.F(2)))
+	})
+	wb.Finish(wf)
+	bt.anchor("sc_weights", weightsLoop)
+
+	// Phase 2: the Figure 2 total distance computation.
+	hf, hb := p.NewFunc("hizRange", "streamcluster.c", "k1", "k2", "pid")
+	hb.Assign("myhiz", mir.F(0))
+	hizLoop := hb.For("kk", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("myhiz", mir.FAdd(mir.V("myhiz"),
+			mir.Call("dist", pointAddr(mir.V("kk"), dims), pointAddr(mir.C(0), dims))))
+	})
+	hb.Store(mir.Idx(mir.G("hizs"), mir.V("pid")), mir.V("myhiz"))
+	hb.Finish(hf)
+	bt.anchor("sc_hiz", hizLoop)
+
+	// Phase 3: pspeedy — conditionally open a point's assignment.
+	sf, sb := p.NewFunc("pspeedyRange", "streamcluster.c", "k1", "k2")
+	speedyLoop := sb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("d", mir.Call("dist", pointAddr(mir.V("i"), dims), pointAddr(mir.C(0), dims)))
+		b.Assign("dw", mir.FMul(mir.V("d"), mir.Load(mir.Idx(mir.G("wgt"), mir.V("i")))))
+		b.Assign("open", mir.And(
+			mir.Lt(mir.V("dw"), mir.Load(mir.Idx(mir.G("sparams"), mir.C(0)))),
+			mir.Lt(mir.V("dw"), mir.Load(mir.Idx(mir.G("assignd"), mir.V("i"))))))
+		b.If(mir.V("open"), func(b *mir.Block) {
+			b.Store(mir.Idx(mir.G("assignd"), mir.V("i")), mir.V("dw"))
+		})
+	})
+	sb.Finish(sf)
+	bt.anchor("sc_speedy", speedyLoop)
+
+	// Phase 4: pgain — conditionally lower a point's cost.
+	gf, gb := p.NewFunc("pgainRange", "streamcluster.c", "k1", "k2")
+	gainLoop := gb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("dd", mir.Call("dist", pointAddr(mir.V("i"), dims), pointAddr(mir.C(1), dims)))
+		b.If(mir.Lt(mir.V("dd"), mir.Load(mir.Idx(mir.G("assignd"), mir.V("i")))), func(b *mir.Block) {
+			b.Store(mir.Idx(mir.G("lower"), mir.V("i")),
+				mir.FSub(mir.Load(mir.Idx(mir.G("assignd"), mir.V("i"))), mir.V("dd")))
+		})
+	})
+	gb.Finish(gf)
+	bt.anchor("sc_gain", gainLoop)
+
+	// Phase 5: selectfeasible — conditionally keep heavy points.
+	ff, ffb := p.NewFunc("selectRange", "streamcluster.c", "k1", "k2")
+	selectLoop := ffb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.If(mir.Gt(mir.Load(mir.Idx(mir.G("wgt"), mir.V("i"))), mir.F(0.7)), func(b *mir.Block) {
+			b.Store(mir.Idx(mir.G("feas"), mir.V("i")),
+				mir.FMul(mir.Load(mir.Idx(mir.G("wgt"), mir.V("i"))), mir.F(2)))
+		})
+	})
+	ffb.Finish(ff)
+	bt.anchor("sc_select", selectLoop)
+
+	// Phase 6: saved costs with a conditional global accumulation that the
+	// analysis input never triggers (the false-map source).
+	vf, vb := p.NewFunc("savedRange", "streamcluster.c", "k1", "k2", "pid")
+	vb.Assign("gl", mir.F(0))
+	savedLoop := vb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("sv", mir.FMul(
+			mir.Call("dist", pointAddr(mir.V("i"), dims), pointAddr(mir.C(1), dims)),
+			mir.Load(mir.Idx(mir.G("wgt"), mir.V("i")))))
+		b.Store(mir.Idx(mir.G("saved"), mir.V("i")), mir.V("sv"))
+		b.If(mir.Gt(mir.V("sv"), mir.F(2)), func(b *mir.Block) {
+			b.Assign("gl", mir.FAdd(mir.V("gl"), mir.V("sv")))
+		})
+	})
+	vb.Store(mir.Idx(mir.G("glout"), mir.V("pid")), mir.V("gl"))
+	vb.Finish(vf)
+	bt.anchor("sc_saved", savedLoop)
+
+	// Phase 7: cost — a reduction hiding a distance map whose per-point
+	// values also escape to saved2 (so no map-reduction forms).
+	cf, cb := p.NewFunc("costRange", "streamcluster.c", "k1", "k2", "pid")
+	cb.Assign("c", mir.F(0))
+	costLoop := cb.For("i", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("ct", mir.FMul(
+			mir.Call("dist", pointAddr(mir.V("i"), dims), pointAddr(mir.C(1), dims)),
+			mir.Load(mir.Idx(mir.G("wgt"), mir.V("i")))))
+		b.Store(mir.Idx(mir.G("saved2"), mir.V("i")), mir.V("ct"))
+		b.Assign("c", mir.FAdd(mir.V("c"), mir.V("ct")))
+	})
+	cb.Store(mir.Idx(mir.G("costp"), mir.V("pid")), mir.V("c"))
+	cb.Finish(cf)
+	bt.anchor("sc_cost", costLoop)
+
+	if v == Pthreads {
+		wk, kb := p.NewFunc("worker", "streamcluster.c", "pid")
+		blockRange(kb, n, nproc)
+		kb.CallStmt("weightsRange", mir.V("k1"), mir.V("k2"))
+		kb.Barrier("bar")
+		kb.CallStmt("hizRange", mir.V("k1"), mir.V("k2"), mir.V("pid"))
+		kb.Barrier("bar")
+		kb.If(mir.Eq(mir.V("pid"), mir.C(0)), func(b *mir.Block) {
+			b.Assign("hiz", mir.F(0))
+			b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+				b.Assign("hiz", mir.FAdd(mir.V("hiz"), mir.Load(mir.Idx(mir.G("hizs"), mir.V("t")))))
+			})
+			b.Store(mir.Idx(mir.G("sparams"), mir.C(0)), mir.FMul(mir.V("hiz"), mir.F(0.125)))
+		})
+		kb.Barrier("bar")
+		kb.CallStmt("pspeedyRange", mir.V("k1"), mir.V("k2"))
+		kb.Barrier("bar")
+		kb.CallStmt("pgainRange", mir.V("k1"), mir.V("k2"))
+		kb.Barrier("bar")
+		kb.CallStmt("selectRange", mir.V("k1"), mir.V("k2"))
+		kb.Barrier("bar")
+		kb.CallStmt("savedRange", mir.V("k1"), mir.V("k2"), mir.V("pid"))
+		kb.Barrier("bar")
+		kb.CallStmt("costRange", mir.V("k1"), mir.V("k2"), mir.V("pid"))
+		kb.Barrier("bar")
+		kb.If(mir.Eq(mir.V("pid"), mir.C(0)), func(b *mir.Block) {
+			b.Assign("tc", mir.F(0))
+			b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+				b.Assign("tc", mir.FAdd(mir.V("tc"), mir.Load(mir.Idx(mir.G("costp"), mir.V("t")))))
+			})
+			b.Store(mir.Idx(mir.G("cresult"), mir.C(0)), mir.FMul(mir.V("tc"), mir.F(0.5)))
+		})
+		kb.Finish(wk)
+	}
+
+	f, b := p.NewFunc("main", "streamcluster.c")
+	// Point coordinates scaled by the input's scale factor (the
+	// sensitivity input uses a larger scale, triggering the conditional
+	// accumulation in savedRange).
+	b.For("i", mir.C(0), mir.C(n*dims), mir.C(1), func(b *mir.Block) {
+		h := mir.Mod(mir.Add(mir.Mul(mir.V("i"), mir.C(311)), mir.C(23)), mir.C(1024))
+		b.Store(mir.Idx(mir.G("px"), mir.V("i")),
+			mir.FDiv(mir.I2F(h), mir.F(1024/float64(scale))))
+	})
+	initFloat(b, "assignd", n, 271, 31)
+	initFloat(b, "lower", n, 307, 37)
+	initFloat(b, "feas", n, 347, 41)
+	if v == Pthreads {
+		spawnJoin(b, "worker", nproc, 1)
+	} else {
+		b.CallStmt("weightsRange", mir.C(0), mir.C(n))
+		b.CallStmt("hizRange", mir.C(0), mir.C(n), mir.C(0))
+		b.Store(mir.Idx(mir.G("sparams"), mir.C(0)),
+			mir.FMul(mir.Load(mir.Idx(mir.G("hizs"), mir.C(0))), mir.F(0.125)))
+		b.CallStmt("pspeedyRange", mir.C(0), mir.C(n))
+		b.CallStmt("pgainRange", mir.C(0), mir.C(n))
+		b.CallStmt("selectRange", mir.C(0), mir.C(n))
+		b.CallStmt("savedRange", mir.C(0), mir.C(n), mir.C(0))
+		b.CallStmt("costRange", mir.C(0), mir.C(n), mir.C(0))
+		b.Store(mir.Idx(mir.G("cresult"), mir.C(0)),
+			mir.FMul(mir.Load(mir.Idx(mir.G("costp"), mir.C(0))), mir.F(0.5)))
+	}
+	emit(b, "saved", "esaved", n)
+	emit(b, "saved2", "esaved2", n)
+	emit(b, "feas", "efeas", n)
+	emit(b, "lower", "elower", n)
+	emit(b, "assignd", "eassign", n)
+	b.Finish(f)
+	p.SetEntry("main")
+	p.MustValidate()
+	return bt
+}

@@ -1,0 +1,96 @@
+// Package stats implements the measurement methodology of the paper's
+// evaluation (§6, Setup): time measurements are the median of repeated
+// runs, and a run is accepted only if the repetitions exhibit a robust
+// coefficient of variation (interquartile range relative to the median)
+// below a threshold — the paper uses 20 repetitions and a 10% bound.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Median returns the median of the values (the mean of the middle two for
+// even counts). It panics on empty input.
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		panic("stats: median of no values")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quartiles returns the first and third quartiles (linear interpolation).
+func Quartiles(values []float64) (q1, q3 float64) {
+	if len(values) == 0 {
+		panic("stats: quartiles of no values")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return percentile(s, 0.25), percentile(s, 0.75)
+}
+
+// percentile returns the p-th percentile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RobustCV returns the robust coefficient of variation: the interquartile
+// range relative to the median (Shapiro [43], as cited by the paper).
+func RobustCV(values []float64) float64 {
+	med := Median(values)
+	if med == 0 {
+		return 0
+	}
+	q1, q3 := Quartiles(values)
+	return (q3 - q1) / med
+}
+
+// Measurement is the summary of a repeated timing run.
+type Measurement struct {
+	Median      time.Duration
+	RobustCV    float64
+	Repetitions int
+}
+
+// String formats the measurement.
+func (m Measurement) String() string {
+	return fmt.Sprintf("%v (rcv %.1f%%, n=%d)", m.Median, m.RobustCV*100, m.Repetitions)
+}
+
+// Stable reports whether the repetitions meet the paper's 10% robust-CV
+// criterion.
+func (m Measurement) Stable() bool { return m.RobustCV < 0.10 }
+
+// Measure times fn repetitions times and summarizes.
+func Measure(repetitions int, fn func()) Measurement {
+	if repetitions < 1 {
+		repetitions = 1
+	}
+	samples := make([]float64, repetitions)
+	for i := range samples {
+		start := time.Now()
+		fn()
+		samples[i] = float64(time.Since(start))
+	}
+	return Measurement{
+		Median:      time.Duration(Median(samples)),
+		RobustCV:    RobustCV(samples),
+		Repetitions: repetitions,
+	}
+}

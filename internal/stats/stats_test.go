@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty input")
+		}
+	}()
+	Median(nil)
+}
+
+func TestQuartilesAndRCV(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	q1, q3 := Quartiles(vals)
+	if q1 != 3 || q3 != 7 {
+		t.Errorf("quartiles = %g, %g", q1, q3)
+	}
+	if rcv := RobustCV(vals); rcv != (7.0-3.0)/5.0 {
+		t.Errorf("RobustCV = %g", rcv)
+	}
+	if RobustCV([]float64{0, 0, 0}) != 0 {
+		t.Error("zero median should give zero RCV")
+	}
+}
+
+func TestMedianIsOrderInvariantProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		for i, v := range raw {
+			a[i] = float64(v)
+		}
+		b := append([]float64(nil), a...)
+		// reverse b
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		return Median(a) == Median(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	n := 0
+	m := Measure(5, func() { n++ })
+	if n != 5 || m.Repetitions != 5 {
+		t.Errorf("ran %d times", n)
+	}
+	if m.Median < 0 {
+		t.Error("negative median")
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+	m2 := Measure(0, func() { n++ })
+	if m2.Repetitions != 1 {
+		t.Error("repetitions not clamped")
+	}
+}
+
+func TestStable(t *testing.T) {
+	if !(Measurement{RobustCV: 0.05}).Stable() {
+		t.Error("5% should be stable")
+	}
+	if (Measurement{RobustCV: 0.5}).Stable() {
+		t.Error("50% should not be stable")
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+)
+
+// shapeSignature summarizes a DDG up to node renumbering: node count, arc
+// count, operation histogram, thread count, and sorted degree sequence.
+// Thread interleaving may renumber nodes between runs of a parallel
+// program, but the dataflow shape must be identical.
+func shapeSignature(g *ddg.Graph) string {
+	ops := map[string]int{}
+	threads := map[int32]bool{}
+	degrees := make([]int, 0, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		u := ddg.NodeID(i)
+		ops[g.Op(u).String()]++
+		threads[g.Thread(u)] = true
+		degrees = append(degrees, len(g.Succs(u))*1000+len(g.Preds(u)))
+	}
+	sort.Ints(degrees)
+	names := make([]string, 0, len(ops))
+	for n := range ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sig := fmt.Sprintf("n=%d a=%d t=%d", g.NumNodes(), g.NumArcs(), len(threads))
+	for _, n := range names {
+		sig += fmt.Sprintf(" %s=%d", n, ops[n])
+	}
+	sig += fmt.Sprintf(" deg=%v", degrees)
+	return sig
+}
+
+// TestParallelTracingDeterministicShape traces a threaded program many
+// times and checks that the DDG shape never varies: the synchronized
+// shadow memory makes multi-threaded tracing seamless (paper §3).
+func TestParallelTracingDeterministicShape(t *testing.T) {
+	signatures := map[string]bool{}
+	var returns []mir.Value
+	for run := 0; run < 8; run++ {
+		res, err := Run(figure2c())
+		if err != nil {
+			t.Fatal(err)
+		}
+		signatures[shapeSignature(res.Graph)] = true
+		returns = append(returns, res.Return)
+	}
+	if len(signatures) != 1 {
+		t.Errorf("tracing produced %d distinct DDG shapes across runs", len(signatures))
+	}
+	for _, r := range returns[1:] {
+		if !r.Equal(returns[0]) {
+			t.Errorf("return values differ across runs: %v vs %v", returns[0], r)
+		}
+	}
+}
+
+// TestSequentialTracingExactlyDeterministic: without threads, even node
+// numbering is reproducible.
+func TestSequentialTracingExactlyDeterministic(t *testing.T) {
+	first, err := Run(seqReduction(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(seqReduction(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Graph.NumNodes() != second.Graph.NumNodes() {
+		t.Fatal("node counts differ")
+	}
+	for i := 0; i < first.Graph.NumNodes(); i++ {
+		u := ddg.NodeID(i)
+		if first.Graph.Op(u) != second.Graph.Op(u) || first.Graph.Pos(u) != second.Graph.Pos(u) {
+			t.Fatalf("node %d differs between runs", i)
+		}
+	}
+}

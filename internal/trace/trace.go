@@ -1,0 +1,106 @@
+// Package trace turns instrumented MIR executions into dynamic dataflow
+// graphs.
+//
+// It implements the tracing process of paper §3: every operation execution
+// becomes a DDG node, and a shadow memory records, for each heap location,
+// the node that defined its current value, so that def-use arcs flow
+// through memory transparently. Shadow accesses are synchronized, which is
+// what makes DDG generation from multi-threaded programs seamless.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/vm"
+)
+
+const shardCount = 64
+
+// Builder is a vm.Tracer that accumulates a ddg.Graph. It is safe for
+// concurrent use by all machine threads.
+type Builder struct {
+	mu sync.Mutex
+	g  *ddg.Graph
+
+	shards [shardCount]shadowShard
+}
+
+type shadowShard struct {
+	mu sync.Mutex
+	m  map[int64]ddg.NodeID
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder {
+	b := &Builder{g: ddg.New(1024)}
+	for i := range b.shards {
+		b.shards[i].m = map[int64]ddg.NodeID{}
+	}
+	return b
+}
+
+// Node records an operation execution and its def-use arcs.
+func (b *Builder) Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.g.AddNode(op, pos, thread, scope)
+	for _, src := range operands {
+		b.g.AddArc(src, id)
+	}
+	return id
+}
+
+// LoadShadow returns the defining node of the value at addr.
+func (b *Builder) LoadShadow(addr int64) ddg.NodeID {
+	s := &b.shards[uint64(addr)%shardCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if def, ok := s.m[addr]; ok {
+		return def
+	}
+	return ddg.NoNode
+}
+
+// StoreShadow records that addr now holds a value defined by def. Storing
+// an untraced value (a constant) clears the binding, so stale defining
+// nodes never leak through overwritten locations.
+func (b *Builder) StoreShadow(addr int64, def ddg.NodeID) {
+	s := &b.shards[uint64(addr)%shardCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if def == ddg.NoNode {
+		delete(s.m, addr)
+		return
+	}
+	s.m[addr] = def
+}
+
+// Graph returns the accumulated DDG. It must only be called after the
+// traced execution has finished.
+func (b *Builder) Graph() *ddg.Graph { return b.g }
+
+// Result bundles the outcome of a traced execution.
+type Result struct {
+	Graph  *ddg.Graph
+	Return mir.Value
+	Ops    int64
+}
+
+// Run executes the program under instrumentation and returns its DDG, its
+// return value, and the number of operations executed.
+func Run(prog *mir.Program, opts ...vm.Option) (*Result, error) {
+	b := NewBuilder()
+	opts = append([]vm.Option{vm.WithTracer(b)}, opts...)
+	m := vm.New(prog, opts...)
+	ret, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("trace: running %q: %w", prog.Name, err)
+	}
+	if err := b.g.CheckAcyclic(); err != nil {
+		return nil, fmt.Errorf("trace: %q produced a malformed DDG: %w", prog.Name, err)
+	}
+	return &Result{Graph: b.g, Return: ret, Ops: m.Ops()}, nil
+}

@@ -1,0 +1,279 @@
+// Package vm executes MIR programs on a shared-memory virtual machine with
+// real (goroutine-backed) threads, barriers, and mutexes.
+//
+// The machine plays the role of the instrumented binary in the paper's
+// Figure 1: a Tracer observes every operation execution, every shadow
+// memory update, and the dynamic loop scope in which each operation runs.
+// With a nil tracer the machine is a plain interpreter, used to validate
+// benchmark kernels at reference scale.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+)
+
+// Tracer observes an instrumented execution. Implementations must be safe
+// for concurrent use by multiple threads; the trace package serializes
+// through an internal lock, the analogue of the paper's synchronized shadow
+// memory accesses (§3).
+type Tracer interface {
+	// Node records the execution of an operation, returning the new node
+	// id. Operand ids may be ddg.NoNode for constant or untraced inputs.
+	Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID
+	// LoadShadow returns the node that defined the value at addr, or
+	// ddg.NoNode if the location was never traced.
+	LoadShadow(addr int64) ddg.NodeID
+	// StoreShadow records that the value at addr was defined by def.
+	StoreShadow(addr int64, def ddg.NodeID)
+}
+
+// Machine executes one program. A Machine is single-use: create, Run,
+// inspect.
+type Machine struct {
+	prog   *mir.Program
+	tracer Tracer
+
+	heapMu sync.RWMutex
+	heap   []mir.Value
+
+	statics map[string]int64
+
+	barriers map[string]*barrier
+	mutexes  map[string]*sync.Mutex
+
+	threadsMu  sync.Mutex
+	nextThread int32
+	threads    map[int32]*threadState
+	wg         sync.WaitGroup
+
+	nextInvocation atomic.Uint64
+	ops            atomic.Int64
+	maxOps         int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+type threadState struct {
+	id   int32
+	done chan struct{}
+	err  error
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithTracer attaches a tracer to the machine.
+func WithTracer(t Tracer) Option {
+	return func(m *Machine) { m.tracer = t }
+}
+
+// WithMaxOps bounds the total number of executed operations, guarding
+// against runaway kernels. The default is 2e9.
+func WithMaxOps(n int64) Option {
+	return func(m *Machine) { m.maxOps = n }
+}
+
+// New creates a machine for the program. The program must validate; New
+// panics otherwise (benchmarks are constructed, not user input). Static
+// arrays are allocated in declaration order starting at address 0.
+func New(prog *mir.Program, opts ...Option) *Machine {
+	if errs := prog.Validate(); len(errs) > 0 {
+		panic(fmt.Sprintf("vm: invalid program %q: %v", prog.Name, errs[0]))
+	}
+	prog.Layout()
+	m := &Machine{
+		prog:     prog,
+		statics:  map[string]int64{},
+		barriers: map[string]*barrier{},
+		mutexes:  map[string]*sync.Mutex{},
+		threads:  map[int32]*threadState{},
+		maxOps:   2_000_000_000,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	var base int64
+	for _, s := range prog.Statics {
+		m.statics[s.Name] = base
+		base += s.Size
+	}
+	m.heap = make([]mir.Value, base)
+	for name, n := range prog.Barriers {
+		m.barriers[name] = newBarrier(n)
+	}
+	for _, name := range prog.Mutexes {
+		m.mutexes[name] = &sync.Mutex{}
+	}
+	return m
+}
+
+// StaticBase returns the heap address of a declared static array.
+func (m *Machine) StaticBase(name string) int64 {
+	base, ok := m.statics[name]
+	if !ok {
+		panic(fmt.Sprintf("vm: unknown static %q", name))
+	}
+	return base
+}
+
+// HeapAt returns the heap value at addr (for test inspection after Run).
+func (m *Machine) HeapAt(addr int64) mir.Value {
+	m.heapMu.RLock()
+	defer m.heapMu.RUnlock()
+	if addr < 0 || addr >= int64(len(m.heap)) {
+		panic(fmt.Sprintf("vm: HeapAt(%d) out of bounds", addr))
+	}
+	return m.heap[addr]
+}
+
+// Ops returns the number of operations executed so far.
+func (m *Machine) Ops() int64 { return m.ops.Load() }
+
+// Run executes the entry function on thread 0 and waits for every spawned
+// thread to finish. It returns the entry function's return value (the zero
+// Value if it returns nothing) and the first error raised by any thread.
+func (m *Machine) Run() (mir.Value, error) {
+	entry := m.prog.Funcs[m.prog.Entry]
+	t0 := m.registerThread()
+	ret, _, err := m.callFunc(t0, entry, nil, nil)
+	m.finishThread(t0, err)
+	m.wg.Wait()
+	if err != nil {
+		return mir.Value{}, err
+	}
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if m.firstErr != nil {
+		return mir.Value{}, m.firstErr
+	}
+	return ret.v, nil
+}
+
+func (m *Machine) registerThread() *thread {
+	m.threadsMu.Lock()
+	defer m.threadsMu.Unlock()
+	id := m.nextThread
+	m.nextThread++
+	st := &threadState{id: id, done: make(chan struct{})}
+	m.threads[id] = st
+	return &thread{m: m, id: id, state: st}
+}
+
+func (m *Machine) finishThread(t *thread, err error) {
+	if err != nil {
+		m.errMu.Lock()
+		if m.firstErr == nil {
+			m.firstErr = err
+		}
+		m.errMu.Unlock()
+		// A failed thread will never reach its barriers; poison them all
+		// so sibling threads unblock (and the error, not a deadlock, is
+		// what surfaces).
+		for _, b := range m.barriers {
+			b.poison()
+		}
+	}
+	t.state.err = err
+	close(t.state.done)
+}
+
+func (m *Machine) threadByID(id int32) (*threadState, bool) {
+	m.threadsMu.Lock()
+	defer m.threadsMu.Unlock()
+	st, ok := m.threads[id]
+	return st, ok
+}
+
+// alloc reserves n heap cells and returns the base address.
+func (m *Machine) alloc(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative allocation size %d", n)
+	}
+	m.heapMu.Lock()
+	defer m.heapMu.Unlock()
+	base := int64(len(m.heap))
+	m.heap = append(m.heap, make([]mir.Value, n)...)
+	return base, nil
+}
+
+// load and store access the heap. Benchmarks are data-race free by
+// construction (disjoint writes between synchronization points), so cells
+// need no per-cell locking; the read lock only protects the slice header
+// against concurrent allocation, and bounds are always checked.
+func (m *Machine) load(addr int64) (mir.Value, error) {
+	m.heapMu.RLock()
+	defer m.heapMu.RUnlock()
+	if addr < 0 || addr >= int64(len(m.heap)) {
+		return mir.Value{}, fmt.Errorf("load out of bounds: address %d", addr)
+	}
+	return m.heap[addr], nil
+}
+
+func (m *Machine) store(addr int64, v mir.Value) error {
+	m.heapMu.RLock()
+	defer m.heapMu.RUnlock()
+	if addr < 0 || addr >= int64(len(m.heap)) {
+		return fmt.Errorf("store out of bounds: address %d", addr)
+	}
+	m.heap[addr] = v
+	return nil
+}
+
+// countOp enforces the operation budget.
+func (m *Machine) countOp() error {
+	if m.ops.Add(1) > m.maxOps {
+		return fmt.Errorf("operation budget of %d exceeded", m.maxOps)
+	}
+	return nil
+}
+
+// barrier is a cyclic barrier, the analogue of pthread_barrier_t.
+type barrier struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	parties    int
+	waiting    int
+	generation int
+	broken     bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until parties threads have arrived, or the barrier has been
+// poisoned by a failing thread.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return
+	}
+	gen := b.generation
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.generation++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.generation && !b.broken {
+		b.cond.Wait()
+	}
+}
+
+// poison permanently releases the barrier; used when a thread errors out.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}

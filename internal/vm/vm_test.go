@@ -1,0 +1,371 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"discovery/internal/mir"
+)
+
+// runProgram builds a machine and runs it, failing the test on error.
+func runProgram(t *testing.T, p *mir.Program, opts ...Option) (mir.Value, *Machine) {
+	t.Helper()
+	m := New(p, opts...)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run %q: %v", p.Name, err)
+	}
+	return v, m
+}
+
+func TestSequentialSum(t *testing.T) {
+	p := mir.NewProgram("sum")
+	p.DeclareStatic("a", 8)
+	f, b := p.NewFunc("main", "sum.c")
+	b.For("i", mir.C(0), mir.C(8), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G("a"), mir.V("i")), mir.I2F(mir.Mul(mir.V("i"), mir.V("i"))))
+	})
+	b.Assign("sum", mir.F(0))
+	b.For("i", mir.C(0), mir.C(8), mir.C(1), func(b *mir.Block) {
+		b.Assign("sum", mir.FAdd(mir.V("sum"), mir.Load(mir.Idx(mir.G("a"), mir.V("i")))))
+	})
+	b.Return(mir.V("sum"))
+	b.Finish(f)
+
+	v, m := runProgram(t, p)
+	if got, want := v.Float(), 140.0; got != want { // sum of squares 0..7
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if m.Ops() == 0 {
+		t.Error("no operations counted")
+	}
+}
+
+func TestHeapAndStatics(t *testing.T) {
+	p := mir.NewProgram("statics")
+	p.DeclareStatic("x", 4)
+	p.DeclareStatic("y", 4)
+	f, b := p.NewFunc("main", "s.c")
+	b.Store(mir.Idx(mir.G("y"), mir.C(2)), mir.C(99))
+	b.Finish(f)
+	_, m := runProgram(t, p)
+	if m.StaticBase("x") != 0 || m.StaticBase("y") != 4 {
+		t.Errorf("static bases: x=%d y=%d", m.StaticBase("x"), m.StaticBase("y"))
+	}
+	if got := m.HeapAt(6).Int(); got != 99 {
+		t.Errorf("heap[6] = %d, want 99", got)
+	}
+}
+
+func TestAlloc(t *testing.T) {
+	p := mir.NewProgram("alloc")
+	f, b := p.NewFunc("main", "a.c")
+	b.Assign("buf", mir.Alloc(mir.C(16)))
+	b.Store(mir.Idx(mir.V("buf"), mir.C(15)), mir.C(7))
+	b.Return(mir.Load(mir.Idx(mir.V("buf"), mir.C(15))))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 7 {
+		t.Errorf("alloc round trip = %v", v)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	p := mir.NewProgram("cond")
+	f, b := p.NewFunc("main", "c.c")
+	b.Assign("x", mir.C(10))
+	b.IfElse(mir.Gt(mir.V("x"), mir.C(5)),
+		func(b *mir.Block) { b.Assign("r", mir.C(1)) },
+		func(b *mir.Block) { b.Assign("r", mir.C(2)) })
+	b.If(mir.Lt(mir.V("x"), mir.C(5)), func(b *mir.Block) {
+		b.Assign("r", mir.C(3))
+	})
+	b.Return(mir.V("r"))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 1 {
+		t.Errorf("conditional result = %v, want 1", v)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	p := mir.NewProgram("while")
+	f, b := p.NewFunc("main", "w.c")
+	b.Assign("n", mir.C(100))
+	b.Assign("steps", mir.C(0))
+	b.While(mir.Gt(mir.V("n"), mir.C(1)), func(b *mir.Block) {
+		// Collatz-ish: halve.
+		b.Assign("n", mir.Div(mir.V("n"), mir.C(2)))
+		b.Assign("steps", mir.Add(mir.V("steps"), mir.C(1)))
+	})
+	b.Return(mir.V("steps"))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 6 {
+		t.Errorf("halving steps = %v, want 6", v)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	p := mir.NewProgram("calls")
+	sq, sb := p.NewFunc("square", "lib.c", "x")
+	sb.Return(mir.Mul(mir.V("x"), mir.V("x")))
+	sb.Finish(sq)
+	f, b := p.NewFunc("main", "main.c")
+	b.Assign("r", mir.Call("square", mir.Call("square", mir.C(3))))
+	b.Return(mir.V("r"))
+	b.Finish(f)
+	p.SetEntry("main")
+	v, _ := runProgram(t, p)
+	if v.Int() != 81 {
+		t.Errorf("square(square(3)) = %v, want 81", v)
+	}
+}
+
+// threadedSumProgram splits an array sum over nproc threads with partial
+// results combined by the main thread after joining — the streamcluster
+// shape from the paper's Figure 2.
+func threadedSumProgram(n, nproc int64) *mir.Program {
+	p := mir.NewProgram("tsum")
+	p.DeclareStatic("data", n)
+	p.DeclareStatic("partial", nproc)
+	p.DeclareStatic("out", 1)
+	p.DeclareBarrier("bar", int(nproc))
+
+	w, wb := p.NewFunc("worker", "tsum.c", "pid")
+	per := n / nproc
+	wb.Assign("k1", mir.Mul(mir.V("pid"), mir.C(per)))
+	wb.Assign("k2", mir.Add(mir.V("k1"), mir.C(per)))
+	wb.Assign("my", mir.F(0))
+	wb.For("k", mir.V("k1"), mir.V("k2"), mir.C(1), func(b *mir.Block) {
+		b.Assign("my", mir.FAdd(mir.V("my"), mir.Load(mir.Idx(mir.G("data"), mir.V("k")))))
+	})
+	wb.Store(mir.Idx(mir.G("partial"), mir.V("pid")), mir.V("my"))
+	wb.Barrier("bar")
+	wb.Finish(w)
+
+	f, b := p.NewFunc("main", "tsum.c")
+	b.For("i", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G("data"), mir.V("i")), mir.I2F(mir.V("i")))
+	})
+	b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+		b.Spawn("h", "worker", mir.V("t"))
+	})
+	// Handles live in loop-local vars; join by thread id instead (worker
+	// thread ids start at 1, after the main thread's 0).
+	b.For("t", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+		b.Join(mir.Add(mir.V("t"), mir.C(1)))
+	})
+	b.Assign("total", mir.F(0))
+	b.For("i", mir.C(0), mir.C(nproc), mir.C(1), func(b *mir.Block) {
+		b.Assign("total", mir.FAdd(mir.V("total"), mir.Load(mir.Idx(mir.G("partial"), mir.V("i")))))
+	})
+	b.Return(mir.V("total"))
+	b.Finish(f)
+	p.SetEntry("main")
+	return p
+}
+
+func TestThreadedSum(t *testing.T) {
+	n, nproc := int64(64), int64(4)
+	p := threadedSumProgram(n, nproc)
+	v, _ := runProgram(t, p)
+	want := float64(n*(n-1)) / 2
+	if v.Float() != want {
+		t.Errorf("threaded sum = %v, want %g", v, want)
+	}
+}
+
+func TestMutexProtectedAccumulation(t *testing.T) {
+	p := mir.NewProgram("mutex")
+	p.DeclareStatic("acc", 1)
+	p.DeclareMutex("mu")
+	w, wb := p.NewFunc("worker", "m.c", "pid")
+	wb.For("i", mir.C(0), mir.C(100), mir.C(1), func(b *mir.Block) {
+		b.Lock("mu")
+		b.Store(mir.Idx(mir.G("acc"), mir.C(0)),
+			mir.Add(mir.Load(mir.Idx(mir.G("acc"), mir.C(0))), mir.C(1)))
+		b.Unlock("mu")
+	})
+	wb.Finish(w)
+	f, b := p.NewFunc("main", "m.c")
+	b.Spawn("t1", "worker", mir.C(0))
+	b.Spawn("t2", "worker", mir.C(1))
+	b.Join(mir.V("t1"))
+	b.Join(mir.V("t2"))
+	b.Return(mir.Load(mir.Idx(mir.G("acc"), mir.C(0))))
+	b.Finish(f)
+	p.SetEntry("main")
+	v, _ := runProgram(t, p)
+	if v.Int() != 200 {
+		t.Errorf("mutex accumulation = %v, want 200", v)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *mir.Block)
+		want  string
+	}{
+		{"load out of bounds", func(b *mir.Block) {
+			b.Return(mir.Load(mir.C(1000)))
+		}, "out of bounds"},
+		{"store out of bounds", func(b *mir.Block) {
+			b.Store(mir.C(-1), mir.C(0))
+		}, "out of bounds"},
+		{"division by zero", func(b *mir.Block) {
+			b.Return(mir.Div(mir.C(1), mir.C(0)))
+		}, "division by zero"},
+		{"undefined variable", func(b *mir.Block) {
+			b.Return(mir.V("ghost"))
+		}, "undefined variable"},
+		{"join unknown thread", func(b *mir.Block) {
+			b.Join(mir.C(42))
+		}, "unknown thread"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := mir.NewProgram("err")
+			f, b := p.NewFunc("main", "e.c")
+			c.build(b)
+			b.Finish(f)
+			m := New(p)
+			_, err := m.Run()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	p := mir.NewProgram("pos")
+	f, b := p.NewFunc("main", "pos.c")
+	b.Return(mir.Div(mir.C(1), mir.C(0)))
+	b.Finish(f)
+	_, err := New(p).Run()
+	if err == nil || !strings.Contains(err.Error(), "pos.c:") {
+		t.Errorf("error lacks source position: %v", err)
+	}
+}
+
+func TestOpBudget(t *testing.T) {
+	p := mir.NewProgram("budget")
+	f, b := p.NewFunc("main", "b.c")
+	b.Assign("x", mir.C(0))
+	b.For("i", mir.C(0), mir.C(1000000), mir.C(1), func(b *mir.Block) {
+		b.Assign("x", mir.Add(mir.V("x"), mir.C(1)))
+	})
+	b.Finish(f)
+	m := New(p, WithMaxOps(100))
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("budget not enforced: %v", err)
+	}
+}
+
+func TestSpawnedThreadErrorSurfaces(t *testing.T) {
+	p := mir.NewProgram("childerr")
+	w, wb := p.NewFunc("worker", "c.c", "pid")
+	wb.Return(mir.Div(mir.C(1), mir.C(0)))
+	wb.Finish(w)
+	f, b := p.NewFunc("main", "c.c")
+	b.Spawn("t", "worker", mir.C(0))
+	b.Join(mir.V("t"))
+	b.Finish(f)
+	p.SetEntry("main")
+	if _, err := New(p).Run(); err == nil {
+		t.Error("child thread error not surfaced")
+	}
+}
+
+func TestNewPanicsOnInvalidProgram(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on invalid program")
+		}
+	}()
+	New(mir.NewProgram("empty"))
+}
+
+func TestBarrierCycles(t *testing.T) {
+	// Two threads synchronize twice through the same barrier; a write
+	// before the first wait must be visible after it.
+	p := mir.NewProgram("barrier")
+	p.DeclareStatic("slots", 2)
+	p.DeclareStatic("sums", 2)
+	p.DeclareBarrier("bar", 2)
+	w, wb := p.NewFunc("worker", "b.c", "pid")
+	wb.Store(mir.Idx(mir.G("slots"), mir.V("pid")), mir.Add(mir.V("pid"), mir.C(10)))
+	wb.Barrier("bar")
+	// Read the other thread's slot.
+	wb.Assign("other", mir.Sub(mir.C(1), mir.V("pid")))
+	wb.Assign("v", mir.Load(mir.Idx(mir.G("slots"), mir.V("other"))))
+	wb.Barrier("bar")
+	wb.Store(mir.Idx(mir.G("sums"), mir.V("pid")), mir.V("v"))
+	wb.Finish(w)
+	f, b := p.NewFunc("main", "b.c")
+	b.Spawn("t1", "worker", mir.C(0))
+	b.Spawn("t2", "worker", mir.C(1))
+	b.Join(mir.V("t1"))
+	b.Join(mir.V("t2"))
+	b.Return(mir.Add(mir.Load(mir.Idx(mir.G("sums"), mir.C(0))),
+		mir.Load(mir.Idx(mir.G("sums"), mir.C(1)))))
+	b.Finish(f)
+	p.SetEntry("main")
+	v, _ := runProgram(t, p)
+	if v.Int() != 21 { // 11 + 10
+		t.Errorf("barrier exchange = %v, want 21", v)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := mir.NewProgram("nested")
+	f, b := p.NewFunc("main", "n.c")
+	b.Assign("acc", mir.C(0))
+	b.For("i", mir.C(0), mir.C(5), mir.C(1), func(b *mir.Block) {
+		b.For("j", mir.C(0), mir.C(5), mir.C(1), func(b *mir.Block) {
+			b.Assign("acc", mir.Add(mir.V("acc"), mir.Mul(mir.V("i"), mir.V("j"))))
+		})
+	})
+	b.Return(mir.V("acc"))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 100 { // (0+1+2+3+4)^2
+		t.Errorf("nested loops = %v, want 100", v)
+	}
+}
+
+func TestForLoopStepAndEmpty(t *testing.T) {
+	p := mir.NewProgram("steps")
+	f, b := p.NewFunc("main", "s.c")
+	b.Assign("acc", mir.C(0))
+	b.For("i", mir.C(0), mir.C(10), mir.C(3), func(b *mir.Block) { // 0,3,6,9
+		b.Assign("acc", mir.Add(mir.V("acc"), mir.V("i")))
+	})
+	b.For("i", mir.C(5), mir.C(5), mir.C(1), func(b *mir.Block) { // empty
+		b.Assign("acc", mir.C(-1))
+	})
+	b.Return(mir.V("acc"))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 18 {
+		t.Errorf("stepped loop = %v, want 18", v)
+	}
+}
+
+func TestReturnInsideLoop(t *testing.T) {
+	p := mir.NewProgram("earlyret")
+	f, b := p.NewFunc("main", "r.c")
+	b.For("i", mir.C(0), mir.C(100), mir.C(1), func(b *mir.Block) {
+		b.If(mir.Eq(mir.V("i"), mir.C(7)), func(b *mir.Block) {
+			b.Return(mir.V("i"))
+		})
+	})
+	b.Return(mir.C(-1))
+	b.Finish(f)
+	v, _ := runProgram(t, p)
+	if v.Int() != 7 {
+		t.Errorf("early return = %v, want 7", v)
+	}
+}
