@@ -1,0 +1,26 @@
+# Build, vet, test, and race-check the reproduction.
+#
+#   make check   — everything below in sequence (the tier-1 gate + races)
+#   make race    — race-detector pass over the concurrency-bearing packages
+#   make bench   — trace throughput benchmark (writes BENCH_trace.json)
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/...
+
+bench:
+	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32

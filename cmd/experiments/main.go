@@ -8,7 +8,10 @@
 //	experiments -run figure7 -factors 1,2,4,8
 //
 // Available experiments: table1, table2, table3, accuracy, figure7,
-// figure8, phases, simplify, ablation, all.
+// figure8, phases, simplify, ablation, all. "bench" (not part of all)
+// measures tracing throughput and writes BENCH_trace.json:
+//
+//	experiments -run bench -bench-reps 20 -bench-scale 32
 package main
 
 import (
@@ -23,8 +26,11 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run")
-		factors = flag.String("factors", "1,2,4", "input scale ladder for figure7")
+		run       = flag.String("run", "all", "experiment to run")
+		factors   = flag.String("factors", "1,2,4", "input scale ladder for figure7")
+		benchReps = flag.Int("bench-reps", 20, "repetitions per bench configuration")
+		benchScal = flag.Int64("bench-scale", 32, "input scale for bench (md5 nbuf = 8*scale)")
+		benchOut  = flag.String("bench-out", "BENCH_trace.json", "output file for bench results")
 	)
 	flag.Parse()
 
@@ -101,6 +107,23 @@ func main() {
 			fmt.Println(experiments.AblationsText(rows))
 			return nil
 		},
+		// bench is not part of "all": it is a timing run, not a paper table.
+		"bench": func() error {
+			res, err := experiments.RunTraceBench(*benchReps, *benchScal)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "accuracy", "figure7",
@@ -113,7 +136,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n",
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, bench, all\n",
 				name, strings.Join(order, ", "))
 			os.Exit(1)
 		}

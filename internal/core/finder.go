@@ -308,30 +308,34 @@ func runMatchPhase(gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) [
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	work := make(chan *SubDDG)
-	skipped := 0
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				found, skip := matchSub(gs, s, opts)
-				mu.Lock()
-				s.Matched = found
-				if skip {
-					skipped++
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	// Buffered to len(active): the feed loop never blocks on a slow
+	// matcher, and workers drain at their own pace.
+	work := make(chan *SubDDG, len(active))
 	for _, s := range active {
 		work <- s
 	}
 	close(work)
+	// Each sub-DDG is claimed by exactly one worker, so writing s.Matched
+	// needs no lock; skip counts are accumulated per worker and summed
+	// after the barrier.
+	skips := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := range work {
+				found, skip := matchSub(gs, s, opts)
+				s.Matched = found
+				if skip {
+					skips[w]++
+				}
+			}
+		}(w)
+	}
 	wg.Wait()
-	res.SkippedViews += skipped
+	for _, n := range skips {
+		res.SkippedViews += n
+	}
 
 	var matched []*SubDDG
 	for _, s := range active { // deterministic order
@@ -425,14 +429,20 @@ func merge(matches []Match) []*patterns.Pattern {
 		seen[key+"/"+m.Pattern.Kind.String()] = true
 		out = append(out, m.Pattern)
 	}
+	// A pattern is discarded iff a strictly larger pattern subsumes it.
+	// Sorting by node-set size descending makes the strictly-larger
+	// candidates for each pattern exactly a prefix of the slice, so each
+	// pattern is tested only against that prefix instead of every other
+	// pattern (the prefix scan stops at the first equal-sized entry).
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Nodes().Len() > out[j].Nodes().Len()
+	})
 	var final []*patterns.Pattern
 	for _, p := range out {
+		size := p.Nodes().Len()
 		subsumed := false
-		for _, q := range out {
-			if q == p {
-				continue
-			}
-			if q.Subsumes(p) && q.Nodes().Len() > p.Nodes().Len() {
+		for j := 0; j < len(out) && out[j].Nodes().Len() > size; j++ {
+			if out[j].Subsumes(p) {
 				subsumed = true
 				break
 			}

@@ -66,5 +66,8 @@ func Simplify(g *ddg.Graph) *ddg.Graph {
 		}
 	}
 	gs, _ := g.InducedSubgraph(ddg.NewSet(keep...))
+	// The simplified graph is never mutated again; freezing it packs the
+	// adjacency into its CSR layout for the traversal-heavy phases.
+	gs.Freeze()
 	return gs
 }

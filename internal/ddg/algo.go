@@ -38,7 +38,7 @@ func (g *Graph) WeaklyConnectedComponents(nodes Set) []Set {
 		}
 	}
 	for _, u := range nodes {
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if _, in := parent[v]; in {
 				union(u, v)
 			}
@@ -75,7 +75,7 @@ func (g *Graph) WeaklyConnectedWithInputs(nodes Set) bool {
 	}
 	var preds []NodeID
 	for _, u := range nodes {
-		preds = append(preds, g.pred[u]...)
+		preds = append(preds, g.Preds(u)...)
 	}
 	extended := nodes.Union(NewSet(preds...))
 	for _, comp := range g.WeaklyConnectedComponents(extended) {
@@ -106,7 +106,7 @@ func (g *Graph) ReachableFrom(from Set, within Set) Set {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if inWithin(v) && !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
@@ -131,7 +131,7 @@ func (g *Graph) Reaches(u, v NodeID) bool {
 	for len(stack) > 0 {
 		w := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, x := range g.succ[w] {
+		for _, x := range g.Succs(w) {
 			if x == v {
 				return true
 			}
@@ -177,14 +177,14 @@ func (g *Graph) Convex(nodes Set, ambient Set) bool {
 		}
 	}
 	for _, u := range nodes {
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			push(v)
 		}
 	}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			push(v)
 		}
 	}
@@ -201,14 +201,14 @@ func (g *Graph) Convex(nodes Set, ambient Set) bool {
 		}
 	}
 	for _, u := range nodes {
-		for _, v := range g.pred[u] {
+		for _, v := range g.Preds(u) {
 			pushB(v)
 		}
 	}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.pred[u] {
+		for _, v := range g.Preds(u) {
 			pushB(v)
 		}
 	}
@@ -241,12 +241,12 @@ func (g *Graph) BoundaryOf(nodes Set, ambient Set) Boundary {
 	}
 	b := Boundary{In: map[NodeID][]NodeID{}, Out: map[NodeID][]NodeID{}}
 	for _, u := range nodes {
-		for _, v := range g.pred[u] {
+		for _, v := range g.Preds(u) {
 			if inAmbient(v) && !nodes.Contains(v) {
 				b.In[u] = append(b.In[u], v)
 			}
 		}
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if inAmbient(v) && !nodes.Contains(v) {
 				b.Out[u] = append(b.Out[u], v)
 			}
@@ -273,7 +273,7 @@ func (g *Graph) HasExternalOut(nodes Set, ambient Set) bool {
 func (g *Graph) ArcsBetween(a, b Set) [][2]NodeID {
 	var arcs [][2]NodeID
 	for _, u := range a {
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if b.Contains(v) {
 				arcs = append(arcs, [2]NodeID{u, v})
 			}
@@ -298,7 +298,7 @@ func (g *Graph) Adjacent(a, b Set) bool {
 func (g *Graph) FlowsInto(a, b Set) bool {
 	found := false
 	for _, u := range a {
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if a.Contains(v) {
 				continue
 			}

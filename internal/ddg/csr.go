@@ -1,0 +1,101 @@
+package ddg
+
+import (
+	"fmt"
+
+	"discovery/internal/mir"
+)
+
+// FrozenBuilder constructs a frozen (CSR-form) graph directly, without
+// the building-phase per-node adjacency slices. Callers stream nodes in
+// final id order, each with its full predecessor list; the builder packs
+// predecessors into the CSR arrays as they arrive and derives the
+// successor arrays in one counting-sort pass at Finish.
+//
+// Because every predecessor must already exist (AddNode rejects preds at
+// or beyond the new node's id), a finished graph satisfies the
+// topological-id invariant by construction — it cannot contain a cycle,
+// so no CheckAcyclic pass is needed. This is the fast path used by the
+// tracer's finalization, where the merge order makes predecessor-first
+// emission natural.
+type FrozenBuilder struct {
+	g *Graph
+	// succCnt[u] counts u's successors until Finish turns it into the
+	// CSR fill cursor.
+	succCnt []uint32
+}
+
+// NewFrozenBuilder returns a builder expecting about nodes nodes and at
+// most maxArcs arcs (pre-deduplication operand count is a fine bound).
+func NewFrozenBuilder(nodes, maxArcs int) *FrozenBuilder {
+	g := &Graph{
+		ops:     make([]mir.Op, 0, nodes),
+		pos:     make([]mir.Pos, 0, nodes),
+		thread:  make([]int32, 0, nodes),
+		scope:   make([]*Scope, 0, nodes),
+		predOff: make([]uint32, 1, nodes+1),
+		predArr: make([]NodeID, 0, maxArcs),
+	}
+	return &FrozenBuilder{g: g, succCnt: make([]uint32, 0, nodes)}
+}
+
+// AddNode appends a node with the given predecessors and returns its id.
+// NoNode preds are skipped, duplicates within the list are dropped (the
+// same global dedup Graph.AddArc performs, since an arc (u,v) can only be
+// proposed while v is being added), and a pred >= the new id panics —
+// nodes must arrive in an order where every value flows forward.
+func (fb *FrozenBuilder) AddNode(op mir.Op, pos mir.Pos, thread int32, scope *Scope, preds ...NodeID) NodeID {
+	g := fb.g
+	id := NodeID(len(g.ops))
+	g.ops = append(g.ops, op)
+	g.pos = append(g.pos, pos)
+	g.thread = append(g.thread, thread)
+	g.scope = append(g.scope, scope)
+	fb.succCnt = append(fb.succCnt, 0)
+	start := len(g.predArr)
+outer:
+	for _, p := range preds {
+		if p == NoNode {
+			continue
+		}
+		if p >= id {
+			panic(fmt.Sprintf("ddg: FrozenBuilder: pred %d of node %d does not precede it", p, id))
+		}
+		for _, q := range g.predArr[start:] {
+			if q == p {
+				continue outer
+			}
+		}
+		g.predArr = append(g.predArr, p)
+		fb.succCnt[p]++
+	}
+	g.predOff = append(g.predOff, uint32(len(g.predArr)))
+	return id
+}
+
+// Finish derives the successor CSR arrays and returns the frozen graph.
+// The builder must not be used afterwards.
+func (fb *FrozenBuilder) Finish() *Graph {
+	g := fb.g
+	n := len(g.ops)
+	g.arcs = len(g.predArr)
+	g.succOff = make([]uint32, n+1)
+	for u := 0; u < n; u++ {
+		g.succOff[u+1] = g.succOff[u] + fb.succCnt[u]
+	}
+	// Reuse succCnt as the per-node fill cursor.
+	copy(fb.succCnt, g.succOff[:n])
+	g.succArr = make([]NodeID, g.arcs)
+	for v := 0; v < n; v++ {
+		for _, u := range g.predArr[g.predOff[v]:g.predOff[v+1]] {
+			g.succArr[fb.succCnt[u]] = NodeID(v)
+			fb.succCnt[u]++
+		}
+	}
+	// Walking v in ascending order fills each successor list in ascending
+	// target order — the same order Freeze produces for a graph whose arcs
+	// were added at v-creation time.
+	g.frozen = true
+	fb.g, fb.succCnt = nil, nil
+	return g
+}

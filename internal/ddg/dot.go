@@ -37,7 +37,7 @@ func (g *Graph) DOT(nodes Set, highlight map[string]Set) string {
 		if !include(u) {
 			continue
 		}
-		for _, v := range g.succ[u] {
+		for _, v := range g.Succs(u) {
 			if include(v) {
 				fmt.Fprintf(&sb, "  n%d -> n%d;\n", u, v)
 			}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"discovery/internal/mir"
+	"discovery/internal/starbench"
+	"discovery/internal/stats"
+	"discovery/internal/trace"
+	"discovery/internal/vm"
+)
+
+// Trace throughput benchmark: the per-thread tracer against the seed's
+// single-lock tracer, on a Starbench kernel at 1 (sequential) and 2/4/8
+// worker threads. This is the before/after evidence for the
+// parallel-native tracer (BENCH_trace.json).
+
+// TraceBenchRow is one (workload, tracer) measurement.
+type TraceBenchRow struct {
+	Bench    string  `json:"bench"`
+	Version  string  `json:"version"`
+	Threads  int     `json:"threads"`
+	Tracer   string  `json:"tracer"`
+	MedianNS int64   `json:"median_ns"`
+	RobustCV float64 `json:"robust_cv"`
+	Ops      int64   `json:"ops"`
+	OpsPerS  float64 `json:"ops_per_sec"`
+	Nodes    int     `json:"ddg_nodes"`
+}
+
+// TraceBenchResult is the full benchmark outcome.
+type TraceBenchResult struct {
+	Bench       string          `json:"bench"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Repetitions int             `json:"repetitions"`
+	Scale       int64           `json:"scale"`
+	Rows        []TraceBenchRow `json:"rows"`
+	// SpeedupAt4 is the per-thread tracer's speedup over the single-lock
+	// tracer on the 4-worker workload (the acceptance criterion).
+	SpeedupAt4 float64 `json:"speedup_at_4_threads"`
+}
+
+// traceBenchConfigs returns the benchmarked workloads: the md5 kernel
+// sequentially and split over 2, 4, and 8 worker threads. nbuf is chosen
+// divisible by every worker count.
+func traceBenchConfigs(scale int64) []struct {
+	version starbench.Version
+	threads int
+	params  starbench.Params
+} {
+	nbuf := 8 * scale
+	mk := func(v starbench.Version, threads int, nproc int64) struct {
+		version starbench.Version
+		threads int
+		params  starbench.Params
+	} {
+		return struct {
+			version starbench.Version
+			threads int
+			params  starbench.Params
+		}{v, threads, starbench.Params{"nbuf": nbuf, "bufwords": 4, "nproc": nproc}}
+	}
+	return []struct {
+		version starbench.Version
+		threads int
+		params  starbench.Params
+	}{
+		mk(starbench.Seq, 1, 2), // nproc unused by the seq build
+		mk(starbench.Pthreads, 2, 2),
+		mk(starbench.Pthreads, 4, 4),
+		mk(starbench.Pthreads, 8, 8),
+	}
+}
+
+// traceRunners maps tracer names to Run-style entry points. "legacy" is
+// the seed's global-lock tracer, "perthread" the parallel-native one.
+func traceRunners() []struct {
+	name string
+	run  func(*mir.Program, ...vm.Option) (*trace.Result, error)
+} {
+	return []struct {
+		name string
+		run  func(*mir.Program, ...vm.Option) (*trace.Result, error)
+	}{
+		{"legacy", trace.RunLegacy},
+		{"perthread", trace.Run},
+	}
+}
+
+// RunTraceBench measures tracing throughput (median of reps runs) for
+// every workload and tracer combination.
+func RunTraceBench(reps int, scale int64) (*TraceBenchResult, error) {
+	if reps < 1 {
+		reps = 20
+	}
+	if scale < 1 {
+		scale = 32
+	}
+	out := &TraceBenchResult{
+		Bench:       "md5",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Repetitions: reps,
+		Scale:       scale,
+	}
+	b := starbench.ByName("md5")
+	medians := map[string]time.Duration{}
+	for _, cfg := range traceBenchConfigs(scale) {
+		built := b.Build(cfg.version, cfg.params)
+		for _, tr := range traceRunners() {
+			var res *trace.Result
+			var err error
+			m := stats.Measure(reps, func() {
+				res, err = tr.run(built.Prog, vm.WithMaxOps(1<<32))
+			})
+			if err != nil {
+				return nil, fmt.Errorf("tracebench %s/%d/%s: %w", cfg.version, cfg.threads, tr.name, err)
+			}
+			row := TraceBenchRow{
+				Bench:    b.Name,
+				Version:  string(cfg.version),
+				Threads:  cfg.threads,
+				Tracer:   tr.name,
+				MedianNS: int64(m.Median),
+				RobustCV: m.RobustCV,
+				Ops:      res.Ops,
+				OpsPerS:  float64(res.Ops) / m.Median.Seconds(),
+				Nodes:    res.Graph.NumNodes(),
+			}
+			out.Rows = append(out.Rows, row)
+			medians[fmt.Sprintf("%s/%d", tr.name, cfg.threads)] = m.Median
+		}
+	}
+	if leg, ok := medians["legacy/4"]; ok {
+		if pt, ok := medians["perthread/4"]; ok && pt > 0 {
+			out.SpeedupAt4 = float64(leg) / float64(pt)
+		}
+	}
+	return out, nil
+}
+
+// JSON renders the result for BENCH_trace.json.
+func (r *TraceBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders a human-readable table.
+func (r *TraceBenchResult) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Trace throughput: %s, scale %d, %d reps, GOMAXPROCS=%d\n",
+		r.Bench, r.Scale, r.Repetitions, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-10s %8s %10s %14s %14s %8s\n",
+		"version", "threads", "tracer", "median", "ops/sec", "rcv")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %8d %10s %14v %14.3e %7.1f%%\n",
+			row.Version, row.Threads, row.Tracer,
+			time.Duration(row.MedianNS), row.OpsPerS, row.RobustCV*100)
+	}
+	fmt.Fprintf(&sb, "speedup at 4 threads (perthread vs legacy): %.2fx\n", r.SpeedupAt4)
+	return sb.String()
+}

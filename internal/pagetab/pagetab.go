@@ -1,0 +1,148 @@
+// Package pagetab implements a sparse, append-friendly page table: a flat
+// address space backed by lazily allocated fixed-size pages.
+//
+// Reads and writes of already-mapped entries are lock-free (two array
+// indexings plus two atomic pointer loads); locks are taken only to map a
+// new page or to grow the page directory. Distinct entries may be accessed
+// concurrently without synchronization, mirroring the memory being
+// shadowed: the caller's own happens-before edges (the traced program's
+// synchronization) are what order conflicting accesses to one entry.
+//
+// The trace package uses it for shadow memory (pages of ddg.NodeID) and
+// the vm package for the interpreter heap (pages of mir.Value).
+package pagetab
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageBits selects 4096-entry pages: large enough that the directory
+	// stays tiny for benchmark-sized address spaces, small enough that a
+	// sparse store does not waste whole megabytes.
+	PageBits = 12
+	// PageSize is the number of entries per page.
+	PageSize = 1 << PageBits
+
+	pageMask = PageSize - 1
+	// stripes bounds contention when many threads fault in distinct pages
+	// at once; page allocation is rare (once per 4096 entries), so a small
+	// fixed stripe count suffices.
+	stripes = 16
+)
+
+type page[T comparable] struct {
+	data [PageSize]T
+}
+
+// Table is a page-table-backed flat array of T indexed by non-negative
+// int64 addresses. Unmapped entries read as the fill value. T is
+// comparable so that faulting can skip initializing pages when the fill
+// value is T's zero value (the allocator already zeroed them).
+type Table[T comparable] struct {
+	// dir is the current page directory. It is replaced wholesale on
+	// growth; pages are installed into slots with atomic stores so readers
+	// never lock.
+	dir  atomic.Pointer[[]atomic.Pointer[page[T]]]
+	fill T
+
+	// growMu serializes directory growth (writers take the read side while
+	// installing a page, so installs never race a directory swap).
+	growMu sync.RWMutex
+	stripe [stripes]sync.Mutex
+}
+
+// New returns an empty table whose unmapped entries read as fill.
+func New[T comparable](fill T) *Table[T] {
+	t := &Table[T]{fill: fill}
+	dir := make([]atomic.Pointer[page[T]], 0)
+	t.dir.Store(&dir)
+	return t
+}
+
+// Get returns the entry at index i, or the fill value if the entry was
+// never set. i must be non-negative.
+func (t *Table[T]) Get(i int64) T {
+	pi := i >> PageBits
+	dir := *t.dir.Load()
+	if uint64(pi) < uint64(len(dir)) {
+		if p := dir[pi].Load(); p != nil {
+			return p.data[i&pageMask]
+		}
+	}
+	if i < 0 {
+		panic(fmt.Sprintf("pagetab: negative index %d", i))
+	}
+	return t.fill
+}
+
+// Set stores v at index i, mapping the containing page if needed. i must
+// be non-negative.
+func (t *Table[T]) Set(i int64, v T) {
+	pi := i >> PageBits
+	dir := *t.dir.Load()
+	if uint64(pi) < uint64(len(dir)) {
+		if p := dir[pi].Load(); p != nil {
+			p.data[i&pageMask] = v
+			return
+		}
+	}
+	if i < 0 {
+		panic(fmt.Sprintf("pagetab: negative index %d", i))
+	}
+	t.fault(pi).data[i&pageMask] = v
+}
+
+// fault maps (or finds) the page with directory index pi.
+func (t *Table[T]) fault(pi int64) *page[T] {
+	if int64(len(*t.dir.Load())) <= pi {
+		t.grow(pi)
+	}
+	t.growMu.RLock()
+	defer t.growMu.RUnlock()
+	dir := *t.dir.Load()
+	slot := &dir[pi]
+	if p := slot.Load(); p != nil {
+		return p
+	}
+	s := &t.stripe[pi%stripes]
+	s.Lock()
+	defer s.Unlock()
+	if p := slot.Load(); p != nil {
+		return p
+	}
+	p := new(page[T])
+	var zero T
+	if t.fill != zero {
+		for j := range p.data {
+			p.data[j] = t.fill
+		}
+	}
+	slot.Store(p)
+	return p
+}
+
+// grow replaces the directory with one covering index pi. Pages move by
+// pointer, so concurrent readers holding the old directory still see them.
+func (t *Table[T]) grow(pi int64) {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	old := *t.dir.Load()
+	if int64(len(old)) > pi {
+		return
+	}
+	n := 2 * len(old)
+	if n < 64 {
+		n = 64
+	}
+	for int64(n) <= pi {
+		n *= 2
+	}
+	dir := make([]atomic.Pointer[page[T]], n)
+	for i := range old {
+		dir[i].Store(old[i].Load())
+	}
+	t.dir.Store(&dir)
+}

@@ -1,0 +1,95 @@
+package pagetab
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFillValueOnUnmapped(t *testing.T) {
+	tab := New[int32](-7)
+	if got := tab.Get(0); got != -7 {
+		t.Errorf("Get(0) on empty table = %d, want fill -7", got)
+	}
+	if got := tab.Get(1 << 40); got != -7 {
+		t.Errorf("Get far beyond directory = %d, want fill -7", got)
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	tab := New[int64](0)
+	addrs := []int64{0, 1, PageSize - 1, PageSize, PageSize + 1, 3*PageSize + 17, 1 << 30}
+	for _, a := range addrs {
+		tab.Set(a, a*10+1)
+	}
+	for _, a := range addrs {
+		if got := tab.Get(a); got != a*10+1 {
+			t.Errorf("Get(%d) = %d, want %d", a, got, a*10+1)
+		}
+	}
+	// Neighbours within the same pages still read as fill.
+	if got := tab.Get(2); got != 0 {
+		t.Errorf("unset neighbour = %d, want 0", got)
+	}
+}
+
+func TestOverwriteAndFillReset(t *testing.T) {
+	tab := New[uint32](^uint32(0))
+	tab.Set(100, 42)
+	tab.Set(100, 7)
+	if got := tab.Get(100); got != 7 {
+		t.Errorf("overwrite = %d, want 7", got)
+	}
+	tab.Set(100, ^uint32(0)) // storing the fill value is a plain store
+	if got := tab.Get(100); got != ^uint32(0) {
+		t.Errorf("fill store = %d, want all-ones", got)
+	}
+	// The rest of the page was initialized to fill on allocation.
+	if got := tab.Get(101); got != ^uint32(0) {
+		t.Errorf("page fill init = %d, want all-ones", got)
+	}
+}
+
+func TestNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set(-1) did not panic")
+		}
+	}()
+	New[int](0).Set(-1, 5)
+}
+
+// TestConcurrentDisjointAccess exercises the lock-free fast path and the
+// grow/fault slow paths from many goroutines touching disjoint entries,
+// the access pattern of a race-free traced program. Run under -race.
+func TestConcurrentDisjointAccess(t *testing.T) {
+	tab := New[int64](-1)
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * perWorker
+			for i := int64(0); i < perWorker; i++ {
+				tab.Set(base+i, base+i)
+			}
+			for i := int64(0); i < perWorker; i++ {
+				if got := tab.Get(base + i); got != base+i {
+					t.Errorf("worker %d: Get(%d) = %d", w, base+i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	tab := New[uint32](^uint32(0))
+	for i := 0; i < b.N; i++ {
+		a := int64(i) & (1<<20 - 1)
+		tab.Set(a, uint32(i))
+		_ = tab.Get(a)
+	}
+}

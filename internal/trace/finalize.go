@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+
+	"discovery/internal/ddg"
+)
+
+// finalize merges per-thread trace buffers into one DDG with dense node
+// ids, built directly in its frozen CSR layout.
+//
+// The merge must respect two constraints at once:
+//
+//   - Determinism: final ids may depend only on the buffer contents —
+//     (thread, local index) streams and their recorded operands — never
+//     on how the Go scheduler happened to interleave the run.
+//   - The topological-id invariant: every arc must go from a lower to a
+//     higher final id (ddg.Graph.Convex prunes its searches with it).
+//
+// Both are satisfied by a Kahn-style k-way merge: repeatedly walk the
+// threads in ascending id order and emit each thread's longest ready run
+// (a node is ready when all its operands are already emitted). Within a
+// thread, buffer order is program order, so same-thread operands always
+// precede their uses; a cross-thread operand was recorded through the
+// shadow memory, whose defining store happened before the recording
+// thread's load in every execution, so a ready node always exists (the
+// earliest unemitted node in the execution's real-time order is one).
+// For single-threaded traces the merge degenerates to the buffer order,
+// reproducing exactly the ids the legacy global-lock tracer assigned.
+//
+// Emission order is predecessor-first, so nodes stream straight into a
+// ddg.FrozenBuilder: no intermediate per-node adjacency, and the result
+// is acyclic by construction (no CheckAcyclic pass needed).
+func finalize(bufs []*threadBuf) *ddg.Graph {
+	total, maxArcs := 0, 0
+	for _, tb := range bufs {
+		if tb != nil {
+			total += len(tb.recs)
+			maxArcs += len(tb.operands)
+		}
+	}
+	fb := ddg.NewFrozenBuilder(total, maxArcs)
+
+	// remap[t][i] is 1 + the final id of provisional node (t, i); 0 (the
+	// allocator's zero) means unemitted.
+	remap := make([][]ddg.NodeID, len(bufs))
+	for t, tb := range bufs {
+		if tb != nil {
+			remap[t] = make([]ddg.NodeID, len(tb.recs))
+		}
+	}
+	ready := func(tb *threadBuf, i int) bool {
+		for _, src := range tb.operandsOf(i) {
+			st, si := unpackProv(src)
+			if remap[st][si] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	cursor := make([]int, len(bufs))
+	var preds []ddg.NodeID
+	for emitted := 0; emitted < total; {
+		progress := false
+		for t, tb := range bufs {
+			if tb == nil {
+				continue
+			}
+			for cursor[t] < len(tb.recs) && ready(tb, cursor[t]) {
+				i := cursor[t]
+				preds = preds[:0]
+				for _, src := range tb.operandsOf(i) {
+					st, si := unpackProv(src)
+					preds = append(preds, remap[st][si]-1)
+				}
+				r := &tb.recs[i]
+				id := fb.AddNode(r.op, r.pos, tb.thread, r.scope, preds...)
+				remap[t][i] = id + 1
+				cursor[t]++
+				emitted++
+				progress = true
+			}
+		}
+		if !progress {
+			// Unreachable for real traces (values flow forward in time);
+			// reachable only if buffers were corrupted by direct misuse.
+			panic(fmt.Sprintf("trace: finalize stuck with %d/%d nodes emitted (operand cycle across trace buffers)", emitted, total))
+		}
+	}
+	return fb.Finish()
+}
+
+// Canonicalize renumbers a traced DDG into the deterministic order that
+// finalize produces: per-thread streams (taken in ascending node-id
+// order, which for an execution-ordered graph is each thread's program
+// order) interleaved by the same ready-run merge. Graphs produced by the
+// per-thread tracer are already canonical, so Canonicalize is the
+// identity on them; applying it to a legacy global-lock trace yields the
+// exact graph the per-thread tracer builds for the same execution, which
+// is how the equivalence tests compare the two tracers.
+func Canonicalize(g *ddg.Graph) *ddg.Graph {
+	n := g.NumNodes()
+	// Rebuild pseudo-buffers: assign each node a provisional id from its
+	// (thread, per-thread order) and re-record its operands (preds are
+	// stored in operand order).
+	prov := make([]ddg.NodeID, n)
+	var bufs []*threadBuf
+	for i := 0; i < n; i++ {
+		u := ddg.NodeID(i)
+		t := g.Thread(u)
+		if t < 0 || t >= maxThreads {
+			panic(fmt.Sprintf("trace: Canonicalize: thread id %d out of range", t))
+		}
+		for int(t) >= len(bufs) {
+			bufs = append(bufs, nil)
+		}
+		if bufs[t] == nil {
+			bufs[t] = &threadBuf{thread: t}
+		}
+		prov[u] = packProv(t, len(bufs[t].recs))
+		bufs[t].recs = append(bufs[t].recs, nodeRec{op: g.Op(u), pos: g.Pos(u), scope: g.ScopeOf(u)})
+	}
+	for i := 0; i < n; i++ {
+		u := ddg.NodeID(i)
+		tb := bufs[g.Thread(u)]
+		for _, p := range g.Preds(u) {
+			tb.operands = append(tb.operands, prov[p])
+		}
+		_, idx := unpackProv(prov[u])
+		tb.recs[idx].opEnd = uint32(len(tb.operands))
+	}
+	return finalize(bufs)
+}

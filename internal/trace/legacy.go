@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/vm"
+)
+
+// LegacyBuilder is the original single-lock tracer: every node creation
+// serializes through one global mutex and the shadow memory is a sharded
+// map. It is retained as the baseline the parallel-native Builder is
+// validated against (same DDG up to the deterministic renumbering; see
+// Canonicalize) and benchmarked against (BenchmarkTraceThroughput, the
+// BENCH_trace.json before/after numbers).
+type LegacyBuilder struct {
+	mu sync.Mutex
+	g  *ddg.Graph
+
+	shards [legacyShardCount]legacyShadowShard
+}
+
+const legacyShardCount = 64
+
+type legacyShadowShard struct {
+	mu sync.Mutex
+	m  map[int64]ddg.NodeID
+}
+
+// NewLegacyBuilder returns an empty single-lock trace builder.
+func NewLegacyBuilder() *LegacyBuilder {
+	b := &LegacyBuilder{g: ddg.New(1024)}
+	for i := range b.shards {
+		b.shards[i].m = map[int64]ddg.NodeID{}
+	}
+	return b
+}
+
+// ThreadTracer returns a handle that forwards to the shared single-lock
+// state, tagging nodes with the thread id.
+func (b *LegacyBuilder) ThreadTracer(thread int32) vm.ThreadTracer {
+	return &legacyThreadTracer{b: b, thread: thread}
+}
+
+type legacyThreadTracer struct {
+	b      *LegacyBuilder
+	thread int32
+}
+
+func (t *legacyThreadTracer) Node(op mir.Op, pos mir.Pos, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
+	return t.b.Node(op, pos, t.thread, scope, operands...)
+}
+
+func (t *legacyThreadTracer) LoadShadow(addr int64) ddg.NodeID { return t.b.LoadShadow(addr) }
+
+func (t *legacyThreadTracer) StoreShadow(addr int64, def ddg.NodeID) { t.b.StoreShadow(addr, def) }
+
+// Node records an operation execution and its def-use arcs under the
+// global trace lock.
+func (b *LegacyBuilder) Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.g.AddNode(op, pos, thread, scope)
+	for _, src := range operands {
+		b.g.AddArc(src, id)
+	}
+	return id
+}
+
+// LoadShadow returns the defining node of the value at addr.
+func (b *LegacyBuilder) LoadShadow(addr int64) ddg.NodeID {
+	s := &b.shards[uint64(addr)%legacyShardCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if def, ok := s.m[addr]; ok {
+		return def
+	}
+	return ddg.NoNode
+}
+
+// StoreShadow records that addr now holds a value defined by def; a
+// ddg.NoNode def clears the binding.
+func (b *LegacyBuilder) StoreShadow(addr int64, def ddg.NodeID) {
+	s := &b.shards[uint64(addr)%legacyShardCount]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if def == ddg.NoNode {
+		delete(s.m, addr)
+		return
+	}
+	s.m[addr] = def
+}
+
+// Graph returns the accumulated DDG. It must only be called after the
+// traced execution has finished. Legacy graphs assign node ids in global
+// execution order, so for multi-threaded programs the numbering depends
+// on the scheduler interleaving (the dataflow shape does not).
+func (b *LegacyBuilder) Graph() *ddg.Graph { return b.g }
+
+// RunLegacy executes the program under the single-lock tracer. It is the
+// seed tracer's behaviour, kept for differential tests and benchmarks.
+func RunLegacy(prog *mir.Program, opts ...vm.Option) (*Result, error) {
+	b := NewLegacyBuilder()
+	opts = append([]vm.Option{vm.WithTracer(b)}, opts...)
+	m := vm.New(prog, opts...)
+	ret, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("trace: running %q (legacy): %w", prog.Name, err)
+	}
+	if err := b.g.CheckAcyclic(); err != nil {
+		return nil, fmt.Errorf("trace: %q produced a malformed DDG (legacy): %w", prog.Name, err)
+	}
+	return &Result{Graph: b.g, Return: ret, Ops: m.Ops()}, nil
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"discovery/internal/ddg"
+	"discovery/internal/pagetab"
+)
+
+// shadowMemory maps heap addresses to the DDG node that defined the value
+// currently stored there (paper §3). It is a paged flat array rather than
+// a map: a page table of 4096-entry ddg.NodeID pages keyed by
+// addr >> pagetab.PageBits, so a shadow load or store of a mapped address
+// is two array indexings with no locking — locks are taken only when a
+// fresh page is mapped.
+//
+// Entries hold provisional (thread, index) node ids during tracing.
+// Conflicting accesses to one address are ordered by the traced program's
+// own synchronization: the benchmarks are data-race free, so every
+// load-after-store of an address is separated by a happens-before edge
+// (barrier, join, or mutex) which also orders the shadow accesses. This
+// models the paper's "synchronized shadow memory" without any global
+// trace lock.
+type shadowMemory struct {
+	pages *pagetab.Table[ddg.NodeID]
+}
+
+func newShadowMemory() *shadowMemory {
+	return &shadowMemory{pages: pagetab.New(ddg.NoNode)}
+}
+
+// load returns the defining node of addr, or ddg.NoNode if the location
+// holds no traced value.
+func (s *shadowMemory) load(addr int64) ddg.NodeID {
+	return s.pages.Get(addr)
+}
+
+// store binds addr to def; def == ddg.NoNode clears the binding (a
+// constant overwrote the location).
+func (s *shadowMemory) store(addr int64, def ddg.NodeID) {
+	if def == ddg.NoNode && s.pages.Get(addr) == ddg.NoNode {
+		// Clearing an already-clear location must not fault in a page.
+		return
+	}
+	s.pages.Set(addr, def)
+}

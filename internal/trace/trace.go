@@ -4,8 +4,20 @@
 // It implements the tracing process of paper §3: every operation execution
 // becomes a DDG node, and a shadow memory records, for each heap location,
 // the node that defined its current value, so that def-use arcs flow
-// through memory transparently. Shadow accesses are synchronized, which is
-// what makes DDG generation from multi-threaded programs seamless.
+// through memory transparently. Shadow accesses are synchronized by the
+// traced program's own synchronization (happens-before through the VM's
+// barriers, joins, and mutexes), which is what makes DDG generation from
+// multi-threaded programs seamless.
+//
+// The tracer is parallel-native: each VM thread records its operations
+// into a private append-only buffer, so the node hot path takes no locks
+// and tracing scales with the traced program's parallelism. A
+// deterministic finalization step merges the buffers into one ddg.Graph,
+// assigning node ids by interleaving the per-thread streams in a stable,
+// dependency-respecting order — traced DDGs are therefore byte-for-byte
+// reproducible whenever the traced program's dataflow is (race-free
+// programs with deterministic thread creation order), independently of
+// how the Go scheduler interleaved the run.
 package trace
 
 import (
@@ -17,70 +29,146 @@ import (
 	"discovery/internal/vm"
 )
 
-const shardCount = 64
+// Provisional node ids. While tracing, a node is identified by (thread,
+// local index) packed into one ddg.NodeID-sized word, so operand and
+// shadow-memory bookkeeping needs no global coordination. Finalization
+// remaps provisional ids to dense final ids.
+const (
+	provIndexBits = 24
+	provIndexMask = 1<<provIndexBits - 1
 
-// Builder is a vm.Tracer that accumulates a ddg.Graph. It is safe for
-// concurrent use by all machine threads.
-type Builder struct {
-	mu sync.Mutex
-	g  *ddg.Graph
+	// maxThreads keeps every packed id below ddg.NoNode (thread 255 at
+	// index 2^24-1 would collide with the sentinel).
+	maxThreads        = 255
+	maxNodesPerThread = 1 << provIndexBits
+)
 
-	shards [shardCount]shadowShard
+func packProv(thread int32, index int) ddg.NodeID {
+	return ddg.NodeID(uint32(thread)<<provIndexBits | uint32(index))
 }
 
-type shadowShard struct {
-	mu sync.Mutex
-	m  map[int64]ddg.NodeID
+func unpackProv(id ddg.NodeID) (thread, index int) {
+	return int(id >> provIndexBits), int(id & provIndexMask)
 }
 
-// NewBuilder returns an empty trace builder.
-func NewBuilder() *Builder {
-	b := &Builder{g: ddg.New(1024)}
-	for i := range b.shards {
-		b.shards[i].m = map[int64]ddg.NodeID{}
+// nodeRec is one traced operation execution. opEnd is the end offset of
+// the node's operands in the owning buffer's operands slice; node i's
+// operands are operands[recs[i-1].opEnd:recs[i].opEnd] (0 for i == 0).
+type nodeRec struct {
+	op    mir.Op
+	pos   mir.Pos
+	scope *ddg.Scope
+	opEnd uint32
+}
+
+// threadBuf is the private trace log of one VM thread: one record per
+// executed operation, plus the flattened operand lists (provisional ids,
+// NoNode operands dropped at record time). Appends are unsynchronized —
+// only the owning thread touches the buffer until the run completes.
+type threadBuf struct {
+	shadow *shadowMemory
+	thread int32
+
+	recs     []nodeRec
+	operands []ddg.NodeID
+}
+
+// Node records an operation execution in the thread's buffer and returns
+// its provisional id.
+func (b *threadBuf) Node(op mir.Op, pos mir.Pos, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
+	index := len(b.recs)
+	if index >= maxNodesPerThread {
+		panic(fmt.Sprintf("trace: thread %d exceeded %d traced operations", b.thread, maxNodesPerThread))
 	}
-	return b
-}
-
-// Node records an operation execution and its def-use arcs.
-func (b *Builder) Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	id := b.g.AddNode(op, pos, thread, scope)
 	for _, src := range operands {
-		b.g.AddArc(src, id)
+		if src != ddg.NoNode {
+			b.operands = append(b.operands, src)
+		}
 	}
-	return id
+	b.recs = append(b.recs, nodeRec{op: op, pos: pos, scope: scope, opEnd: uint32(len(b.operands))})
+	return packProv(b.thread, index)
+}
+
+// operandsOf returns node i's recorded operands.
+func (b *threadBuf) operandsOf(i int) []ddg.NodeID {
+	start := uint32(0)
+	if i > 0 {
+		start = b.recs[i-1].opEnd
+	}
+	return b.operands[start:b.recs[i].opEnd]
 }
 
 // LoadShadow returns the defining node of the value at addr.
-func (b *Builder) LoadShadow(addr int64) ddg.NodeID {
-	s := &b.shards[uint64(addr)%shardCount]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if def, ok := s.m[addr]; ok {
-		return def
-	}
-	return ddg.NoNode
-}
+func (b *threadBuf) LoadShadow(addr int64) ddg.NodeID { return b.shadow.load(addr) }
 
 // StoreShadow records that addr now holds a value defined by def. Storing
 // an untraced value (a constant) clears the binding, so stale defining
 // nodes never leak through overwritten locations.
-func (b *Builder) StoreShadow(addr int64, def ddg.NodeID) {
-	s := &b.shards[uint64(addr)%shardCount]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if def == ddg.NoNode {
-		delete(s.m, addr)
-		return
-	}
-	s.m[addr] = def
+func (b *threadBuf) StoreShadow(addr int64, def ddg.NodeID) { b.shadow.store(addr, def) }
+
+// Builder is a vm.Tracer that accumulates per-thread trace buffers and a
+// shared paged shadow memory, and merges them into a ddg.Graph once the
+// traced execution has finished.
+type Builder struct {
+	shadow *shadowMemory
+
+	// mu guards the buffer registry only; it is taken once per VM thread
+	// (at registration), never per operation.
+	mu   sync.Mutex
+	bufs []*threadBuf
+
+	g *ddg.Graph
 }
 
-// Graph returns the accumulated DDG. It must only be called after the
-// traced execution has finished.
-func (b *Builder) Graph() *ddg.Graph { return b.g }
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder {
+	return &Builder{shadow: newShadowMemory()}
+}
+
+// ThreadTracer returns the tracing handle for one VM thread, creating its
+// buffer on first use.
+func (b *Builder) ThreadTracer(thread int32) vm.ThreadTracer {
+	return b.buf(thread)
+}
+
+func (b *Builder) buf(thread int32) *threadBuf {
+	if thread < 0 || thread >= maxThreads {
+		panic(fmt.Sprintf("trace: thread id %d out of range [0, %d)", thread, maxThreads))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for int(thread) >= len(b.bufs) {
+		b.bufs = append(b.bufs, nil)
+	}
+	if b.bufs[thread] == nil {
+		b.bufs[thread] = &threadBuf{shadow: b.shadow, thread: thread}
+	}
+	return b.bufs[thread]
+}
+
+// Node records an operation execution and its def-use arcs on behalf of
+// the given thread. It is a convenience for direct (non-VM) use; the VM
+// hot path goes through per-thread handles instead.
+func (b *Builder) Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
+	return b.buf(thread).Node(op, pos, scope, operands...)
+}
+
+// LoadShadow returns the defining node of the value at addr.
+func (b *Builder) LoadShadow(addr int64) ddg.NodeID { return b.shadow.load(addr) }
+
+// StoreShadow records that addr now holds a value defined by def.
+func (b *Builder) StoreShadow(addr int64, def ddg.NodeID) { b.shadow.store(addr, def) }
+
+// Graph finalizes the per-thread buffers into the merged DDG and returns
+// it. It must only be called after the traced execution has finished; the
+// first call performs the merge (and freezes the graph into its CSR
+// layout), later calls return the same graph.
+func (b *Builder) Graph() *ddg.Graph {
+	if b.g == nil {
+		b.g = finalize(b.bufs)
+	}
+	return b.g
+}
 
 // Result bundles the outcome of a traced execution.
 type Result struct {
@@ -99,8 +187,8 @@ func Run(prog *mir.Program, opts ...vm.Option) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: running %q: %w", prog.Name, err)
 	}
-	if err := b.g.CheckAcyclic(); err != nil {
-		return nil, fmt.Errorf("trace: %q produced a malformed DDG: %w", prog.Name, err)
-	}
-	return &Result{Graph: b.g, Return: ret, Ops: m.Ops()}, nil
+	// No CheckAcyclic pass: finalization emits predecessor-first into a
+	// ddg.FrozenBuilder, which rejects any arc that does not flow forward,
+	// so the merged DDG is acyclic by construction.
+	return &Result{Graph: b.Graph(), Return: ret, Ops: m.Ops()}, nil
 }

@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"fmt"
+	"testing"
+
+	"discovery/internal/mir"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+	"discovery/internal/vm"
+)
+
+// BenchmarkTraceThroughput measures DDG construction throughput
+// (operations traced per second) for the md5 kernel, sequentially and
+// split over 2/4/8 worker threads, under both the parallel-native
+// per-thread tracer and the seed's single-lock tracer:
+//
+//	go test ./internal/trace/ -bench TraceThroughput -benchtime 5x
+//
+// The per-thread tracer is expected to pull ahead of the single-lock one
+// as worker threads are added (>=2x at 4 workers with GOMAXPROCS>=4);
+// cmd/experiments -run bench records the same comparison as
+// BENCH_trace.json with median-of-20 timings.
+func BenchmarkTraceThroughput(b *testing.B) {
+	const nbuf, bufwords = 256, 4
+	md5 := starbench.ByName("md5")
+	configs := []struct {
+		version starbench.Version
+		threads int
+	}{
+		{starbench.Seq, 1},
+		{starbench.Pthreads, 2},
+		{starbench.Pthreads, 4},
+		{starbench.Pthreads, 8},
+	}
+	tracers := []struct {
+		name string
+		run  func(*mir.Program, ...vm.Option) (*trace.Result, error)
+	}{
+		{"legacy", trace.RunLegacy},
+		{"perthread", trace.Run},
+	}
+	for _, cfg := range configs {
+		nproc := int64(cfg.threads)
+		if cfg.version == starbench.Seq {
+			nproc = 2 // unused by the seq build
+		}
+		built := md5.Build(cfg.version,
+			starbench.Params{"nbuf": nbuf, "bufwords": bufwords, "nproc": nproc})
+		for _, tr := range tracers {
+			name := fmt.Sprintf("%s-%dthreads/%s", cfg.version, cfg.threads, tr.name)
+			b.Run(name, func(b *testing.B) {
+				var ops int64
+				for i := 0; i < b.N; i++ {
+					res, err := tr.run(built.Prog, vm.WithMaxOps(1<<32))
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops = res.Ops
+				}
+				b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			})
+		}
+	}
+}

@@ -7,14 +7,59 @@ import (
 	"discovery/internal/mir"
 )
 
-// thread is the per-thread execution context: its id and its current
-// dynamic loop scope. The scope is what the paper's runtime support traces
+// thread is the per-thread execution context: its id, its current dynamic
+// loop scope, its private tracing handle, and its pending (unpublished)
+// operation count. The scope is what the paper's runtime support traces
 // "on loop boundaries" (§6, Implementation).
 type thread struct {
-	m     *Machine
-	id    int32
-	state *threadState
-	scope *ddg.Scope
+	m       *Machine
+	id      int32
+	state   *threadState
+	scope   *ddg.Scope
+	tr      ThreadTracer
+	pending int64
+	invs    uint64
+}
+
+// nextInvocation allocates a dynamic loop-invocation id. Ids are
+// (thread, per-thread counter) packed into one word rather than drawn
+// from a shared counter: compaction only needs distinctness, and
+// per-thread allocation keeps them independent of how the scheduler
+// interleaved the run — a requirement for deterministic DDGs. Thread 0
+// yields the bare sequence 1, 2, 3, ... so single-threaded traces are
+// unchanged.
+func (t *thread) nextInvocation() uint64 {
+	t.invs++
+	return uint64(t.id)<<32 | t.invs
+}
+
+// opFlushBatch is how many operations a thread executes between
+// publications to the machine's shared counter. Batching keeps the hot
+// path free of shared atomics; the operation budget is therefore enforced
+// with up to opFlushBatch-1 operations of slack per thread.
+const opFlushBatch = 256
+
+// countOp counts one executed operation against the budget.
+func (t *thread) countOp() error {
+	t.pending++
+	if t.pending >= opFlushBatch {
+		return t.flushOps()
+	}
+	return nil
+}
+
+// flushOps publishes the thread's pending operation count and enforces
+// the budget.
+func (t *thread) flushOps() error {
+	if t.pending == 0 {
+		return nil
+	}
+	total := t.m.ops.Add(t.pending)
+	t.pending = 0
+	if total > t.m.maxOps {
+		return fmt.Errorf("operation budget of %d exceeded", t.m.maxOps)
+	}
+	return nil
 }
 
 // traced pairs a runtime value with the DDG node that defined it
@@ -85,8 +130,8 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 		if err := m.store(addr.v.Int(), val.v); err != nil {
 			return fail(err)
 		}
-		if m.tracer != nil {
-			m.tracer.StoreShadow(addr.v.Int(), val.def)
+		if t.tr != nil {
+			t.tr.StoreShadow(addr.v.Int(), val.def)
 		}
 
 	case *mir.ForStmt:
@@ -94,7 +139,7 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 		if err != nil {
 			return fail(err)
 		}
-		inv := m.nextInvocation.Add(1)
+		inv := t.nextInvocation()
 		entered := false
 		for i := from.v.Int(); ; {
 			to, err := m.evalExpr(t, fr, s.To)
@@ -129,7 +174,7 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 		}
 
 	case *mir.WhileStmt:
-		inv := m.nextInvocation.Add(1)
+		inv := t.nextInvocation()
 		entered := false
 		for iter := 0; ; iter++ {
 			if !entered {
@@ -259,12 +304,12 @@ func (m *Machine) evalExpr(t *thread, fr *frame, e mir.Expr) (traced, error) {
 			pos := e.Position()
 			return traced{}, fmt.Errorf("%s:%d: %w", pos.File, pos.Line, err)
 		}
-		if err := m.countOp(); err != nil {
+		if err := t.countOp(); err != nil {
 			return traced{}, err
 		}
 		def := ddg.NoNode
-		if m.tracer != nil {
-			def = m.tracer.Node(e.Op, e.Position(), t.id, t.scope, x.def, y.def)
+		if t.tr != nil {
+			def = t.tr.Node(e.Op, e.Position(), t.scope, x.def, y.def)
 		}
 		return traced{v: v, def: def}, nil
 
@@ -278,12 +323,12 @@ func (m *Machine) evalExpr(t *thread, fr *frame, e mir.Expr) (traced, error) {
 			pos := e.Position()
 			return traced{}, fmt.Errorf("%s:%d: %w", pos.File, pos.Line, err)
 		}
-		if err := m.countOp(); err != nil {
+		if err := t.countOp(); err != nil {
 			return traced{}, err
 		}
 		def := ddg.NoNode
-		if m.tracer != nil {
-			def = m.tracer.Node(e.Op, e.Position(), t.id, t.scope, x.def)
+		if t.tr != nil {
+			def = t.tr.Node(e.Op, e.Position(), t.scope, x.def)
 		}
 		return traced{v: v, def: def}, nil
 
@@ -298,8 +343,8 @@ func (m *Machine) evalExpr(t *thread, fr *frame, e mir.Expr) (traced, error) {
 			return traced{}, fmt.Errorf("%s:%d: %w", pos.File, pos.Line, err)
 		}
 		def := ddg.NoNode
-		if m.tracer != nil {
-			def = m.tracer.LoadShadow(addr.v.Int())
+		if t.tr != nil {
+			def = t.tr.LoadShadow(addr.v.Int())
 		}
 		return traced{v: v, def: def}, nil
 

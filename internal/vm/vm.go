@@ -15,16 +15,30 @@ import (
 
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
+	"discovery/internal/pagetab"
 )
 
-// Tracer observes an instrumented execution. Implementations must be safe
-// for concurrent use by multiple threads; the trace package serializes
-// through an internal lock, the analogue of the paper's synchronized shadow
-// memory accesses (§3).
+// Tracer observes an instrumented execution. The machine asks it for one
+// ThreadTracer per VM thread at thread registration; all per-operation
+// tracing then goes through that handle, so a tracer can keep unshared
+// per-thread state on the hot path (the trace package records into
+// per-thread append-only buffers and merges them after the run).
 type Tracer interface {
+	// ThreadTracer returns the tracing handle for the given VM thread. It
+	// is called once per thread, from the thread that spawns it; the
+	// returned handle is used only by the registered thread.
+	ThreadTracer(thread int32) ThreadTracer
+}
+
+// ThreadTracer observes the operations of one VM thread. The shadow
+// memory behind LoadShadow/StoreShadow is shared between all threads of a
+// tracer; implementations synchronize those accesses the same way the
+// traced program synchronizes the underlying memory (the analogue of the
+// paper's synchronized shadow memory, §3).
+type ThreadTracer interface {
 	// Node records the execution of an operation, returning the new node
 	// id. Operand ids may be ddg.NoNode for constant or untraced inputs.
-	Node(op mir.Op, pos mir.Pos, thread int32, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID
+	Node(op mir.Op, pos mir.Pos, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID
 	// LoadShadow returns the node that defined the value at addr, or
 	// ddg.NoNode if the location was never traced.
 	LoadShadow(addr int64) ddg.NodeID
@@ -38,8 +52,14 @@ type Machine struct {
 	prog   *mir.Program
 	tracer Tracer
 
-	heapMu sync.RWMutex
-	heap   []mir.Value
+	// The heap is a paged flat address space: loads and stores of mapped
+	// cells are lock-free array indexings, and only mapping a fresh page
+	// takes a lock. Benchmarks are data-race free by construction
+	// (disjoint writes between synchronization points), so cells need no
+	// per-cell locking; heapSize is the allocation frontier used for
+	// bounds checks.
+	heap     *pagetab.Table[mir.Value]
+	heapSize atomic.Int64
 
 	statics map[string]int64
 
@@ -51,9 +71,8 @@ type Machine struct {
 	threads    map[int32]*threadState
 	wg         sync.WaitGroup
 
-	nextInvocation atomic.Uint64
-	ops            atomic.Int64
-	maxOps         int64
+	ops    atomic.Int64
+	maxOps int64
 
 	errMu    sync.Mutex
 	firstErr error
@@ -103,7 +122,8 @@ func New(prog *mir.Program, opts ...Option) *Machine {
 		m.statics[s.Name] = base
 		base += s.Size
 	}
-	m.heap = make([]mir.Value, base)
+	m.heap = pagetab.New(mir.Value{})
+	m.heapSize.Store(base)
 	for name, n := range prog.Barriers {
 		m.barriers[name] = newBarrier(n)
 	}
@@ -124,15 +144,14 @@ func (m *Machine) StaticBase(name string) int64 {
 
 // HeapAt returns the heap value at addr (for test inspection after Run).
 func (m *Machine) HeapAt(addr int64) mir.Value {
-	m.heapMu.RLock()
-	defer m.heapMu.RUnlock()
-	if addr < 0 || addr >= int64(len(m.heap)) {
+	if addr < 0 || addr >= m.heapSize.Load() {
 		panic(fmt.Sprintf("vm: HeapAt(%d) out of bounds", addr))
 	}
-	return m.heap[addr]
+	return m.heap.Get(addr)
 }
 
-// Ops returns the number of operations executed so far.
+// Ops returns the number of operations executed. Threads publish their
+// counts in batches, so the value is exact only once Run has returned.
 func (m *Machine) Ops() int64 { return m.ops.Load() }
 
 // Run executes the entry function on thread 0 and waits for every spawned
@@ -162,10 +181,17 @@ func (m *Machine) registerThread() *thread {
 	m.nextThread++
 	st := &threadState{id: id, done: make(chan struct{})}
 	m.threads[id] = st
-	return &thread{m: m, id: id, state: st}
+	t := &thread{m: m, id: id, state: st}
+	if m.tracer != nil {
+		t.tr = m.tracer.ThreadTracer(id)
+	}
+	return t
 }
 
 func (m *Machine) finishThread(t *thread, err error) {
+	if ferr := t.flushOps(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		m.errMu.Lock()
 		if m.firstErr == nil {
@@ -190,46 +216,30 @@ func (m *Machine) threadByID(id int32) (*threadState, bool) {
 	return st, ok
 }
 
-// alloc reserves n heap cells and returns the base address.
+// alloc reserves n heap cells and returns the base address. Fresh cells
+// read as the zero Value; pages are mapped lazily on first store.
 func (m *Machine) alloc(n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("negative allocation size %d", n)
 	}
-	m.heapMu.Lock()
-	defer m.heapMu.Unlock()
-	base := int64(len(m.heap))
-	m.heap = append(m.heap, make([]mir.Value, n)...)
-	return base, nil
+	return m.heapSize.Add(n) - n, nil
 }
 
-// load and store access the heap. Benchmarks are data-race free by
-// construction (disjoint writes between synchronization points), so cells
-// need no per-cell locking; the read lock only protects the slice header
-// against concurrent allocation, and bounds are always checked.
+// load and store access the heap. Mapped cells are reached lock-free; the
+// allocation frontier is an atomic, so neither path takes a lock and
+// bounds are always checked.
 func (m *Machine) load(addr int64) (mir.Value, error) {
-	m.heapMu.RLock()
-	defer m.heapMu.RUnlock()
-	if addr < 0 || addr >= int64(len(m.heap)) {
+	if addr < 0 || addr >= m.heapSize.Load() {
 		return mir.Value{}, fmt.Errorf("load out of bounds: address %d", addr)
 	}
-	return m.heap[addr], nil
+	return m.heap.Get(addr), nil
 }
 
 func (m *Machine) store(addr int64, v mir.Value) error {
-	m.heapMu.RLock()
-	defer m.heapMu.RUnlock()
-	if addr < 0 || addr >= int64(len(m.heap)) {
+	if addr < 0 || addr >= m.heapSize.Load() {
 		return fmt.Errorf("store out of bounds: address %d", addr)
 	}
-	m.heap[addr] = v
-	return nil
-}
-
-// countOp enforces the operation budget.
-func (m *Machine) countOp() error {
-	if m.ops.Add(1) > m.maxOps {
-		return fmt.Errorf("operation budget of %d exceeded", m.maxOps)
-	}
+	m.heap.Set(addr, v)
 	return nil
 }
 
