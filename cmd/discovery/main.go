@@ -27,10 +27,13 @@ func main() {
 	var (
 		benchName  = flag.String("bench", "streamcluster", "benchmark to analyze")
 		version    = flag.String("version", "pthreads", "benchmark version: seq or pthreads")
-		format     = flag.String("format", "summary", "output format: summary, text, or html")
+		format     = flag.String("format", "summary", "output format: summary, text, html, or json")
 		workers    = flag.Int("workers", 0, "parallel matching workers (0 = all cores)")
 		verify     = flag.Bool("verify", true, "re-verify matches against the unrelaxed definitions")
 		extensions = flag.Bool("extensions", false, "enable the future-work pattern kinds (stencil, pipeline, tree reduction)")
+		budget     = flag.Duration("budget", 0, "global wall-clock budget for pattern finding (0 = none)")
+		solverBudg = flag.Duration("solver-budget", 0, "per-solve constraint solver timeout (0 = the 60s default)")
+		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 	traceTime := time.Since(start)
 	res := core.Find(tr.Graph, core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
+		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
 	})
 
 	switch *format {
@@ -105,6 +109,13 @@ func main() {
 		fmt.Print(report.Text(built.Prog, res))
 	case "html":
 		fmt.Print(report.HTML(built.Prog, res))
+	case "json":
+		data, err := report.JSON(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(1)

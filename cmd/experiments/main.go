@@ -21,18 +21,32 @@ import (
 	"strconv"
 	"strings"
 
+	"discovery/internal/core"
 	"discovery/internal/experiments"
 )
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run")
-		factors   = flag.String("factors", "1,2,4", "input scale ladder for figure7")
-		benchReps = flag.Int("bench-reps", 20, "repetitions per bench configuration")
-		benchScal = flag.Int64("bench-scale", 32, "input scale for bench (md5 nbuf = 8*scale)")
-		benchOut  = flag.String("bench-out", "BENCH_trace.json", "output file for bench results")
+		run        = flag.String("run", "all", "experiment to run")
+		factors    = flag.String("factors", "1,2,4", "input scale ladder for figure7")
+		budget     = flag.Duration("budget", 0, "global wall-clock budget per pattern finding run (0 = none)")
+		solverBudg = flag.Duration("solver-budget", 0, "per-solve constraint solver timeout (0 = the 60s default)")
+		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
+		benchReps  = flag.Int("bench-reps", 20, "repetitions per bench configuration")
+		benchScal  = flag.Int64("bench-scale", 32, "input scale for bench (md5 nbuf = 8*scale)")
+		benchOut   = flag.String("bench-out", "BENCH_trace.json", "output file for bench results")
 	)
 	flag.Parse()
+
+	// opts layers the budget flags over the experiments' defaults; with the
+	// flags unset the outputs are byte-identical to an unbudgeted build.
+	opts := func() core.Options {
+		o := experiments.Opts()
+		o.Budget = *budget
+		o.SolverBudget = *solverBudg
+		o.SolverStepLimit = *solverStep
+		return o
+	}
 
 	runners := map[string]func() error{
 		"table1": func() error {
@@ -48,7 +62,7 @@ func main() {
 			return nil
 		},
 		"table3": func() error {
-			res, err := experiments.RunTable3(experiments.Opts())
+			res, err := experiments.RunTable3(opts())
 			if err != nil {
 				return err
 			}
@@ -56,7 +70,7 @@ func main() {
 			return nil
 		},
 		"accuracy": func() error {
-			res, err := experiments.RunAccuracy(experiments.Opts())
+			res, err := experiments.RunAccuracy(opts())
 			if err != nil {
 				return err
 			}
@@ -72,7 +86,7 @@ func main() {
 				}
 				fs = append(fs, f)
 			}
-			res, err := experiments.RunFigure7(experiments.Opts(), fs)
+			res, err := experiments.RunFigure7(opts(), fs)
 			if err != nil {
 				return err
 			}
@@ -84,7 +98,7 @@ func main() {
 			return nil
 		},
 		"phases": func() error {
-			res, err := experiments.RunPhases(experiments.Opts())
+			res, err := experiments.RunPhases(opts())
 			if err != nil {
 				return err
 			}
@@ -92,7 +106,7 @@ func main() {
 			return nil
 		},
 		"simplify": func() error {
-			res, err := experiments.RunSimplify(experiments.Opts())
+			res, err := experiments.RunSimplify(opts())
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +31,22 @@ type Options struct {
 	// MaxPoolSize stops generating new sub-DDGs once the pool exceeds
 	// this bound. 0 means 50000.
 	MaxPoolSize int
+
+	// Budget bounds the whole Find run's wall-clock time, the paper's
+	// per-solve limits lifted to an end-to-end deadline: when it expires,
+	// the remaining work is abandoned and the Result is labeled
+	// Interrupted instead of being silently smaller. 0 means no global
+	// budget (any context passed to FindCtx still applies).
+	Budget time.Duration
+	// SolverBudget caps each constraint-solver run; at solve time it is
+	// further clamped to the time remaining in the global budget. 0 means
+	// the patterns.SolverBudget default (the paper's 60-second limit).
+	SolverBudget time.Duration
+	// SolverStepLimit deterministically bounds each solver run's effort
+	// (search nodes + propagations). Unlike the wall-clock budgets it is
+	// reproducible, which makes degraded results testable. 0 means no
+	// limit.
+	SolverStepLimit int64
 
 	// Extensions enables the pattern kinds beyond the paper's evaluated
 	// set (stencils and tree reductions, from the paper's future work).
@@ -112,12 +129,48 @@ type Result struct {
 	SkippedViews int
 	// PoolLimited reports that the sub-DDG pool hit MaxPoolSize.
 	PoolLimited bool
+	// TimedOutViews counts sub-DDGs whose matching hit a solver resource
+	// limit: their missing matches mean "undecided within budget", not
+	// "no pattern" (the runs the paper reports as resource-limited in
+	// Table 3).
+	TimedOutViews int
+	// Interrupted reports that the global budget or the caller's context
+	// expired before the fixpoint completed; the remaining iterations,
+	// sub-DDGs, and extension passes were abandoned.
+	Interrupted bool
+	// SolverStats rolls up constraint-solver effort per pattern kind
+	// (runs, timeouts, nodes, failures, propagations, solutions, elapsed).
+	SolverStats map[patterns.Kind]patterns.KindStats
 	// Phases is the per-phase timing breakdown.
 	Phases PhaseTimes
 }
 
+// Degraded reports whether any resource bound cut the run short, i.e.
+// the pattern set is a lower bound on what an unbounded run would report.
+func (r *Result) Degraded() bool {
+	return r.Interrupted || r.TimedOutViews > 0 || r.SkippedViews > 0 || r.PoolLimited
+}
+
 // Find runs the iterative pattern finder on a traced DDG.
 func Find(g *ddg.Graph, opts Options) *Result {
+	return FindCtx(context.Background(), g, opts)
+}
+
+// FindCtx is Find under a context: cancelling ctx (or exhausting
+// opts.Budget, which is layered onto it as a deadline) stops the finder
+// early with a merged-but-labeled degraded Result instead of blocking for
+// an unbounded match phase. The per-solve solver timeout is derived from
+// the time remaining on the context's deadline, so late solves get the
+// budget's remainder rather than a blind constant.
+func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
 	res := &Result{OriginalNodes: g.NumNodes()}
 
 	// Phase: simplify.
@@ -139,6 +192,13 @@ func Find(g *ddg.Graph, opts Options) *Result {
 		if s.Nodes.Len() == 0 || seen[s.Key()] {
 			return false
 		}
+		if len(pool) >= opts.maxPoolSize() {
+			// Defensive bound; no benchmark reaches it. Enforced here, at
+			// the single point of growth, so the subtract AND fuse phases
+			// both respect it and PoolLimited cannot under-report.
+			res.PoolLimited = true
+			return false
+		}
 		seen[s.Key()] = true
 		pool = append(pool, s)
 		return true
@@ -155,11 +215,14 @@ func Find(g *ddg.Graph, opts Options) *Result {
 
 	// Fixpoint loop: match, subtract, fuse.
 	for iter := 1; len(active) > 0 && iter <= opts.maxIterations(); iter++ {
+		if interrupted(ctx, res) {
+			break
+		}
 		res.Iterations = iter
 
 		// Phase: match (parallel across active sub-DDGs).
 		start = time.Now()
-		matched := runMatchPhase(gs, active, opts, res)
+		matched := runMatchPhase(ctx, gs, active, opts, res)
 		for _, s := range matched {
 			for _, p := range s.Matched {
 				res.Matches = append(res.Matches, Match{Pattern: p, Sub: s, Iteration: iter})
@@ -184,6 +247,9 @@ func Find(g *ddg.Graph, opts Options) *Result {
 			if len(g1.Matched) > 0 {
 				continue
 			}
+			if interrupted(ctx, res) {
+				break
+			}
 			for _, g2 := range matched {
 				if g1.Nodes.Disjoint(g2.Nodes) {
 					continue // the difference would be g1 unchanged
@@ -200,12 +266,6 @@ func Find(g *ddg.Graph, opts Options) *Result {
 		}
 		res.Phases.Subtract += time.Since(start)
 
-		if len(pool) > opts.maxPoolSize() {
-			// Defensive bound; no benchmark reaches it.
-			res.PoolLimited = true
-			fresh = nil
-		}
-
 		// Phase: fuse adjacent pool sub-DDGs with compatible matches (a
 		// map flowing into any pattern).
 		start = time.Now()
@@ -216,6 +276,9 @@ func Find(g *ddg.Graph, opts Options) *Result {
 		for _, a := range pool {
 			if len(a.Matched) == 0 || !hasMapMatch(a) {
 				continue
+			}
+			if interrupted(ctx, res) {
+				break
 			}
 			for _, b := range pool {
 				if a == b || len(b.Matched) == 0 {
@@ -243,9 +306,9 @@ func Find(g *ddg.Graph, opts Options) *Result {
 
 	// Extension: pipeline detection over pairs of unmatched stage loops
 	// (paper §9 future work; see patterns.MatchPipeline).
-	if opts.Extensions {
+	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
-		detectPipelines(gs, pool, opts, res)
+		detectPipelines(ctx, gs, pool, opts, res)
 		res.Phases.Match += time.Since(start)
 	}
 
@@ -256,15 +319,32 @@ func Find(g *ddg.Graph, opts Options) *Result {
 	return res
 }
 
+// interrupted reports (and records) that the context is done: the caller
+// should abandon its remaining work.
+func interrupted(ctx context.Context, res *Result) bool {
+	if ctx.Err() != nil {
+		res.Interrupted = true
+		return true
+	}
+	return false
+}
+
 // detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
 // paper's patterns leave stateful stages unmatched, which is exactly where
 // pipelines hide (its excluded benchmarks bodytrack and h264dec).
-func detectPipelines(gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
+func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
 	var stages []*SubDDG
 	for _, s := range pool {
 		if s.Loop != 0 && len(s.Matched) == 0 {
 			stages = append(stages, s)
 		}
+	}
+	// Match.Iteration is documented 1-based; res.Iterations is 0 when the
+	// fixpoint loop never ran (an empty pool), so clamp instead of
+	// recording an out-of-range iteration.
+	iter := res.Iterations
+	if iter == 0 {
+		iter = 1
 	}
 	views := map[*SubDDG]*patterns.View{}
 	view := func(s *SubDDG) *patterns.View {
@@ -276,6 +356,9 @@ func detectPipelines(gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
 		return v
 	}
 	for _, a := range stages {
+		if interrupted(ctx, res) {
+			return
+		}
 		for _, b := range stages {
 			if a == b || !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
 				continue
@@ -291,15 +374,29 @@ func detectPipelines(gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
 					}
 				}
 				res.Matches = append(res.Matches,
-					Match{Pattern: p, Sub: a, Iteration: res.Iterations})
+					Match{Pattern: p, Sub: a, Iteration: iter})
 			}
 		}
 	}
 }
 
+// budgetFor builds a fresh solver budget carrying the run's bounds. Each
+// matchSub call gets its own so per-sub-DDG "budget exceeded" outcomes stay
+// distinguishable; diagnostics are merged upward afterwards.
+func budgetFor(ctx context.Context, opts Options) *patterns.Budget {
+	return &patterns.Budget{
+		Ctx:          ctx,
+		SolveTimeout: opts.SolverBudget,
+		StepLimit:    opts.SolverStepLimit,
+	}
+}
+
 // runMatchPhase matches every active sub-DDG against the pattern definitions,
-// in parallel, and returns the sub-DDGs with at least one match.
-func runMatchPhase(gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) []*SubDDG {
+// in parallel, and returns the sub-DDGs with at least one match. When ctx is
+// done the feed stops — workers finish their in-flight sub-DDG and exit —
+// and the unmatched remainder is reported via res.Interrupted rather than
+// silently dropped.
+func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) []*SubDDG {
 	workers := opts.workers()
 	if workers > len(active) {
 		workers = len(active)
@@ -308,34 +405,65 @@ func runMatchPhase(gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) [
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	// Buffered to len(active): the feed loop never blocks on a slow
-	// matcher, and workers drain at their own pace.
-	work := make(chan *SubDDG, len(active))
-	for _, s := range active {
-		work <- s
-	}
-	close(work)
+	// Fed lazily so cancellation can stop the phase between sub-DDGs: an
+	// up-front pre-filled buffer would commit every view to matching even
+	// after the budget expired.
+	work := make(chan *SubDDG)
+	go func() {
+		defer close(work)
+		for _, s := range active {
+			select {
+			case work <- s:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	// Each sub-DDG is claimed by exactly one worker, so writing s.Matched
-	// needs no lock; skip counts are accumulated per worker and summed
-	// after the barrier.
+	// needs no lock; skip/timeout counts and solver stats are accumulated
+	// per worker and merged after the barrier, in worker order, so the
+	// rollup is deterministic for a fixed assignment of subs to workers
+	// (and the counters are commutative, so any assignment sums the same).
 	skips := make([]int, workers)
+	timedOut := make([]int, workers)
+	budgets := make([]*patterns.Budget, workers)
 	for w := 0; w < workers; w++ {
+		budgets[w] = &patterns.Budget{}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for s := range work {
-				found, skip := matchSub(gs, s, opts)
+				b := budgetFor(ctx, opts)
+				found, skip := matchSub(gs, s, opts, b)
 				s.Matched = found
 				if skip {
 					skips[w]++
 				}
+				if b.Exceeded {
+					timedOut[w]++
+				}
+				budgets[w].Merge(b)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, n := range skips {
-		res.SkippedViews += n
+	rollup := &patterns.Budget{}
+	for w := 0; w < workers; w++ {
+		res.SkippedViews += skips[w]
+		res.TimedOutViews += timedOut[w]
+		rollup.Merge(budgets[w])
 	}
+	if len(rollup.Kinds) > 0 {
+		if res.SolverStats == nil {
+			res.SolverStats = map[patterns.Kind]patterns.KindStats{}
+		}
+		for kind, ks := range rollup.Kinds {
+			cur := res.SolverStats[kind]
+			cur.Add(*ks)
+			res.SolverStats[kind] = cur
+		}
+	}
+	interrupted(ctx, res)
 
 	var matched []*SubDDG
 	for _, s := range active { // deterministic order
@@ -346,8 +474,9 @@ func runMatchPhase(gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) [
 	return matched
 }
 
-// matchSub matches one sub-DDG against the applicable definitions.
-func matchSub(gs *ddg.Graph, s *SubDDG, opts Options) (found []*patterns.Pattern, skipped bool) {
+// matchSub matches one sub-DDG against the applicable definitions, running
+// the constraint solver under b.
+func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found []*patterns.Pattern, skipped bool) {
 	keep := func(p *patterns.Pattern) {
 		if p == nil {
 			return
@@ -385,8 +514,8 @@ func matchSub(gs *ddg.Graph, s *SubDDG, opts Options) (found []*patterns.Pattern
 		return nil, true
 	}
 	if s.Assoc {
-		keep(patterns.MatchLinearReduction(v))
-		keep(patterns.MatchTiledReduction(v))
+		keep(patterns.MatchLinearReduction(v, b))
+		keep(patterns.MatchTiledReduction(v, b))
 		if opts.Extensions && len(found) == 0 {
 			// The combining-tree generalization, only where the paper's
 			// specific variants did not apply.
@@ -401,8 +530,8 @@ func matchSub(gs *ddg.Graph, s *SubDDG, opts Options) (found []*patterns.Pattern
 		}
 	}
 	keep(m)
-	keep(patterns.MatchLinearReduction(v))
-	keep(patterns.MatchTiledReduction(v))
+	keep(patterns.MatchLinearReduction(v, b))
+	keep(patterns.MatchTiledReduction(v, b))
 	return found, false
 }
 

@@ -1,6 +1,7 @@
 package cp
 
 import (
+	"context"
 	"time"
 )
 
@@ -11,7 +12,31 @@ type Stats struct {
 	Solutions    int64
 	Propagations int64
 	Elapsed      time.Duration
-	TimedOut     bool
+	// TimedOut reports that the wall-clock deadline expired mid-search.
+	TimedOut bool
+	// Cancelled reports that the solver's context was cancelled.
+	Cancelled bool
+	// LimitHit reports that the step limit (nodes + propagations) was
+	// exhausted.
+	LimitHit bool
+}
+
+// Limited reports whether the search was cut short by any resource bound
+// (deadline, cancellation, or step limit). A nil solution from a limited
+// run means "undecided within budget", not "unsatisfiable".
+func (s Stats) Limited() bool { return s.TimedOut || s.Cancelled || s.LimitHit }
+
+// Add accumulates the effort counters of other into s; the limit flags
+// are OR-ed. Useful for rolling up diagnostics across solver runs.
+func (s *Stats) Add(other Stats) {
+	s.Nodes += other.Nodes
+	s.Failures += other.Failures
+	s.Solutions += other.Solutions
+	s.Propagations += other.Propagations
+	s.Elapsed += other.Elapsed
+	s.TimedOut = s.TimedOut || other.TimedOut
+	s.Cancelled = s.Cancelled || other.Cancelled
+	s.LimitHit = s.LimitHit || other.LimitHit
 }
 
 // BranchOrder selects the next variable and the value order to try.
@@ -75,8 +100,18 @@ type Solver struct {
 	// Branch defaults to FirstFail over all variables.
 	Branch BranchOrder
 	// Timeout bounds the wall-clock search time; zero means no limit. The
-	// paper uses a 60-second budget per solver run.
+	// paper uses a 60-second budget per solver run. A negative Timeout
+	// means the budget is already exhausted: the solver returns
+	// immediately with TimedOut set, without searching.
 	Timeout time.Duration
+	// Ctx, if non-nil, cancels the search when done; the solver polls it
+	// periodically alongside the deadline and reports Stats.Cancelled.
+	Ctx context.Context
+	// StepLimit deterministically bounds search effort: the solve aborts
+	// with Stats.LimitHit once Nodes+Propagations exceeds it. Zero means
+	// no limit. Unlike Timeout it is reproducible across machines, which
+	// the degraded-result tests rely on.
+	StepLimit int64
 	// Objective, if set, is maximized: search restarts pruning solutions
 	// not strictly better (branch-and-bound).
 	Objective *IntVar
@@ -108,10 +143,21 @@ func (sv *Solver) SolveAll(cb func(Solution) bool) {
 func (sv *Solver) solveInternal(cb func(Solution) bool) {
 	start := time.Now()
 	sv.stats = Stats{}
-	if sv.Timeout > 0 {
+	switch {
+	case sv.Timeout < 0:
+		// The caller's budget was exhausted before this run began.
+		sv.stats.TimedOut = true
+		sv.stats.Elapsed = time.Since(start)
+		return
+	case sv.Timeout > 0:
 		sv.deadline = start.Add(sv.Timeout)
-	} else {
+	default:
 		sv.deadline = time.Time{}
+	}
+	if sv.Ctx != nil && sv.Ctx.Err() != nil {
+		sv.stats.Cancelled = true
+		sv.stats.Elapsed = time.Since(start)
+		return
 	}
 	branch := sv.Branch
 	if branch == nil {
@@ -126,11 +172,31 @@ func (sv *Solver) solveInternal(cb func(Solution) bool) {
 	sv.stats.Elapsed = time.Since(start)
 }
 
+// stopNow checks the solver's resource bounds, recording which one fired.
+// The step limit is exact (checked every node); the wall clock and the
+// context are polled every 256 nodes to keep the hot path cheap.
+func (sv *Solver) stopNow() bool {
+	if sv.StepLimit > 0 && sv.stats.Nodes+sv.stats.Propagations > sv.StepLimit {
+		sv.stats.LimitHit = true
+		return true
+	}
+	if sv.stats.Nodes%256 == 0 {
+		if !sv.deadline.IsZero() && time.Now().After(sv.deadline) {
+			sv.stats.TimedOut = true
+			return true
+		}
+		if sv.Ctx != nil && sv.Ctx.Err() != nil {
+			sv.stats.Cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
 // dfs explores the space; it returns false to abort the whole search.
 func (sv *Solver) dfs(s *Space, branch BranchOrder, cb func(Solution) bool, bound *int) bool {
 	sv.stats.Nodes++
-	if sv.stats.Nodes%256 == 0 && !sv.deadline.IsZero() && time.Now().After(sv.deadline) {
-		sv.stats.TimedOut = true
+	if sv.stopNow() {
 		return false
 	}
 	if sv.Objective != nil {
@@ -142,11 +208,23 @@ func (sv *Solver) dfs(s *Space, branch BranchOrder, cb func(Solution) bool, boun
 	}
 	v := branch.Select(s)
 	if v == nil {
-		// All branching variables assigned: if some model variables are
-		// outside the branching set, fix them to their minimum.
+		// All branching variables assigned. Model variables outside the
+		// branching set are still free: fix each to its domain minimum
+		// *through* Assign+propagate so assignment-triggered propagators
+		// get to veto the leaf — reading s.Min directly can produce a
+		// Solution that violates constraints.
+		for _, mv := range sv.Model.vars {
+			if s.Assigned(mv) {
+				continue
+			}
+			if !s.Assign(mv, s.Min(mv)) || !s.propagate(&sv.stats) {
+				sv.stats.Failures++
+				return true
+			}
+		}
 		sol := Solution{}
 		for _, mv := range sv.Model.vars {
-			sol[mv] = s.Min(mv)
+			sol[mv] = s.Value(mv)
 		}
 		sv.stats.Solutions++
 		if sv.Objective != nil {

@@ -1,6 +1,7 @@
 package cp
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -349,6 +350,159 @@ func TestFirstFailSubset(t *testing.T) {
 	// Branching only on y: 2 "solutions" (x left at min).
 	if n != 2 {
 		t.Errorf("solutions = %d, want 2", n)
+	}
+}
+
+// TestSubsetBranchingSoundness is the regression test for the leaf-fixing
+// bug: with Branch.Vars a strict subset, non-branched variables used to be
+// read off as s.Min without Assign+propagate, so assignment-triggered
+// propagators (like noDiag, which only fires once a variable is fixed)
+// never vetoed the leaf and the returned Solution could violate x != y.
+func TestSubsetBranchingSoundness(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 3)
+	y := m.NewIntVar("y", 0, 3)
+	b := m.NewBoolVar("b")
+	m.Add(&noDiag{a: x, b: y, d: 0}) // x != y, triggered on assignment only
+	sv := &Solver{Model: m, Branch: &FirstFail{Vars: []*IntVar{b}}}
+	n := 0
+	sv.SolveAll(func(sol Solution) bool {
+		n++
+		if sol.Value(x) == sol.Value(y) {
+			t.Errorf("unsound leaf solution: x=%d y=%d violates x!=y",
+				sol.Value(x), sol.Value(y))
+		}
+		return true
+	})
+	if n != 2 { // one per value of b; x,y fixed to minimal consistent values
+		t.Errorf("solutions = %d, want 2", n)
+	}
+}
+
+// TestSubsetBranchingLeafCanFail: when fixing the non-branched variables
+// to their minima is inconsistent, the leaf must fail rather than emit a
+// violating solution.
+func TestSubsetBranchingLeafCanFail(t *testing.T) {
+	// Three variables over two values, pairwise distinct: unsatisfiable,
+	// but only discoverable by assigning — the noDiag propagators are
+	// inert on unassigned domains, so the root space looks consistent and
+	// the failure must surface during the leaf's Assign+propagate cascade.
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 1)
+	y := m.NewIntVar("y", 0, 1)
+	z := m.NewIntVar("z", 0, 1)
+	b := m.NewBoolVar("b")
+	m.Add(&noDiag{a: x, b: y, d: 0})
+	m.Add(&noDiag{a: x, b: z, d: 0})
+	m.Add(&noDiag{a: y, b: z, d: 0})
+	sv := &Solver{Model: m, Branch: &FirstFail{Vars: []*IntVar{b}}}
+	if sol := sv.Solve(); sol != nil {
+		t.Errorf("unsatisfiable model produced solution %v", sol)
+	}
+	if sv.Stats().Solutions != 0 {
+		t.Errorf("solutions counted on failed leaves: %d", sv.Stats().Solutions)
+	}
+}
+
+// TestMaximizeSubsetBranching runs branch-and-bound where the objective is
+// not in the branching set: the bound must be taken from a propagated,
+// consistent leaf, not from an unconstrained minimum.
+func TestMaximizeSubsetBranching(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 5)
+	y := m.NewIntVar("y", 0, 5)
+	obj := m.NewIntVar("obj", 0, 10)
+	m.Linear([]int{1, 1, -1}, []*IntVar{x, y, obj}, LinEq, 0) // obj = x+y
+	m.Add(&noDiag{a: x, b: y, d: 0})                          // x != y
+	sv := &Solver{Model: m, Objective: obj, Branch: &FirstFail{Vars: []*IntVar{x, y}}}
+	sol := sv.Solve()
+	if sol == nil {
+		t.Fatal("no solution")
+	}
+	if sol.Value(obj) != sol.Value(x)+sol.Value(y) {
+		t.Errorf("inconsistent leaf: obj=%d but x+y=%d",
+			sol.Value(obj), sol.Value(x)+sol.Value(y))
+	}
+	if sol.Value(obj) != 9 { // max x+y with x,y<=5, x!=y: 5+4
+		t.Errorf("objective = %d, want 9", sol.Value(obj))
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := NewModel()
+	vars := make([]*IntVar, 14)
+	for i := range vars {
+		vars[i] = m.NewIntVar("p", 0, 12)
+	}
+	m.AllDifferent(vars) // pigeonhole: UNSAT but exponential
+	sv := &Solver{Model: m, StepLimit: 500}
+	if sol := sv.Solve(); sol != nil {
+		t.Error("pigeonhole should have no solution")
+	}
+	st := sv.Stats()
+	if !st.LimitHit {
+		t.Error("LimitHit not set")
+	}
+	if !st.Limited() {
+		t.Error("Limited() should report the step limit")
+	}
+	if st.Nodes+st.Propagations > 500+256 {
+		t.Errorf("step limit overshot: nodes=%d props=%d", st.Nodes, st.Propagations)
+	}
+	// The limit is deterministic: a rerun spends identical effort.
+	sv2 := &Solver{Model: m, StepLimit: 500}
+	sv2.Solve()
+	if sv2.Stats().Nodes != st.Nodes || sv2.Stats().Propagations != st.Propagations {
+		t.Errorf("step-limited effort not deterministic: %d/%d vs %d/%d",
+			st.Nodes, st.Propagations, sv2.Stats().Nodes, sv2.Stats().Propagations)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := NewModel()
+	vars := make([]*IntVar, 14)
+	for i := range vars {
+		vars[i] = m.NewIntVar("p", 0, 12)
+	}
+	m.AllDifferent(vars)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the solver must return promptly
+	sv := &Solver{Model: m, Ctx: ctx}
+	start := time.Now()
+	if sol := sv.Solve(); sol != nil {
+		t.Error("cancelled solve returned a solution")
+	}
+	if !sv.Stats().Cancelled {
+		t.Error("Cancelled not set")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation not honored promptly: %v", elapsed)
+	}
+}
+
+func TestExhaustedBudgetSkipsSearch(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 1)
+	m.EqC(x, 1)
+	sv := &Solver{Model: m, Timeout: -1} // budget already spent
+	if sol := sv.Solve(); sol != nil {
+		t.Error("exhausted budget still searched")
+	}
+	st := sv.Stats()
+	if !st.TimedOut || st.Nodes != 0 {
+		t.Errorf("want immediate timeout with no nodes, got %+v", st)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Nodes: 3, Propagations: 5, Elapsed: time.Second}
+	b := Stats{Nodes: 2, Failures: 1, Solutions: 4, TimedOut: true}
+	a.Add(b)
+	if a.Nodes != 5 || a.Failures != 1 || a.Solutions != 4 || a.Propagations != 5 {
+		t.Errorf("bad rollup: %+v", a)
+	}
+	if !a.TimedOut || !a.Limited() {
+		t.Error("limit flags not OR-ed")
 	}
 }
 

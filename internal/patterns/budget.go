@@ -1,0 +1,162 @@
+package patterns
+
+// Solver budgeting and diagnostics. The paper runs every MiniZinc/Chuffed
+// solve under explicit resource limits and reports resource-limited runs
+// in Table 3; a Budget is our per-matcher-invocation equivalent. It arms
+// each constraint-solver run with the caller's bounds (a per-solve
+// timeout clamped to the time remaining in the caller's context deadline,
+// an optional deterministic step limit, and the context itself for
+// cancellation) and collects what the solver spent, per pattern kind, so
+// a nil match can be told apart as "no pattern" vs "undecided within
+// budget".
+
+import (
+	"context"
+	"time"
+
+	"discovery/internal/cp"
+)
+
+// KindStats rolls up constraint-solver effort across the runs attributed
+// to one pattern kind.
+type KindStats struct {
+	// Runs counts solver invocations; Timeouts counts the resource-limited
+	// ones among them (deadline, cancellation, or step limit).
+	Runs     int
+	Timeouts int
+	// The remaining fields accumulate cp.Stats counters over all runs.
+	Nodes        int64
+	Failures     int64
+	Propagations int64
+	Solutions    int64
+	Elapsed      time.Duration
+}
+
+// Add accumulates other into k (for cross-worker rollups).
+func (k *KindStats) Add(other KindStats) {
+	k.Runs += other.Runs
+	k.Timeouts += other.Timeouts
+	k.Nodes += other.Nodes
+	k.Failures += other.Failures
+	k.Propagations += other.Propagations
+	k.Solutions += other.Solutions
+	k.Elapsed += other.Elapsed
+}
+
+// Budget bounds the constraint-solver effort of matcher invocations and
+// records the outcome. A nil *Budget is valid everywhere and means
+// "default bounds, no diagnostics" (each run capped at SolverBudget, the
+// package default the paper's 60-second limit corresponds to).
+//
+// A Budget is not safe for concurrent use; give each matching worker its
+// own and merge the KindStats afterwards.
+type Budget struct {
+	// Ctx cancels in-flight solver runs when done. If it carries a
+	// deadline, each run's timeout is clamped to the remaining time, so
+	// per-solve budgets shrink as the global budget drains. Nil means no
+	// cancellation.
+	Ctx context.Context
+	// SolveTimeout caps each individual solver run; zero means the
+	// package default SolverBudget.
+	SolveTimeout time.Duration
+	// StepLimit bounds each run's nodes+propagations deterministically;
+	// zero means no limit.
+	StepLimit int64
+
+	// Exceeded reports that at least one solver run under this budget was
+	// resource-limited: a nil match outcome is "budget exceeded", not
+	// "no pattern". This is the distinguishable outcome core.Find
+	// aggregates into Result.TimedOutViews.
+	Exceeded bool
+	// Kinds accumulates per-kind solver effort, keyed by the pattern kind
+	// whose matcher ran the solver.
+	Kinds map[Kind]*KindStats
+}
+
+// arm configures sv with the budget's bounds. With a nil budget the run
+// gets the package-default timeout only.
+func (b *Budget) arm(sv *cp.Solver) {
+	if b == nil {
+		sv.Timeout = SolverBudget
+		return
+	}
+	t := b.SolveTimeout
+	if t == 0 {
+		t = SolverBudget
+	}
+	if b.Ctx != nil {
+		sv.Ctx = b.Ctx
+		if d, ok := b.Ctx.Deadline(); ok {
+			r := time.Until(d)
+			if r <= 0 {
+				r = -1 // exhausted: the solver returns TimedOut immediately
+			}
+			if r < t {
+				t = r
+			}
+		}
+	}
+	sv.Timeout = t
+	sv.StepLimit = b.StepLimit
+}
+
+// record books one finished run's stats under kind.
+func (b *Budget) record(kind Kind, st cp.Stats) {
+	if b == nil {
+		return
+	}
+	if b.Kinds == nil {
+		b.Kinds = map[Kind]*KindStats{}
+	}
+	ks := b.Kinds[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		b.Kinds[kind] = ks
+	}
+	ks.Runs++
+	ks.Nodes += st.Nodes
+	ks.Failures += st.Failures
+	ks.Propagations += st.Propagations
+	ks.Solutions += st.Solutions
+	ks.Elapsed += st.Elapsed
+	if st.Limited() {
+		ks.Timeouts++
+		b.Exceeded = true
+	}
+}
+
+// solve runs sv.Solve under the budget, attributing the effort to kind.
+func (b *Budget) solve(kind Kind, sv *cp.Solver) cp.Solution {
+	b.arm(sv)
+	sol := sv.Solve()
+	b.record(kind, sv.Stats())
+	return sol
+}
+
+// solveAll runs sv.SolveAll under the budget, attributing the effort to
+// kind.
+func (b *Budget) solveAll(kind Kind, sv *cp.Solver, cb func(cp.Solution) bool) {
+	b.arm(sv)
+	sv.SolveAll(cb)
+	b.record(kind, sv.Stats())
+}
+
+// Merge folds the diagnostics of other into b (bounds are left alone).
+// Used to combine per-worker budgets deterministically.
+func (b *Budget) Merge(other *Budget) {
+	if b == nil || other == nil {
+		return
+	}
+	b.Exceeded = b.Exceeded || other.Exceeded
+	for kind, ks := range other.Kinds {
+		if b.Kinds == nil {
+			b.Kinds = map[Kind]*KindStats{}
+		}
+		if mine := b.Kinds[kind]; mine != nil {
+			mine.Add(*ks)
+		} else {
+			clone := *ks
+			b.Kinds[kind] = &clone
+		}
+	}
+}

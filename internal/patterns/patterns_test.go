@@ -170,7 +170,7 @@ func buildChainDDG(n int) (*ddg.Graph, ddg.Set) {
 func TestMatchLinearReduction(t *testing.T) {
 	g, adds := buildChainDDG(5)
 	v := NodeView(g, adds)
-	p := MatchLinearReduction(v)
+	p := MatchLinearReduction(v, nil)
 	if p == nil {
 		t.Fatal("linear reduction not matched")
 	}
@@ -193,7 +193,7 @@ func TestMatchLinearReductionViaLoopView(t *testing.T) {
 	// whose groups are single fadds: a linear reduction.
 	g, adds := buildChainDDG(4)
 	v := LoopView(g, adds, 1)
-	p := MatchLinearReduction(v)
+	p := MatchLinearReduction(v, nil)
 	if p == nil {
 		t.Fatal("linear reduction not matched through loop view")
 	}
@@ -218,7 +218,7 @@ func TestMatchLinearReductionRejectsNonAssociative(t *testing.T) {
 		prev = n
 	}
 	b.node(mir.OpFloor, -1, prev)
-	if p := MatchLinearReduction(NodeView(b.g, ddg.NewSet(nodes...))); p != nil {
+	if p := MatchLinearReduction(NodeView(b.g, ddg.NewSet(nodes...)), nil); p != nil {
 		t.Errorf("non-associative chain matched: %v", p)
 	}
 }
@@ -226,7 +226,7 @@ func TestMatchLinearReductionRejectsNonAssociative(t *testing.T) {
 func TestMatchLinearReductionRejectsBranchedShape(t *testing.T) {
 	// Two chains joining (tiled shape) must not match a linear reduction.
 	g, all := buildTiledDDG(2, 2)
-	if p := MatchLinearReduction(NodeView(g, all)); p != nil {
+	if p := MatchLinearReduction(NodeView(g, all), nil); p != nil {
 		t.Errorf("tiled shape matched as linear: %v", p)
 	}
 }
@@ -238,7 +238,7 @@ func TestMatchLinearReductionRejectsMissingOutput(t *testing.T) {
 	elem2 := b.node(mir.OpI2F, -1)
 	a2 := b.node(mir.OpFAdd, 1, elem2, a1)
 	_ = a2 // no sink: final value unused
-	if p := MatchLinearReduction(NodeView(b.g, ddg.NewSet(a1, a2))); p != nil {
+	if p := MatchLinearReduction(NodeView(b.g, ddg.NewSet(a1, a2)), nil); p != nil {
 		t.Errorf("reduction without output matched: %v", p)
 	}
 }
@@ -286,7 +286,7 @@ func TestMatchTiledReduction(t *testing.T) {
 	for _, shape := range []struct{ m, p int }{{2, 2}, {3, 4}, {4, 1}} {
 		g, all := buildTiledDDG(shape.m, shape.p)
 		v := NodeView(g, all)
-		pat := MatchTiledReduction(v)
+		pat := MatchTiledReduction(v, nil)
 		if pat == nil {
 			t.Fatalf("tiled reduction m=%d p=%d not matched", shape.m, shape.p)
 		}
@@ -302,7 +302,7 @@ func TestMatchTiledReduction(t *testing.T) {
 
 func TestMatchTiledReductionRejectsPlainChain(t *testing.T) {
 	g, adds := buildChainDDG(6)
-	if p := MatchTiledReduction(NodeView(g, adds)); p != nil {
+	if p := MatchTiledReduction(NodeView(g, adds), nil); p != nil {
 		t.Errorf("plain chain matched as tiled: %v", p)
 	}
 }
@@ -320,7 +320,7 @@ func TestMatchTiledReductionRejectsUnevenChains(t *testing.T) {
 	f2 := b.node(mir.OpFAdd, 5, c1, f1)
 	b.node(mir.OpFloor, -1, f2)
 	all := ddg.NewSet(a1, a2, a3, c1, f1, f2)
-	if p := MatchTiledReduction(NodeView(b.g, all)); p != nil {
+	if p := MatchTiledReduction(NodeView(b.g, all), nil); p != nil {
 		t.Errorf("uneven tiled reduction matched: %v", p)
 	}
 }
@@ -384,7 +384,7 @@ func TestMatchTiledMapReduction(t *testing.T) {
 	// Build tiled reduction and attach one map component per partial add.
 	g, all := buildTiledDDG(2, 3)
 	v := NodeView(g, all)
-	tr := MatchTiledReduction(v)
+	tr := MatchTiledReduction(v, nil)
 	if tr == nil {
 		t.Fatal("tiled reduction not matched")
 	}

@@ -106,8 +106,8 @@ func TestMatchersSoundOnRandomDAGs(t *testing.T) {
 				}
 			}
 			check(MatchMap(v))
-			check(MatchLinearReduction(v))
-			check(MatchTiledReduction(v))
+			check(MatchLinearReduction(v, nil))
+			check(MatchTiledReduction(v, nil))
 			check(MatchTreeReduction(v))
 		}
 	}
@@ -124,8 +124,8 @@ func TestMatchersDeterministicOnRandomDAGs(t *testing.T) {
 			s := ""
 			for _, v := range []*View{NodeView(g, amb), LoopView(g, amb, 1)} {
 				for _, p := range []*Pattern{
-					MatchMap(v), MatchLinearReduction(v),
-					MatchTiledReduction(v), MatchTreeReduction(v),
+					MatchMap(v), MatchLinearReduction(v, nil),
+					MatchTiledReduction(v, nil), MatchTreeReduction(v),
 				} {
 					if p == nil {
 						s += "-;"

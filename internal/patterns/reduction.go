@@ -16,9 +16,12 @@ import (
 // component is a single node whose operation is in the associative
 // registry.
 
-// SolverBudget bounds each constraint-solver run. The paper uses a
-// 60-second limit per run; ours is far more than these models need, and
-// exists for the same reason (bounding worst-case matching time).
+// SolverBudget is the default bound on each constraint-solver run, used
+// when the matcher's Budget carries no SolveTimeout of its own. The paper
+// uses a 60-second limit per run; ours is far more than these models
+// need, and exists for the same reason (bounding worst-case matching
+// time). Callers that want the expiry to be observable rather than
+// silent pass a Budget (see budget.go).
 var SolverBudget = 60 * time.Second
 
 // cpCrossCheckLimit bounds the view size up to which the chain-order
@@ -29,8 +32,12 @@ var SolverBudget = 60 * time.Second
 const cpCrossCheckLimit = 64
 
 // MatchLinearReduction reports the linear reduction formed by the whole
-// view, or nil.
-func MatchLinearReduction(v *View) *Pattern {
+// view, or nil. A nil budget applies the default per-solve bound; with a
+// budget, a solver run cut short by its resource limits marks
+// budget.Exceeded so the caller can distinguish "no pattern" from
+// "undecided within budget" (the outcome that used to be silently
+// conflated with unsatisfiability).
+func MatchLinearReduction(v *View, budget *Budget) *Pattern {
 	n := v.NumGroups()
 	if n < 2 {
 		return nil
@@ -73,9 +80,13 @@ func MatchLinearReduction(v *View) *Pattern {
 				}
 			}
 		}
-		sv := &cp.Solver{Model: model, Timeout: SolverBudget}
-		sol := sv.Solve()
+		sv := &cp.Solver{Model: model}
+		sol := budget.solve(KindLinearReduction, sv)
 		if sol == nil {
+			// Distinguish "proved unsatisfiable" from "ran out of budget":
+			// budget.record has already marked Exceeded in the latter case
+			// (the structural path check above said yes, so a limited nil
+			// is genuinely undecided, not a refutation).
 			return nil
 		}
 		for i, p := range pos {
@@ -171,7 +182,8 @@ func (p *diffNe) Propagate(s *cp.Space) bool {
 // MatchTiledReduction reports the tiled reduction formed by the whole
 // view, or nil. The view must partition into m ≥ 2 partial chains of equal
 // length p feeding an m-component final chain (paper Figure 3, right).
-func MatchTiledReduction(v *View) *Pattern {
+// Budget semantics are as for MatchLinearReduction.
+func MatchTiledReduction(v *View, budget *Budget) *Pattern {
 	n := v.NumGroups()
 	if n < 4 { // minimum: 2 partials of length 1 + final chain of 2
 		return nil
@@ -244,9 +256,9 @@ func MatchTiledReduction(v *View) *Pattern {
 	// global checker below.
 	model.Add(&tiledShape{view: v, role: role, indeg: indeg})
 
-	sv := &cp.Solver{Model: model, Timeout: SolverBudget}
+	sv := &cp.Solver{Model: model}
 	var result *Pattern
-	sv.SolveAll(func(sol cp.Solution) bool {
+	budget.solveAll(KindTiledReduction, sv, func(sol cp.Solution) bool {
 		pat := buildTiled(v, sol, role, op)
 		if pat != nil {
 			result = pat
@@ -255,6 +267,8 @@ func MatchTiledReduction(v *View) *Pattern {
 		return true
 	})
 	if result == nil {
+		// Either no role assignment forms a tiled reduction, or the
+		// enumeration was cut short — budget.Exceeded tells them apart.
 		return nil
 	}
 	if !v.G.Convex(v.Ambient, nil) {

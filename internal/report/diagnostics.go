@@ -1,0 +1,146 @@
+package report
+
+// Diagnostics rendering and the machine-readable summary. The paper's
+// evaluation reports which solver runs were resource-limited (Table 3);
+// this file surfaces the equivalent for a finder run: whether the global
+// budget interrupted it, how many views were undecided within the solver
+// budget, and the per-kind solver effort rollup. The text section renders
+// only for degraded runs so default (unbudgeted) outputs stay byte-for-byte
+// what they were before budgets existed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"discovery/internal/core"
+	"discovery/internal/patterns"
+)
+
+// Diagnostics renders the resource-limit section of a result: why the
+// pattern set is a lower bound, and what the solver spent. Returns "" for a
+// run that no bound cut short.
+func Diagnostics(res *core.Result) string {
+	if !res.Degraded() {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("resource limits hit; the pattern set is a lower bound:\n")
+	if res.Interrupted {
+		sb.WriteString("  - interrupted: global budget or context expired before the fixpoint\n")
+	}
+	if res.TimedOutViews > 0 {
+		fmt.Fprintf(&sb, "  - %d view(s) undecided within the solver budget (not \"no pattern\")\n",
+			res.TimedOutViews)
+	}
+	if res.SkippedViews > 0 {
+		fmt.Fprintf(&sb, "  - %d view(s) skipped for exceeding the view size limit\n",
+			res.SkippedViews)
+	}
+	if res.PoolLimited {
+		sb.WriteString("  - sub-DDG pool hit its size limit; some subtractions/fusions dropped\n")
+	}
+	sb.WriteString(solverEffort(res))
+	return sb.String()
+}
+
+// solverEffort renders the per-kind solver rollup lines.
+func solverEffort(res *core.Result) string {
+	if len(res.SolverStats) == 0 {
+		return ""
+	}
+	kinds := make([]patterns.Kind, 0, len(res.SolverStats))
+	for k := range res.SolverStats {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var sb strings.Builder
+	sb.WriteString("solver effort per pattern kind:\n")
+	for _, k := range kinds {
+		ks := res.SolverStats[k]
+		fmt.Fprintf(&sb, "  %-22s %d run(s), %d timed out; %d nodes, %d propagations, %d solutions in %v\n",
+			k, ks.Runs, ks.Timeouts, ks.Nodes, ks.Propagations, ks.Solutions,
+			ks.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// PatternJSON is one reported pattern in the machine-readable summary.
+type PatternJSON struct {
+	Kind  string `json:"kind"`
+	Nodes int    `json:"nodes"`
+	Ops   string `json:"ops"`
+}
+
+// KindStatsJSON is the solver effort attributed to one pattern kind.
+type KindStatsJSON struct {
+	Runs         int   `json:"runs"`
+	Timeouts     int   `json:"timeouts"`
+	Nodes        int64 `json:"nodes"`
+	Failures     int64 `json:"failures"`
+	Propagations int64 `json:"propagations"`
+	Solutions    int64 `json:"solutions"`
+	ElapsedMS    int64 `json:"elapsed_ms"`
+}
+
+// DiagnosticsJSON describes the resource-limit outcome of a run.
+type DiagnosticsJSON struct {
+	Degraded      bool                     `json:"degraded"`
+	Interrupted   bool                     `json:"interrupted"`
+	TimedOutViews int                      `json:"timed_out_views"`
+	SkippedViews  int                      `json:"skipped_views"`
+	PoolLimited   bool                     `json:"pool_limited"`
+	Solver        map[string]KindStatsJSON `json:"solver,omitempty"`
+}
+
+// SummaryJSON is the machine-readable counterpart of Summary.
+type SummaryJSON struct {
+	OriginalNodes   int             `json:"original_nodes"`
+	SimplifiedNodes int             `json:"simplified_nodes"`
+	Iterations      int             `json:"iterations"`
+	PoolSize        int             `json:"pool_size"`
+	Matches         int             `json:"matches"`
+	Patterns        []PatternJSON   `json:"patterns"`
+	Diagnostics     DiagnosticsJSON `json:"diagnostics"`
+}
+
+// JSON exports a finder result as an indented JSON document, diagnostics
+// included (always, even when clean — consumers branch on "degraded").
+func JSON(res *core.Result) ([]byte, error) {
+	out := SummaryJSON{
+		OriginalNodes:   res.OriginalNodes,
+		SimplifiedNodes: res.SimplifiedNodes,
+		Iterations:      res.Iterations,
+		PoolSize:        res.PoolSize,
+		Matches:         len(res.Matches),
+		Patterns:        []PatternJSON{},
+		Diagnostics: DiagnosticsJSON{
+			Degraded:      res.Degraded(),
+			Interrupted:   res.Interrupted,
+			TimedOutViews: res.TimedOutViews,
+			SkippedViews:  res.SkippedViews,
+			PoolLimited:   res.PoolLimited,
+		},
+	}
+	for _, p := range res.Patterns {
+		out.Patterns = append(out.Patterns, PatternJSON{
+			Kind:  kindSlug(p.Kind),
+			Nodes: p.Nodes().Len(),
+			Ops:   p.OpsSummary(res.Graph),
+		})
+	}
+	if len(res.SolverStats) > 0 {
+		out.Diagnostics.Solver = map[string]KindStatsJSON{}
+		for k, ks := range res.SolverStats {
+			out.Diagnostics.Solver[kindSlug(k)] = KindStatsJSON{
+				Runs: ks.Runs, Timeouts: ks.Timeouts,
+				Nodes: ks.Nodes, Failures: ks.Failures,
+				Propagations: ks.Propagations, Solutions: ks.Solutions,
+				ElapsedMS: ks.Elapsed.Milliseconds(),
+			}
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -67,7 +67,9 @@ func Text(prog *mir.Program, res *core.Result) string {
 	return sb.String()
 }
 
-// Summary renders a one-line-per-pattern overview of a finder result.
+// Summary renders a one-line-per-pattern overview of a finder result. For
+// runs cut short by a resource bound the Diagnostics section is appended;
+// unbounded runs render exactly as before budgets existed.
 func Summary(res *core.Result) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "DDG: %d nodes traced, %d after simplification (%.2fx)\n",
@@ -80,6 +82,7 @@ func Summary(res *core.Result) string {
 		fmt.Fprintf(&sb, "  - %s over %d nodes (%s)\n",
 			p.Kind, p.Nodes().Len(), p.OpsSummary(res.Graph))
 	}
+	sb.WriteString(Diagnostics(res))
 	return sb.String()
 }
 
