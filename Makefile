@@ -2,11 +2,13 @@
 #
 #   make check   — everything below in sequence (the tier-1 gate + races)
 #   make race    — race-detector pass over the concurrency-bearing packages
+#   make fuzz    — short native-fuzzing pass over the crash-safety targets
 #   make bench   — trace throughput benchmark (writes BENCH_trace.json)
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race fuzz bench
 
 check: build vet test race
 
@@ -21,6 +23,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/...
+
+# Each target runs for FUZZTIME; Go's fuzzer accepts one -fuzz pattern per
+# package invocation, so the targets run in sequence.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzMIRValidate$$' -fuzztime $(FUZZTIME) ./internal/mir
+	$(GO) test -run '^$$' -fuzz '^FuzzVM$$' -fuzztime $(FUZZTIME) ./internal/vm
+	$(GO) test -run '^$$' -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/cp
+	$(GO) test -run '^$$' -fuzz '^FuzzFinalize$$' -fuzztime $(FUZZTIME) ./internal/trace
 
 bench:
 	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32

@@ -34,6 +34,7 @@ func main() {
 		budget     = flag.Duration("budget", 0, "global wall-clock budget for pattern finding (0 = none)")
 		solverBudg = flag.Duration("solver-budget", 0, "per-solve constraint solver timeout (0 = the 60s default)")
 		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
+		check      = flag.Bool("check", false, "verify DDG structural invariants after tracing and after simplification")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -81,10 +82,27 @@ func main() {
 		os.Exit(1)
 	}
 	traceTime := time.Since(start)
+	if *check {
+		if err := tr.Graph.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "traced DDG failed invariant checking: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	res := core.Find(tr.Graph, core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
 	})
+	if *check && res.Graph != nil && res.Graph != tr.Graph {
+		if err := res.Graph.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "simplified DDG failed invariant checking: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// A truncated trace is a degraded run: surface it with the finder's
+	// own diagnostics instead of pretending coverage was complete.
+	if d := tr.Diagnostic(); d != nil {
+		res.Failures = append(res.Failures, d)
+	}
 
 	switch *format {
 	case "summary":

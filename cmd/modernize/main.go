@@ -73,7 +73,11 @@ func main() {
 	}
 
 	// 3. Reference run, then rewrite a fresh build and compare.
-	ref := vm.New(built.Prog)
+	ref, err := vm.New(built.Prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if _, err := ref.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -84,7 +88,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nparallelized loop %d across %d threads\n", loop, *threads)
-	m := vm.New(mod.Prog)
+	m, err := vm.New(mod.Prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modernized program failed: %v\n", err)
+		os.Exit(1)
+	}
 	if _, err := m.Run(); err != nil {
 		fmt.Fprintf(os.Stderr, "modernized program failed: %v\n", err)
 		os.Exit(1)
@@ -96,9 +104,20 @@ func main() {
 		sizes[s.Name] = s.Size
 	}
 	for _, out := range b.Outputs {
-		b1, b2 := ref.StaticBase(out), m.StaticBase(out)
+		b1, err1 := ref.StaticBase(out)
+		b2, err2 := m.StaticBase(out)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "output %q missing: %v %v\n", out, err1, err2)
+			os.Exit(1)
+		}
 		for i := int64(0); i < sizes[out]; i++ {
-			a, c := ref.HeapAt(b1+i).Float(), m.HeapAt(b2+i).Float()
+			av, err1 := ref.HeapAt(b1 + i)
+			cv, err2 := m.HeapAt(b2 + i)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintf(os.Stderr, "output %q unreadable at %d: %v %v\n", out, i, err1, err2)
+				os.Exit(1)
+			}
+			a, c := av.Float(), cv.Float()
 			if math.Abs(a-c) > 1e-9*(1+math.Abs(a)) {
 				fmt.Fprintf(os.Stderr, "MISMATCH %s[%d]: %g vs %g\n", out, i, a, c)
 				os.Exit(1)

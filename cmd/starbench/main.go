@@ -58,7 +58,11 @@ func main() {
 				fmt.Print(built.Prog.String())
 				continue
 			}
-			m := vm.New(built.Prog)
+			m, err := vm.New(built.Prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s/%s failed: %v\n", b.Name, v, err)
+				os.Exit(1)
+			}
 			start := time.Now()
 			if _, err := m.Run(); err != nil {
 				fmt.Fprintf(os.Stderr, "%s/%s failed: %v\n", b.Name, v, err)
@@ -67,8 +71,17 @@ func main() {
 			fmt.Printf("%-14s %-9s  %8d ops in %8v  outputs:", b.Name, v,
 				m.Ops(), time.Since(start).Round(time.Microsecond))
 			for _, out := range b.Outputs {
-				base := m.StaticBase(out)
-				fmt.Printf(" %s[0]=%v", out, m.HeapAt(base))
+				base, err := m.StaticBase(out)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s/%s: %v\n", b.Name, v, err)
+					os.Exit(1)
+				}
+				val, err := m.HeapAt(base)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s/%s: %v\n", b.Name, v, err)
+					os.Exit(1)
+				}
+				fmt.Printf(" %s[0]=%v", out, val)
 			}
 			fmt.Println()
 		}

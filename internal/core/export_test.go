@@ -1,0 +1,6 @@
+package core
+
+// SetFindTestHook installs (or, with nil, removes) the hook run at every
+// guarded finder phase. External test packages use it to inject panics at
+// named phases and observe the degraded-but-partial Result contract.
+func SetFindTestHook(h func(phase string)) { findTestHook = h }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"discovery/internal/analysis"
 	"discovery/internal/ddg"
 	"discovery/internal/patterns"
 )
@@ -141,14 +142,22 @@ type Result struct {
 	// SolverStats rolls up constraint-solver effort per pattern kind
 	// (runs, timeouts, nodes, failures, propagations, solutions, elapsed).
 	SolverStats map[patterns.Kind]patterns.KindStats
+	// Failures collects errors contained by the finder's recover
+	// boundaries: panics inside a phase, a matching worker, or a solver
+	// run, converted to structured match-stage errors. The rest of the run
+	// continued, so the other Result fields hold the partial outcome; a
+	// non-empty Failures marks the run degraded.
+	Failures []*analysis.Error
 	// Phases is the per-phase timing breakdown.
 	Phases PhaseTimes
 }
 
-// Degraded reports whether any resource bound cut the run short, i.e.
-// the pattern set is a lower bound on what an unbounded run would report.
+// Degraded reports whether any resource bound or contained failure cut the
+// run short, i.e. the pattern set is a lower bound on what an unbounded,
+// failure-free run would report.
 func (r *Result) Degraded() bool {
-	return r.Interrupted || r.TimedOutViews > 0 || r.SkippedViews > 0 || r.PoolLimited
+	return r.Interrupted || r.TimedOutViews > 0 || r.SkippedViews > 0 || r.PoolLimited ||
+		len(r.Failures) > 0
 }
 
 // Find runs the iterative pattern finder on a traced DDG.
@@ -162,7 +171,13 @@ func Find(g *ddg.Graph, opts Options) *Result {
 // an unbounded match phase. The per-solve solver timeout is derived from
 // the time remaining on the context's deadline, so late solves get the
 // budget's remainder rather than a blind constant.
-func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
+//
+// FindCtx is also the match stage's recover boundary: each phase runs
+// guarded, so an internal panic — in a phase, a matching worker, or a
+// solver run — is contained, recorded on Result.Failures, and the finder
+// carries what it has into the remaining phases. A degraded Result with
+// Failures is therefore partial, never absent.
+func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -171,13 +186,27 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
 	}
-	res := &Result{OriginalNodes: g.NumNodes()}
+	res = &Result{}
+	// Last-resort boundary for panics between the phase guards.
+	defer func() {
+		if r := recover(); r != nil {
+			res.Failures = append(res.Failures, analysis.Recovered(analysis.StageMatch, r))
+		}
+	}()
+	if g == nil {
+		res.Failures = append(res.Failures, analysis.Errorf(
+			analysis.StageMatch, analysis.InvalidInput, "core: Find of a nil graph"))
+		return res
+	}
+	res.OriginalNodes = g.NumNodes()
 
 	// Phase: simplify.
 	start := time.Now()
 	gs := g
 	if !opts.DisableSimplify {
-		gs = Simplify(g)
+		if !guard(res, "simplify", func() { gs = Simplify(g) }) {
+			gs = g // fall back to matching the unsimplified graph
+		}
 	}
 	res.Graph = gs
 	res.SimplifiedNodes = gs.NumNodes()
@@ -205,10 +234,15 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
 	}
 	if opts.DisableDecompose {
 		addPool(&SubDDG{Nodes: gs.Nodes()})
-	} else {
+	} else if !guard(res, "decompose", func() {
 		for _, s := range Decompose(gs) {
 			addPool(s)
 		}
+	}) && len(pool) == 0 {
+		// Decomposition died before producing anything; match the whole
+		// graph as one sub-DDG, the same degraded-but-sound view the
+		// DisableDecompose ablation uses.
+		addPool(&SubDDG{Nodes: gs.Nodes()})
 	}
 	active := append([]*SubDDG(nil), pool...)
 	res.Phases.Decompose = time.Since(start)
@@ -220,9 +254,12 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
 		}
 		res.Iterations = iter
 
-		// Phase: match (parallel across active sub-DDGs).
+		// Phase: match (parallel across active sub-DDGs). Worker panics are
+		// contained per sub-DDG inside runMatchPhase; this guard covers the
+		// phase's own bookkeeping.
 		start = time.Now()
-		matched := runMatchPhase(ctx, gs, active, opts, res)
+		var matched []*SubDDG
+		guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res) })
 		for _, s := range matched {
 			for _, p := range s.Matched {
 				res.Matches = append(res.Matches, Match{Pattern: p, Sub: s, Iteration: iter})
@@ -243,61 +280,65 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
 		// smaller instances that merging would discard anyway, and does so
 		// combinatorially, so matched sub-DDGs are skipped.
 		start = time.Now()
-		for _, g1 := range pool {
-			if len(g1.Matched) > 0 {
-				continue
-			}
-			if interrupted(ctx, res) {
-				break
-			}
-			for _, g2 := range matched {
-				if g1.Nodes.Disjoint(g2.Nodes) {
-					continue // the difference would be g1 unchanged
-				}
-				diff := g1.Nodes.Diff(g2.Nodes)
-				if diff.Len() == 0 || diff.Len() == g1.Nodes.Len() {
+		guard(res, "subtract", func() {
+			for _, g1 := range pool {
+				if len(g1.Matched) > 0 {
 					continue
 				}
-				s := &SubDDG{Nodes: diff, Loop: g1.Loop, Assoc: g1.Assoc}
-				if addPool(s) {
-					fresh = append(fresh, s)
+				if interrupted(ctx, res) {
+					break
+				}
+				for _, g2 := range matched {
+					if g1.Nodes.Disjoint(g2.Nodes) {
+						continue // the difference would be g1 unchanged
+					}
+					diff := g1.Nodes.Diff(g2.Nodes)
+					if diff.Len() == 0 || diff.Len() == g1.Nodes.Len() {
+						continue
+					}
+					s := &SubDDG{Nodes: diff, Loop: g1.Loop, Assoc: g1.Assoc}
+					if addPool(s) {
+						fresh = append(fresh, s)
+					}
 				}
 			}
-		}
+		})
 		res.Phases.Subtract += time.Since(start)
 
 		// Phase: fuse adjacent pool sub-DDGs with compatible matches (a
 		// map flowing into any pattern).
 		start = time.Now()
-		isNew := make(map[*SubDDG]bool, len(matched))
-		for _, s := range matched {
-			isNew[s] = true
-		}
-		for _, a := range pool {
-			if len(a.Matched) == 0 || !hasMapMatch(a) {
-				continue
+		guard(res, "fuse", func() {
+			isNew := make(map[*SubDDG]bool, len(matched))
+			for _, s := range matched {
+				isNew[s] = true
 			}
-			if interrupted(ctx, res) {
-				break
-			}
-			for _, b := range pool {
-				if a == b || len(b.Matched) == 0 {
+			for _, a := range pool {
+				if len(a.Matched) == 0 || !hasMapMatch(a) {
 					continue
 				}
-				// At least one of the pair must be a new match this
-				// iteration, otherwise the fusion already happened.
-				if !isNew[a] && !isNew[b] {
-					continue
+				if interrupted(ctx, res) {
+					break
 				}
-				if !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
-					continue
-				}
-				s := &SubDDG{Nodes: a.Nodes.Union(b.Nodes), FusedA: a, FusedB: b}
-				if addPool(s) {
-					fresh = append(fresh, s)
+				for _, b := range pool {
+					if a == b || len(b.Matched) == 0 {
+						continue
+					}
+					// At least one of the pair must be a new match this
+					// iteration, otherwise the fusion already happened.
+					if !isNew[a] && !isNew[b] {
+						continue
+					}
+					if !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
+						continue
+					}
+					s := &SubDDG{Nodes: a.Nodes.Union(b.Nodes), FusedA: a, FusedB: b}
+					if addPool(s) {
+						fresh = append(fresh, s)
+					}
 				}
 			}
-		}
+		})
 		res.Phases.Fuse += time.Since(start)
 
 		active = fresh
@@ -308,15 +349,42 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) *Result {
 	// (paper §9 future work; see patterns.MatchPipeline).
 	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
-		detectPipelines(ctx, gs, pool, opts, res)
+		guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res) })
 		res.Phases.Match += time.Since(start)
 	}
 
 	// Phase: merge — discard patterns subsumed by larger ones.
 	start = time.Now()
-	res.Patterns = merge(res.Matches)
+	guard(res, "merge", func() { res.Patterns = merge(res.Matches) })
 	res.Phases.Merge = time.Since(start)
 	return res
+}
+
+// findTestHook, when non-nil, runs at the entry of every guarded phase
+// with the phase's name; a panic it raises simulates an internal bug at
+// that exact point. Tests install it through export_test.go.
+var findTestHook func(phase string)
+
+// guard runs one finder phase inside a recover boundary. A panic inside fn
+// is recorded on res.Failures as a structured match-stage error naming the
+// phase; whatever the phase wrote before dying is kept, and guard reports
+// false so the caller can fall back. Phases run on the calling goroutine —
+// worker-goroutine panics are contained separately (matchSubSafe), since a
+// recover only catches panics on its own stack.
+func guard(res *Result, phase string, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ae := analysis.Recovered(analysis.StageMatch, r)
+			res.Failures = append(res.Failures,
+				analysis.Wrap(ae.Stage, ae.Kind, ae, "%s phase failed", phase))
+			ok = false
+		}
+	}()
+	if findTestHook != nil {
+		findTestHook(phase)
+	}
+	fn()
+	return true
 }
 
 // interrupted reports (and records) that the context is done: the caller
@@ -427,6 +495,7 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 	skips := make([]int, workers)
 	timedOut := make([]int, workers)
 	budgets := make([]*patterns.Budget, workers)
+	fails := make([][]*analysis.Error, workers)
 	for w := 0; w < workers; w++ {
 		budgets[w] = &patterns.Budget{}
 		wg.Add(1)
@@ -434,8 +503,11 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 			defer wg.Done()
 			for s := range work {
 				b := budgetFor(ctx, opts)
-				found, skip := matchSub(gs, s, opts, b)
+				found, skip, fail := matchSubSafe(gs, s, opts, b)
 				s.Matched = found
+				if fail != nil {
+					fails[w] = append(fails[w], fail)
+				}
 				if skip {
 					skips[w]++
 				}
@@ -451,8 +523,12 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 	for w := 0; w < workers; w++ {
 		res.SkippedViews += skips[w]
 		res.TimedOutViews += timedOut[w]
+		res.Failures = append(res.Failures, fails[w]...)
 		rollup.Merge(budgets[w])
 	}
+	// Panics contained inside individual solver runs (cp.Stats.Err) ride
+	// along on the merged budgets.
+	res.Failures = append(res.Failures, rollup.Errs...)
 	if len(rollup.Kinds) > 0 {
 		if res.SolverStats == nil {
 			res.SolverStats = map[patterns.Kind]patterns.KindStats{}
@@ -472,6 +548,24 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 		}
 	}
 	return matched
+}
+
+// matchSubSafe is matchSub inside a recover boundary: a panic while
+// matching one sub-DDG costs that sub-DDG's matches, not the phase. Each
+// worker goroutine has its own stack, so the containment must live here,
+// per claimed sub-DDG, rather than in the phase guard on the main
+// goroutine.
+func matchSubSafe(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found []*patterns.Pattern, skipped bool, fail *analysis.Error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ae := analysis.Recovered(analysis.StageMatch, r)
+			found, skipped = nil, false
+			fail = analysis.Wrap(ae.Stage, ae.Kind, ae,
+				"matching a sub-DDG of %d nodes failed", s.Nodes.Len())
+		}
+	}()
+	found, skipped = matchSub(gs, s, opts, b)
+	return found, skipped, nil
 }
 
 // matchSub matches one sub-DDG against the applicable definitions, running

@@ -1,0 +1,103 @@
+package cp
+
+// FuzzSolver drives the solver with byte-generated models over the full
+// public constraint vocabulary. Whatever the model, the solver must
+// terminate (a deterministic step limit bounds the search), never panic
+// (Stats.Err stays nil for models built from the public API), and report
+// only genuine solutions: every variable assigned a value from its
+// declared domain.
+
+import (
+	"testing"
+)
+
+type fuzzModel struct {
+	m    *Model
+	vars []*IntVar
+	lo   []int
+	hi   []int
+}
+
+// genModel decodes a byte stream into a model with 2-4 small variables and
+// an arbitrary mix of constraints over them.
+func genModel(data []byte) *fuzzModel {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	fm := &fuzzModel{m: NewModel()}
+	nVars := 2 + int(next())%3
+	for i := 0; i < nVars; i++ {
+		lo := int(next())%9 - 4
+		hi := lo + int(next())%6
+		fm.vars = append(fm.vars, fm.m.NewIntVar("v", lo, hi))
+		fm.lo = append(fm.lo, lo)
+		fm.hi = append(fm.hi, hi)
+	}
+	pick := func() *IntVar { return fm.vars[int(next())%nVars] }
+	nCons := int(next()) % 8
+	for i := 0; i < nCons; i++ {
+		c := int(next())%11 - 5
+		switch next() % 12 {
+		case 0:
+			fm.m.EqC(pick(), c)
+		case 1:
+			fm.m.NeC(pick(), c)
+		case 2:
+			fm.m.Eq(pick(), pick())
+		case 3:
+			fm.m.Ne(pick(), pick())
+		case 4:
+			fm.m.Le(pick(), c, pick())
+		case 5:
+			fm.m.SumEq(fm.vars, c)
+		case 6:
+			fm.m.SumGe(fm.vars, c)
+		case 7:
+			fm.m.AllDifferent(fm.vars)
+		case 8:
+			arr := []int{int(next()) % 5, int(next()) % 5, int(next()) % 5}
+			fm.m.Element(arr, pick(), pick())
+		case 9:
+			fm.m.IfEqThenEq(pick(), c, pick(), int(next())%5)
+		case 10:
+			cnt := fm.m.NewIntVar("cnt", 0, nVars)
+			fm.m.Count(fm.vars, c, cnt)
+		case 11:
+			b := fm.m.NewBoolVar("b")
+			fm.m.BoolEqReif(pick(), c, b)
+		}
+	}
+	return fm
+}
+
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{2, 0, 3, 1, 4, 3, 2, 7, 5, 0, 0, 1, 1, 2})
+	f.Add([]byte{1, 250, 1, 4, 0, 6, 3, 5, 9, 9, 2, 2, 8, 1, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fm := genModel(data)
+		sv := &Solver{Model: fm.m, StepLimit: 20000}
+		seen := 0
+		sv.SolveAll(func(sol Solution) bool {
+			for i, v := range fm.vars {
+				val := sol.Value(v)
+				if val < fm.lo[i] || val > fm.hi[i] {
+					t.Fatalf("solution assigns %d outside declared domain [%d,%d]",
+						val, fm.lo[i], fm.hi[i])
+				}
+			}
+			seen++
+			return seen < 4
+		})
+		if err := sv.Stats().Err; err != nil {
+			t.Fatalf("solver panicked on a model built from the public API: %v", err)
+		}
+	})
+}

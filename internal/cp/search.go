@@ -3,6 +3,8 @@ package cp
 import (
 	"context"
 	"time"
+
+	"discovery/internal/analysis"
 )
 
 // Stats reports search effort.
@@ -19,6 +21,11 @@ type Stats struct {
 	// LimitHit reports that the step limit (nodes + propagations) was
 	// exhausted.
 	LimitHit bool
+	// Err records a panic recovered during the run — a solver or propagator
+	// bug contained at the Solve boundary, as a match-stage
+	// *analysis.Error. The counters above remain valid for the partial
+	// search; any solution found before the panic was already delivered.
+	Err error
 }
 
 // Limited reports whether the search was cut short by any resource bound
@@ -37,6 +44,9 @@ func (s *Stats) Add(other Stats) {
 	s.TimedOut = s.TimedOut || other.TimedOut
 	s.Cancelled = s.Cancelled || other.Cancelled
 	s.LimitHit = s.LimitHit || other.LimitHit
+	if s.Err == nil {
+		s.Err = other.Err
+	}
 }
 
 // BranchOrder selects the next variable and the value order to try.
@@ -143,6 +153,15 @@ func (sv *Solver) SolveAll(cb func(Solution) bool) {
 func (sv *Solver) solveInternal(cb func(Solution) bool) {
 	start := time.Now()
 	sv.stats = Stats{}
+	// Containment boundary: a buggy propagator (or a malformed model) must
+	// cost one solver run, not the process. The recovered panic is reported
+	// through Stats.Err so callers can attach it to their diagnostics.
+	defer func() {
+		if r := recover(); r != nil {
+			sv.stats.Err = analysis.Recovered(analysis.StageMatch, r)
+			sv.stats.Elapsed = time.Since(start)
+		}
+	}()
 	switch {
 	case sv.Timeout < 0:
 		// The caller's budget was exhausted before this run began.

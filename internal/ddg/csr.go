@@ -1,8 +1,7 @@
 package ddg
 
 import (
-	"fmt"
-
+	"discovery/internal/analysis"
 	"discovery/internal/mir"
 )
 
@@ -23,6 +22,9 @@ type FrozenBuilder struct {
 	// succCnt[u] counts u's successors until Finish turns it into the
 	// CSR fill cursor.
 	succCnt []uint32
+	// err records the first invariant violation; once set, further bad
+	// preds are skipped and Finish reports the failure instead of a graph.
+	err *analysis.Error
 }
 
 // NewFrozenBuilder returns a builder expecting about nodes nodes and at
@@ -42,8 +44,11 @@ func NewFrozenBuilder(nodes, maxArcs int) *FrozenBuilder {
 // AddNode appends a node with the given predecessors and returns its id.
 // NoNode preds are skipped, duplicates within the list are dropped (the
 // same global dedup Graph.AddArc performs, since an arc (u,v) can only be
-// proposed while v is being added), and a pred >= the new id panics —
-// nodes must arrive in an order where every value flows forward.
+// proposed while v is being added), and a pred >= the new id — nodes must
+// arrive in an order where every value flows forward — records an
+// InvariantViolation that Finish reports; the offending arc is dropped so
+// building can continue and the violation is surfaced once, typed,
+// instead of as a panic.
 func (fb *FrozenBuilder) AddNode(op mir.Op, pos mir.Pos, thread int32, scope *Scope, preds ...NodeID) NodeID {
 	g := fb.g
 	id := NodeID(len(g.ops))
@@ -59,7 +64,11 @@ outer:
 			continue
 		}
 		if p >= id {
-			panic(fmt.Sprintf("ddg: FrozenBuilder: pred %d of node %d does not precede it", p, id))
+			if fb.err == nil {
+				fb.err = analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+					"ddg: FrozenBuilder: pred %d of node %d does not precede it", p, id)
+			}
+			continue
 		}
 		for _, q := range g.predArr[start:] {
 			if q == p {
@@ -73,9 +82,15 @@ outer:
 	return id
 }
 
-// Finish derives the successor CSR arrays and returns the frozen graph.
-// The builder must not be used afterwards.
-func (fb *FrozenBuilder) Finish() *Graph {
+// Finish derives the successor CSR arrays and returns the frozen graph,
+// or the first invariant violation AddNode observed. The builder must not
+// be used afterwards.
+func (fb *FrozenBuilder) Finish() (*Graph, error) {
+	if fb.err != nil {
+		err := fb.err
+		fb.g, fb.succCnt, fb.err = nil, nil, nil
+		return nil, err
+	}
 	g := fb.g
 	n := len(g.ops)
 	g.arcs = len(g.predArr)
@@ -97,5 +112,5 @@ func (fb *FrozenBuilder) Finish() *Graph {
 	// were added at v-creation time.
 	g.frozen = true
 	fb.g, fb.succCnt = nil, nil
-	return g
+	return g, nil
 }

@@ -1,0 +1,104 @@
+package ddg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"discovery/internal/analysis"
+	"discovery/internal/mir"
+)
+
+// chainGraph builds 0 -> 1 -> 2 -> 3 with an extra arc 0 -> 3.
+func chainGraph() *Graph {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(mir.OpAdd, mir.Pos{}, 0, nil)
+	}
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	g.AddArc(0, 3)
+	return g
+}
+
+func TestCheckInvariantsCleanGraph(t *testing.T) {
+	g := chainGraph()
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("building-phase graph: %v", err)
+	}
+	g.Freeze()
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("frozen graph: %v", err)
+	}
+}
+
+func TestCheckInvariantsFrozenBuilderGraph(t *testing.T) {
+	fb := NewFrozenBuilder(3, 4)
+	a := fb.AddNode(mir.OpAdd, mir.Pos{}, 0, nil)
+	b := fb.AddNode(mir.OpMul, mir.Pos{}, 0, nil, a)
+	fb.AddNode(mir.OpFAdd, mir.Pos{}, 1, nil, a, b, NoNode, a) // NoNode and dup dropped
+	g, err := fb.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if g.NumArcs() != 3 {
+		t.Errorf("arcs = %d, want 3", g.NumArcs())
+	}
+}
+
+func TestFrozenBuilderRejectsBackwardArc(t *testing.T) {
+	fb := NewFrozenBuilder(2, 2)
+	fb.AddNode(mir.OpAdd, mir.Pos{}, 0, nil, 5) // pred 5 does not exist yet
+	fb.AddNode(mir.OpMul, mir.Pos{}, 0, nil)
+	g, err := fb.Finish()
+	if err == nil {
+		t.Fatal("Finish accepted a forward-referencing pred")
+	}
+	if g != nil {
+		t.Error("Finish returned a graph alongside the error")
+	}
+	if !errors.Is(err, analysis.ErrInvariantViolation) {
+		t.Errorf("error kind = %v, want invariant violation", err)
+	}
+	if !strings.Contains(err.Error(), "does not precede") {
+		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsAsymmetry(t *testing.T) {
+	g := chainGraph()
+	g.Freeze()
+	// Corrupt the frozen pred array: retarget an arc on the pred side only.
+	g.predArr[0] = 2 // node 1's pred becomes 2 (also backwards: 2 > 1)
+	if err := g.CheckInvariants(); err == nil {
+		t.Error("corrupted CSR passed invariant checking")
+	}
+}
+
+func TestCheckInvariantsDetectsDuplicateArc(t *testing.T) {
+	g := chainGraph()
+	g.Freeze()
+	// Make node 3's preds [2, 2] instead of [2, 0] — a dedup violation
+	// that keeps the arc count consistent on the pred side.
+	for i := g.predOff[3]; i < g.predOff[4]; i++ {
+		g.predArr[i] = 2
+	}
+	if err := g.CheckInvariants(); err == nil {
+		t.Error("duplicate arc passed invariant checking")
+	}
+}
+
+func TestCheckInvariantsDetectsRetainedBuildingState(t *testing.T) {
+	g := chainGraph()
+	g.Freeze()
+	g.succ = make([][]NodeID, g.NumNodes()) // immutability leak
+	if err := g.CheckInvariants(); err == nil {
+		t.Error("retained building-phase adjacency passed invariant checking")
+	} else if !strings.Contains(err.Error(), "building-phase") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package mir
+
+// FuzzMIRValidate builds adversarial programs straight from AST structs —
+// invalid ops, nil operands, dangling call/spawn/static/barrier/mutex
+// references, duplicate declarations, reused loop ids — and checks that
+// Validate diagnoses them without ever panicking, deterministically, and
+// that programs it passes clean survive layout and printing.
+
+import (
+	"testing"
+)
+
+// genFuzzProgram decodes a byte stream into a program whose shape is
+// attacker-controlled. It deliberately bypasses the Block builder: the
+// builder only produces well-formed trees, and the validator's contract is
+// to be total on arbitrary ones.
+func genFuzzProgram(data []byte) *Program {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	p := NewProgram("fuzz")
+
+	staticNames := []string{"s0", "s1", "s0"} // duplicates reachable
+	for i := int(next()) % 4; i > 0; i-- {
+		p.DeclareStatic(staticNames[int(next())%3], int64(next())%5-1)
+	}
+	if next()%2 == 0 {
+		p.DeclareBarrier("bar", int(next())%4)
+	}
+	for i := int(next()) % 3; i > 0; i-- {
+		p.DeclareMutex("mu")
+	}
+
+	ops := []Op{OpAdd, OpMul, OpNeg, OpI2F, OpFAdd, OpLt, Op(200), Op(255)}
+	var genExpr func(depth int) Expr
+	genExpr = func(depth int) Expr {
+		b := next()
+		if depth > 2 {
+			return &ConstExpr{V: IntV(int64(b))}
+		}
+		switch b % 8 {
+		case 0:
+			return &ConstExpr{V: IntV(int64(next()) - 8)}
+		case 1:
+			return &VarExpr{Name: []string{"x", "y", "i"}[int(next())%3]}
+		case 2:
+			e := &BinExpr{Op: ops[int(next())%len(ops)], X: genExpr(depth + 1)}
+			if next()%4 != 0 {
+				e.Y = genExpr(depth + 1) // nil Y reachable
+			}
+			return e
+		case 3:
+			e := &UnExpr{Op: ops[int(next())%len(ops)]}
+			if next()%4 != 0 {
+				e.X = genExpr(depth + 1)
+			}
+			return e
+		case 4:
+			return &LoadExpr{Addr: genExpr(depth + 1)}
+		case 5:
+			return &StaticExpr{Name: staticNames[int(next())%3]}
+		case 6:
+			return &CallExpr{Fn: []string{"main", "helper", "ghost"}[int(next())%3]}
+		default:
+			return &AllocExpr{Count: genExpr(depth + 1)}
+		}
+	}
+	var genStmts func(depth int) []Stmt
+	genStmts = func(depth int) []Stmt {
+		var list []Stmt
+		for i := int(next()) % 4; i > 0; i-- {
+			switch next() % 8 {
+			case 0:
+				list = append(list, &AssignStmt{Var: "x", X: genExpr(0)})
+			case 1:
+				list = append(list, &StoreStmt{Addr: genExpr(0), Val: genExpr(0)})
+			case 2:
+				if depth < 2 {
+					s := &ForStmt{Loop: LoopID(next() % 3), From: genExpr(1),
+						To: genExpr(1), Step: genExpr(1), Body: genStmts(depth + 1)}
+					if next()%3 != 0 {
+						s.Var = "i" // empty induction var reachable
+					}
+					list = append(list, s)
+				}
+			case 3:
+				if depth < 2 {
+					list = append(list, &IfStmt{Cond: genExpr(1),
+						Then: genStmts(depth + 1), Else: genStmts(depth + 1)})
+				}
+			case 4:
+				list = append(list, &SpawnStmt{Var: "t", Fn: []string{"helper", "ghost"}[int(next())%2]})
+			case 5:
+				list = append(list, &BarrierStmt{Name: []string{"bar", "nope"}[int(next())%2]})
+			case 6:
+				list = append(list, &LockStmt{Name: "mu"}, &UnlockStmt{Name: "mu"})
+			default:
+				list = append(list, &ReturnStmt{X: genExpr(0)})
+			}
+		}
+		return list
+	}
+
+	p.AddFunc(&Func{Name: "main", Body: genStmts(0), File: "fuzz.c"})
+	if next()%2 == 0 {
+		helper := &Func{Name: "helper", Body: genStmts(1), File: "fuzz.c"}
+		if next()%2 == 0 {
+			helper.Params = []string{"a", "a"} // duplicate params reachable
+		}
+		p.AddFunc(helper)
+	}
+	switch next() % 4 {
+	case 0: // no entry at all
+	case 1:
+		p.SetEntry("ghost")
+	default:
+		p.SetEntry("main")
+	}
+	return p
+}
+
+func FuzzMIRValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 200, 0, 1, 1, 2, 0, 2, 5, 3, 1, 4})
+	f.Add([]byte{3, 2, 0, 1, 4, 1, 2, 0, 0, 2, 2, 6, 1, 9, 9, 9, 3})
+	f.Add([]byte{0, 1, 2, 2, 1, 3, 2, 1, 0, 5, 1, 0, 1, 7, 7, 7, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := genFuzzProgram(data)
+		errs := p.Validate() // must be total: diagnose, never panic
+		if len(p.Validate()) != len(errs) {
+			t.Fatal("Validate is not deterministic")
+		}
+		if len(errs) == 0 {
+			_ = p.String() // clean programs must lay out and print
+		}
+	})
+}

@@ -76,9 +76,10 @@ func (v Value) Equal(w Value) bool {
 	return v.i == w.i
 }
 
-// EvalBinary applies a binary operation to two values. It panics on arity
-// mismatch (a programming error caught by Program.Validate) and returns an
-// error only for runtime conditions such as division by zero.
+// EvalBinary applies a binary operation to two values. An arity mismatch
+// (normally caught by Program.Validate) and runtime conditions such as
+// division by zero are both reported as errors, never panics, so the
+// evaluator stays total on arbitrary inputs.
 func EvalBinary(op Op, a, b Value) (Value, error) {
 	switch op {
 	case OpAdd:
@@ -140,7 +141,7 @@ func EvalBinary(op Op, a, b Value) (Value, error) {
 	case OpIndex:
 		return IntV(a.Int() + b.Int()), nil
 	}
-	panic(fmt.Sprintf("mir: EvalBinary called with non-binary op %v", op))
+	return Value{}, fmt.Errorf("mir: EvalBinary called with non-binary op %v", op)
 }
 
 // EvalUnary applies a unary operation to a value.
@@ -164,7 +165,7 @@ func EvalUnary(op Op, a Value) (Value, error) {
 	case OpF2I:
 		return IntV(int64(a.Float())), nil
 	}
-	panic(fmt.Sprintf("mir: EvalUnary called with non-unary op %v", op))
+	return Value{}, fmt.Errorf("mir: EvalUnary called with non-unary op %v", op)
 }
 
 // compare orders two values, promoting to float if either is a float.

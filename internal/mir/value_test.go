@@ -155,13 +155,13 @@ func TestEvalUnary(t *testing.T) {
 	check(OpF2I, FloatV(3.9), IntV(3))
 }
 
-func TestEvalBinaryPanicsOnUnary(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("EvalBinary(OpNeg) did not panic")
-		}
-	}()
-	_, _ = EvalBinary(OpNeg, IntV(1), IntV(2))
+func TestEvalBinaryRejectsUnary(t *testing.T) {
+	if _, err := EvalBinary(OpNeg, IntV(1), IntV(2)); err == nil {
+		t.Error("EvalBinary(OpNeg) accepted a unary op")
+	}
+	if _, err := EvalUnary(OpAdd, IntV(1)); err == nil {
+		t.Error("EvalUnary(OpAdd) accepted a binary op")
+	}
 }
 
 // Property: the ops registered as associative really associate on small

@@ -14,6 +14,36 @@ import (
 	"discovery/internal/vm"
 )
 
+// vmMust builds a machine for a program that must validate.
+func vmMust(t *testing.T, p *mir.Program) *vm.Machine {
+	t.Helper()
+	m, err := vm.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// staticBase resolves a declared static array's base address.
+func staticBase(t *testing.T, m *vm.Machine, name string) int64 {
+	t.Helper()
+	base, err := m.StaticBase(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// heapFloat reads one heap cell as a float.
+func heapFloat(t *testing.T, m *vm.Machine, addr int64) float64 {
+	t.Helper()
+	v, err := m.HeapAt(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Float()
+}
+
 func TestSuggestTemplates(t *testing.T) {
 	b := starbench.ByName("streamcluster")
 	built := b.Build(starbench.Seq, b.Analysis)
@@ -70,7 +100,7 @@ func TestParallelizeMapRoundTrip(t *testing.T) {
 
 	// Reference run.
 	ref := b.Build(starbench.Seq, b.Analysis)
-	mRef := vm.New(ref.Prog)
+	mRef := vmMust(t, ref.Prog)
 	if _, err := mRef.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +116,7 @@ func TestParallelizeMapRoundTrip(t *testing.T) {
 		t.Errorf("no thread creation in the modernized listing:\n%s", listing)
 	}
 
-	mMod := vm.New(mod.Prog)
+	mMod := vmMust(t, mod.Prog)
 	if _, err := mMod.Run(); err != nil {
 		t.Fatalf("modernized program failed: %v", err)
 	}
@@ -95,9 +125,9 @@ func TestParallelizeMapRoundTrip(t *testing.T) {
 		sizes[s.Name] = s.Size
 	}
 	for _, out := range b.Outputs {
-		b1, b2 := mRef.StaticBase(out), mMod.StaticBase(out)
+		b1, b2 := staticBase(t, mRef, out), staticBase(t, mMod, out)
 		for i := int64(0); i < sizes[out]; i++ {
-			a, c := mRef.HeapAt(b1+i).Float(), mMod.HeapAt(b2+i).Float()
+			a, c := heapFloat(t, mRef, b1+i), heapFloat(t, mMod, b2+i)
 			if math.Abs(a-c) > 1e-12 {
 				t.Fatalf("%s[%d]: ref=%g modernized=%g", out, i, a, c)
 			}
@@ -147,14 +177,14 @@ func TestParallelizeMapUnevenSplit(t *testing.T) {
 	if err := ParallelizeMap(p, kernel, 3); err != nil {
 		t.Fatal(err)
 	}
-	m := vm.New(p)
+	m := vmMust(t, p)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	base := m.StaticBase("out")
+	base := staticBase(t, m, "out")
 	for i := int64(0); i < 10; i++ {
 		want := float64(i) / 10 * 3
-		if got := m.HeapAt(base + i).Float(); math.Abs(got-want) > 1e-12 {
+		if got := heapFloat(t, m, base+i); math.Abs(got-want) > 1e-12 {
 			t.Errorf("out[%d] = %g, want %g", i, got, want)
 		}
 	}
@@ -190,17 +220,17 @@ func TestParallelizeMapFreeVariables(t *testing.T) {
 			t.Errorf("worker params %q missing %q", params, want)
 		}
 	}
-	m := vm.New(p)
+	m := vmMust(t, p)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	base := m.StaticBase("out")
+	base := staticBase(t, m, "out")
 	for i := int64(2); i < 7; i++ {
-		if got := m.HeapAt(base + i).Float(); got != float64(i)*2.5 {
+		if got := heapFloat(t, m, base+i); got != float64(i)*2.5 {
 			t.Errorf("out[%d] = %g", i, got)
 		}
 	}
-	if m.HeapAt(base).Float() != 0 || m.HeapAt(base+7).Float() != 0 {
+	if heapFloat(t, m, base) != 0 || heapFloat(t, m, base+7) != 0 {
 		t.Error("elements outside [lo,hi) were touched")
 	}
 }

@@ -12,8 +12,10 @@ package patterns
 
 import (
 	"context"
+	"errors"
 	"time"
 
+	"discovery/internal/analysis"
 	"discovery/internal/cp"
 )
 
@@ -71,6 +73,11 @@ type Budget struct {
 	// Kinds accumulates per-kind solver effort, keyed by the pattern kind
 	// whose matcher ran the solver.
 	Kinds map[Kind]*KindStats
+	// Errs collects panics contained inside solver runs (cp.Stats.Err),
+	// one per failed run, in run order. A failed run behaves like an
+	// unsatisfiable one for matching purposes; the error is kept so
+	// core.Find can surface it in the run's diagnostics.
+	Errs []*analysis.Error
 }
 
 // arm configures sv with the budget's bounds. With a nil budget the run
@@ -123,6 +130,13 @@ func (b *Budget) record(kind Kind, st cp.Stats) {
 		ks.Timeouts++
 		b.Exceeded = true
 	}
+	if st.Err != nil {
+		var ae *analysis.Error
+		if !errors.As(st.Err, &ae) {
+			ae = analysis.Wrap(analysis.StageMatch, analysis.Internal, st.Err, "solver run failed")
+		}
+		b.Errs = append(b.Errs, ae)
+	}
 }
 
 // solve runs sv.Solve under the budget, attributing the effort to kind.
@@ -148,6 +162,7 @@ func (b *Budget) Merge(other *Budget) {
 		return
 	}
 	b.Exceeded = b.Exceeded || other.Exceeded
+	b.Errs = append(b.Errs, other.Errs...)
 	for kind, ks := range other.Kinds {
 		if b.Kinds == nil {
 			b.Kinds = map[Kind]*KindStats{}

@@ -42,6 +42,9 @@ func Diagnostics(res *core.Result) string {
 	if res.PoolLimited {
 		sb.WriteString("  - sub-DDG pool hit its size limit; some subtractions/fusions dropped\n")
 	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(&sb, "  - contained failure: %v\n", f)
+	}
 	sb.WriteString(solverEffort(res))
 	return sb.String()
 }
@@ -85,6 +88,14 @@ type KindStatsJSON struct {
 	ElapsedMS    int64 `json:"elapsed_ms"`
 }
 
+// FailureJSON is one contained failure (a recovered panic or typed error)
+// in the machine-readable summary.
+type FailureJSON struct {
+	Stage   string `json:"stage"`
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
 // DiagnosticsJSON describes the resource-limit outcome of a run.
 type DiagnosticsJSON struct {
 	Degraded      bool                     `json:"degraded"`
@@ -92,6 +103,7 @@ type DiagnosticsJSON struct {
 	TimedOutViews int                      `json:"timed_out_views"`
 	SkippedViews  int                      `json:"skipped_views"`
 	PoolLimited   bool                     `json:"pool_limited"`
+	Failures      []FailureJSON            `json:"failures,omitempty"`
 	Solver        map[string]KindStatsJSON `json:"solver,omitempty"`
 }
 
@@ -123,6 +135,13 @@ func JSON(res *core.Result) ([]byte, error) {
 			SkippedViews:  res.SkippedViews,
 			PoolLimited:   res.PoolLimited,
 		},
+	}
+	for _, f := range res.Failures {
+		out.Diagnostics.Failures = append(out.Diagnostics.Failures, FailureJSON{
+			Stage:   f.Stage.String(),
+			Kind:    f.Kind.String(),
+			Message: f.Error(),
+		})
 	}
 	for _, p := range res.Patterns {
 		out.Patterns = append(out.Patterns, PatternJSON{

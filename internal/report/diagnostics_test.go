@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"discovery/internal/analysis"
 	"discovery/internal/core"
 	"discovery/internal/mir"
 	"discovery/internal/patterns"
@@ -96,6 +97,41 @@ func TestJSONExport(t *testing.T) {
 	}
 	if got.SimplifiedNodes != res.SimplifiedNodes || got.Patterns == nil {
 		t.Errorf("summary fields missing: %+v", got)
+	}
+}
+
+// TestDiagnosticsRendersFailures: contained failures make a run degraded
+// and show up in both the text section and the JSON export.
+func TestDiagnosticsRendersFailures(t *testing.T) {
+	res := &core.Result{Failures: []*analysis.Error{
+		analysis.Errorf(analysis.StageMatch, analysis.Internal, "merge phase failed"),
+		analysis.Errorf(analysis.StageTrace, analysis.ResourceExhausted, "trace truncated"),
+	}}
+	if !res.Degraded() {
+		t.Fatal("a result with contained failures is not degraded")
+	}
+	s := Diagnostics(res)
+	for _, want := range []string{"contained failure", "merge phase failed", "trace truncated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, s)
+		}
+	}
+	data, err := JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SummaryJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Diagnostics.Failures) != 2 {
+		t.Fatalf("JSON failures = %+v, want 2 entries", got.Diagnostics.Failures)
+	}
+	if got.Diagnostics.Failures[0].Stage != "match" || got.Diagnostics.Failures[0].Kind != "internal error" {
+		t.Errorf("first failure misclassified: %+v", got.Diagnostics.Failures[0])
+	}
+	if !got.Diagnostics.Degraded {
+		t.Error("JSON export not marked degraded")
 	}
 }
 

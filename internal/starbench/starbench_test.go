@@ -13,6 +13,36 @@ func opts() core.Options {
 	return core.Options{Workers: 4, VerifyMatches: true}
 }
 
+// vmMust builds a machine for a benchmark program, which must validate.
+func vmMust(t *testing.T, p *mir.Program) *vm.Machine {
+	t.Helper()
+	m, err := vm.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// staticBase resolves a declared output array's base address.
+func staticBase(t *testing.T, m *vm.Machine, name string) int64 {
+	t.Helper()
+	base, err := m.StaticBase(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// heapFloat reads one heap cell as a float.
+func heapFloat(t *testing.T, m *vm.Machine, addr int64) float64 {
+	t.Helper()
+	v, err := m.HeapAt(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Float()
+}
+
 func TestRegistry(t *testing.T) {
 	all := All()
 	if len(all) != 8 {
@@ -67,11 +97,11 @@ func TestVersionsAgree(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			seq := b.Build(Seq, b.Analysis)
 			par := b.Build(Pthreads, b.Analysis)
-			mSeq := vm.New(seq.Prog)
+			mSeq := vmMust(t, seq.Prog)
 			if _, err := mSeq.Run(); err != nil {
 				t.Fatalf("seq run: %v", err)
 			}
-			mPar := vm.New(par.Prog)
+			mPar := vmMust(t, par.Prog)
 			if _, err := mPar.Run(); err != nil {
 				t.Fatalf("pthreads run: %v", err)
 			}
@@ -80,11 +110,11 @@ func TestVersionsAgree(t *testing.T) {
 				sizes[s.Name] = s.Size
 			}
 			for _, out := range b.Outputs {
-				base1, base2 := mSeq.StaticBase(out), mPar.StaticBase(out)
+				base1, base2 := staticBase(t, mSeq, out), staticBase(t, mPar, out)
 				nonzero := false
 				for i := int64(0); i < sizes[out]; i++ {
-					a := mSeq.HeapAt(base1 + i).Float()
-					c := mPar.HeapAt(base2 + i).Float()
+					a := heapFloat(t, mSeq, base1+i)
+					c := heapFloat(t, mPar, base2+i)
 					if math.Abs(a-c) > 1e-9*(1+math.Abs(a)) {
 						t.Fatalf("output %s[%d]: seq=%g pthreads=%g", out, i, a, c)
 					}
@@ -293,11 +323,11 @@ func TestVersionsAgreeOnSensitivityInputs(t *testing.T) {
 	for _, b := range All() {
 		seq := b.Build(Seq, b.Sensitivity)
 		par := b.Build(Pthreads, b.Sensitivity)
-		mSeq := vm.New(seq.Prog)
+		mSeq := vmMust(t, seq.Prog)
 		if _, err := mSeq.Run(); err != nil {
 			t.Fatalf("%s seq: %v", b.Name, err)
 		}
-		mPar := vm.New(par.Prog)
+		mPar := vmMust(t, par.Prog)
 		if _, err := mPar.Run(); err != nil {
 			t.Fatalf("%s pthreads: %v", b.Name, err)
 		}
@@ -306,9 +336,9 @@ func TestVersionsAgreeOnSensitivityInputs(t *testing.T) {
 			sizes[s.Name] = s.Size
 		}
 		for _, out := range b.Outputs {
-			b1, b2 := mSeq.StaticBase(out), mPar.StaticBase(out)
+			b1, b2 := staticBase(t, mSeq, out), staticBase(t, mPar, out)
 			for i := int64(0); i < sizes[out]; i++ {
-				a, c := mSeq.HeapAt(b1+i).Float(), mPar.HeapAt(b2+i).Float()
+				a, c := heapFloat(t, mSeq, b1+i), heapFloat(t, mPar, b2+i)
 				if math.Abs(a-c) > 1e-9*(1+math.Abs(a)) {
 					t.Fatalf("%s %s[%d]: seq=%g pthreads=%g", b.Name, out, i, a, c)
 				}

@@ -1,8 +1,7 @@
 package trace
 
 import (
-	"fmt"
-
+	"discovery/internal/analysis"
 	"discovery/internal/ddg"
 )
 
@@ -31,12 +30,49 @@ import (
 // Emission order is predecessor-first, so nodes stream straight into a
 // ddg.FrozenBuilder: no intermediate per-node adjacency, and the result
 // is acyclic by construction (no CheckAcyclic pass needed).
-func finalize(bufs []*threadBuf) *ddg.Graph {
+//
+// Buffers produced by the VM hot path are well-formed by construction, but
+// finalize also accepts buffers rebuilt from external graphs
+// (Canonicalize) and fuzzed ones, so it validates shape up front and
+// returns typed errors — InvalidInput for malformed buffers,
+// InvariantViolation for an operand cycle — instead of crashing.
+func finalize(bufs []*threadBuf) (*ddg.Graph, error) {
 	total, maxArcs := 0, 0
 	for _, tb := range bufs {
-		if tb != nil {
-			total += len(tb.recs)
-			maxArcs += len(tb.operands)
+		if tb == nil {
+			continue
+		}
+		total += len(tb.recs)
+		maxArcs += len(tb.operands)
+		// Operand offsets must be monotone and within the operand slice, or
+		// operandsOf would slice out of range below.
+		prev := uint32(0)
+		for i := range tb.recs {
+			end := tb.recs[i].opEnd
+			if end < prev || int(end) > len(tb.operands) {
+				return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvalidInput,
+					"trace: thread %d node %d has corrupt operand offsets (%d after %d, %d recorded)",
+					tb.thread, i, end, prev, len(tb.operands)).OnThread(tb.thread)
+			}
+			prev = end
+		}
+	}
+	// Every operand must name a recorded node: the merge indexes its remap
+	// table by (thread, index), so a dangling reference would otherwise be
+	// an index-out-of-range crash instead of a diagnosable input error.
+	for _, tb := range bufs {
+		if tb == nil {
+			continue
+		}
+		for i := range tb.recs {
+			for _, src := range tb.operandsOf(i) {
+				st, si := unpackProv(src)
+				if st >= len(bufs) || bufs[st] == nil || si >= len(bufs[st].recs) {
+					return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvalidInput,
+						"trace: node (%d,%d) references operand (%d,%d) outside the recorded buffers",
+						tb.thread, i, st, si).OnThread(tb.thread)
+				}
+			}
 		}
 	}
 	fb := ddg.NewFrozenBuilder(total, maxArcs)
@@ -84,8 +120,10 @@ func finalize(bufs []*threadBuf) *ddg.Graph {
 		}
 		if !progress {
 			// Unreachable for real traces (values flow forward in time);
-			// reachable only if buffers were corrupted by direct misuse.
-			panic(fmt.Sprintf("trace: finalize stuck with %d/%d nodes emitted (operand cycle across trace buffers)", emitted, total))
+			// reachable only for buffers built outside the VM hot path.
+			return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+				"trace: finalize stuck with %d/%d nodes emitted (operand cycle across trace buffers)",
+				emitted, total)
 		}
 	}
 	return fb.Finish()
@@ -98,8 +136,11 @@ func finalize(bufs []*threadBuf) *ddg.Graph {
 // per-thread tracer are already canonical, so Canonicalize is the
 // identity on them; applying it to a legacy global-lock trace yields the
 // exact graph the per-thread tracer builds for the same execution, which
-// is how the equivalence tests compare the two tracers.
-func Canonicalize(g *ddg.Graph) *ddg.Graph {
+// is how the equivalence tests compare the two tracers. Graphs that the
+// per-thread tracer could not have produced — thread ids or per-thread
+// stream lengths outside the provisional-id space — are rejected with an
+// InvalidInput error.
+func Canonicalize(g *ddg.Graph) (*ddg.Graph, error) {
 	n := g.NumNodes()
 	// Rebuild pseudo-buffers: assign each node a provisional id from its
 	// (thread, per-thread order) and re-record its operands (preds are
@@ -110,13 +151,18 @@ func Canonicalize(g *ddg.Graph) *ddg.Graph {
 		u := ddg.NodeID(i)
 		t := g.Thread(u)
 		if t < 0 || t >= maxThreads {
-			panic(fmt.Sprintf("trace: Canonicalize: thread id %d out of range", t))
+			return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvalidInput,
+				"trace: Canonicalize: node %d has thread id %d outside [0, %d)", u, t, maxThreads).OnThread(t)
 		}
 		for int(t) >= len(bufs) {
 			bufs = append(bufs, nil)
 		}
 		if bufs[t] == nil {
 			bufs[t] = &threadBuf{thread: t}
+		}
+		if len(bufs[t].recs) >= maxNodesPerThread {
+			return nil, analysis.Errorf(analysis.StageFinalize, analysis.ResourceExhausted,
+				"trace: Canonicalize: thread %d stream exceeds %d nodes", t, maxNodesPerThread).OnThread(t)
 		}
 		prov[u] = packProv(t, len(bufs[t].recs))
 		bufs[t].recs = append(bufs[t].recs, nodeRec{op: g.Op(u), pos: g.Pos(u), scope: g.ScopeOf(u)})

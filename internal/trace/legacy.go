@@ -104,7 +104,10 @@ func (b *LegacyBuilder) Graph() *ddg.Graph { return b.g }
 func RunLegacy(prog *mir.Program, opts ...vm.Option) (*Result, error) {
 	b := NewLegacyBuilder()
 	opts = append([]vm.Option{vm.WithTracer(b)}, opts...)
-	m := vm.New(prog, opts...)
+	m, err := vm.New(prog, opts...)
+	if err != nil {
+		return nil, err
+	}
 	ret, err := m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("trace: running %q (legacy): %w", prog.Name, err)

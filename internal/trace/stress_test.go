@@ -133,7 +133,11 @@ func TestLegacyEquivalencePthreads(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trace.RunLegacy: %v", err)
 			}
-			if got, want := fingerprint(trace.Canonicalize(leg.Graph)), fingerprint(res.Graph); got != want {
+			canon, err := trace.Canonicalize(leg.Graph)
+			if err != nil {
+				t.Fatalf("trace.Canonicalize: %v", err)
+			}
+			if got, want := fingerprint(canon), fingerprint(res.Graph); got != want {
 				t.Fatal("canonicalized legacy DDG differs from per-thread tracer DDG")
 			}
 		})
@@ -163,7 +167,11 @@ func TestLegacyEquivalenceSeq(t *testing.T) {
 				t.Fatal("per-thread tracer DDG differs from legacy DDG on a sequential trace")
 			}
 			// And Canonicalize is the identity on canonical graphs.
-			if got := fingerprint(trace.Canonicalize(res.Graph)); got != fingerprint(res.Graph) {
+			canon, err := trace.Canonicalize(res.Graph)
+			if err != nil {
+				t.Fatalf("trace.Canonicalize: %v", err)
+			}
+			if got := fingerprint(canon); got != fingerprint(res.Graph) {
 				t.Fatal("Canonicalize is not the identity on a canonical graph")
 			}
 		})

@@ -21,9 +21,11 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"discovery/internal/analysis"
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
 	"discovery/internal/vm"
@@ -39,9 +41,14 @@ const (
 
 	// maxThreads keeps every packed id below ddg.NoNode (thread 255 at
 	// index 2^24-1 would collide with the sentinel).
-	maxThreads        = 255
-	maxNodesPerThread = 1 << provIndexBits
+	maxThreads = 255
 )
+
+// maxNodesPerThread caps one thread's trace length at the provisional-id
+// index width. Reaching it truncates that thread's trace (recording stops,
+// the run continues) rather than aborting the execution; a var so tests
+// can lower it to exercise the truncation path (see export_test.go).
+var maxNodesPerThread = 1 << provIndexBits
 
 func packProv(thread int32, index int) ddg.NodeID {
 	return ddg.NodeID(uint32(thread)<<provIndexBits | uint32(index))
@@ -71,14 +78,21 @@ type threadBuf struct {
 
 	recs     []nodeRec
 	operands []ddg.NodeID
+
+	// truncated is set when the buffer reaches maxNodesPerThread. From then
+	// on Node drops records and returns ddg.NoNode, so the execution keeps
+	// running and the buffer holds a consistent prefix of the thread's
+	// stream (dropped nodes simply become untraced sources downstream).
+	truncated bool
 }
 
 // Node records an operation execution in the thread's buffer and returns
-// its provisional id.
+// its provisional id, or ddg.NoNode once the buffer is full.
 func (b *threadBuf) Node(op mir.Op, pos mir.Pos, scope *ddg.Scope, operands ...ddg.NodeID) ddg.NodeID {
 	index := len(b.recs)
 	if index >= maxNodesPerThread {
-		panic(fmt.Sprintf("trace: thread %d exceeded %d traced operations", b.thread, maxNodesPerThread))
+		b.truncated = true
+		return ddg.NoNode
 	}
 	for _, src := range operands {
 		if src != ddg.NoNode {
@@ -117,7 +131,9 @@ type Builder struct {
 	mu   sync.Mutex
 	bufs []*threadBuf
 
-	g *ddg.Graph
+	g    *ddg.Graph
+	gerr error
+	done bool
 }
 
 // NewBuilder returns an empty trace builder.
@@ -133,7 +149,12 @@ func (b *Builder) ThreadTracer(thread int32) vm.ThreadTracer {
 
 func (b *Builder) buf(thread int32) *threadBuf {
 	if thread < 0 || thread >= maxThreads {
-		panic(fmt.Sprintf("trace: thread id %d out of range [0, %d)", thread, maxThreads))
+		// A structured throw: buf is called from vm.Tracer callbacks with no
+		// error return, so the typed error travels as a panic value and
+		// vm.Run's recover boundary surfaces it classified, not as a crash.
+		panic(analysis.Errorf(analysis.StageTrace, analysis.ResourceExhausted,
+			"trace: thread id %d outside the tracer's supported range [0, %d)",
+			thread, maxThreads).OnThread(thread))
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -162,12 +183,40 @@ func (b *Builder) StoreShadow(addr int64, def ddg.NodeID) { b.shadow.store(addr,
 // Graph finalizes the per-thread buffers into the merged DDG and returns
 // it. It must only be called after the traced execution has finished; the
 // first call performs the merge (and freezes the graph into its CSR
-// layout), later calls return the same graph.
-func (b *Builder) Graph() *ddg.Graph {
-	if b.g == nil {
-		b.g = finalize(b.bufs)
+// layout) inside a finalize-stage recover boundary, later calls return the
+// same outcome. Malformed buffers — dangling operand references, operand
+// cycles — come back as *analysis.Error values, never as panics.
+func (b *Builder) Graph() (*ddg.Graph, error) {
+	if !b.done {
+		b.g, b.gerr = finalizeContained(b.bufs)
+		b.done = true
 	}
-	return b.g
+	return b.g, b.gerr
+}
+
+// finalizeContained runs the buffer merge under a recover boundary, so an
+// internal bug in the merge degrades to a structured error.
+func finalizeContained(bufs []*threadBuf) (g *ddg.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, analysis.Recovered(analysis.StageFinalize, r)
+		}
+	}()
+	return finalize(bufs)
+}
+
+// Truncated lists the VM threads whose buffers hit the per-thread node
+// limit, in ascending id order; their traces are consistent prefixes.
+func (b *Builder) Truncated() []int32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ts []int32
+	for _, tb := range b.bufs {
+		if tb != nil && tb.truncated {
+			ts = append(ts, tb.thread)
+		}
+	}
+	return ts
 }
 
 // Result bundles the outcome of a traced execution.
@@ -175,14 +224,40 @@ type Result struct {
 	Graph  *ddg.Graph
 	Return mir.Value
 	Ops    int64
+	// TruncatedThreads lists the VM threads whose trace buffers reached the
+	// per-thread node limit. Their streams are consistent prefixes, so the
+	// graph is a well-formed partial DDG of the execution rather than the
+	// full one; patterns found in it are still real, coverage is not.
+	TruncatedThreads []int32
+}
+
+// Degraded reports whether the trace is partial.
+func (r *Result) Degraded() bool { return len(r.TruncatedThreads) > 0 }
+
+// Diagnostic returns a ResourceExhausted error describing the truncation,
+// or nil for a complete trace. It is advisory — the kind of failure that
+// belongs in report.Diagnostics next to the graph, not one that voids it.
+func (r *Result) Diagnostic() *analysis.Error {
+	if !r.Degraded() {
+		return nil
+	}
+	return analysis.Errorf(analysis.StageTrace, analysis.ResourceExhausted,
+		"trace truncated: %d thread(s) %v reached the %d-node buffer limit; the DDG is a consistent prefix of the execution",
+		len(r.TruncatedThreads), r.TruncatedThreads, maxNodesPerThread).OnThread(r.TruncatedThreads[0])
 }
 
 // Run executes the program under instrumentation and returns its DDG, its
-// return value, and the number of operations executed.
+// return value, and the number of operations executed. Invalid programs,
+// runtime failures, contained panics, and malformed traces all surface as
+// errors; a trace cut short by the per-thread buffer limit is not an error
+// but is reported through Result.TruncatedThreads.
 func Run(prog *mir.Program, opts ...vm.Option) (*Result, error) {
 	b := NewBuilder()
 	opts = append([]vm.Option{vm.WithTracer(b)}, opts...)
-	m := vm.New(prog, opts...)
+	m, err := vm.New(prog, opts...)
+	if err != nil {
+		return nil, err
+	}
 	ret, err := m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("trace: running %q: %w", prog.Name, err)
@@ -190,5 +265,13 @@ func Run(prog *mir.Program, opts ...vm.Option) (*Result, error) {
 	// No CheckAcyclic pass: finalization emits predecessor-first into a
 	// ddg.FrozenBuilder, which rejects any arc that does not flow forward,
 	// so the merged DDG is acyclic by construction.
-	return &Result{Graph: b.Graph(), Return: ret, Ops: m.Ops()}, nil
+	g, err := b.Graph()
+	if err != nil {
+		var ae *analysis.Error
+		if errors.As(err, &ae) {
+			ae.InProgram(prog.Name)
+		}
+		return nil, err
+	}
+	return &Result{Graph: g, Return: ret, Ops: m.Ops(), TruncatedThreads: b.Truncated()}, nil
 }

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"discovery/internal/analysis"
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
 )
@@ -57,7 +58,8 @@ func (t *thread) flushOps() error {
 	total := t.m.ops.Add(t.pending)
 	t.pending = 0
 	if total > t.m.maxOps {
-		return fmt.Errorf("operation budget of %d exceeded", t.m.maxOps)
+		return analysis.Errorf(analysis.StageExecute, analysis.ResourceExhausted,
+			"operation budget of %d exceeded", t.m.maxOps).OnThread(t.id)
 	}
 	return nil
 }
@@ -86,6 +88,10 @@ func (f *frame) set(name string, tv traced) { f.vars[name] = tv }
 // callFunc executes fn with the given arguments in thread t, returning its
 // return value.
 func (m *Machine) callFunc(t *thread, fn *mir.Func, args []traced, _ *frame) (traced, bool, error) {
+	if len(args) != len(fn.Params) {
+		return traced{}, false, fmt.Errorf("call of %q with %d args, want %d",
+			fn.Name, len(args), len(fn.Params))
+	}
 	fr := newFrame()
 	for i, p := range fn.Params {
 		fr.set(p, args[i])
@@ -198,7 +204,8 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 			}
 			if iter > int(m.maxOps) {
 				t.scope = t.scope.Exit()
-				return fail(fmt.Errorf("while loop exceeded operation budget"))
+				return fail(analysis.Errorf(analysis.StageExecute, analysis.ResourceExhausted,
+					"while loop exceeded operation budget of %d", m.maxOps).OnThread(t.id))
 			}
 		}
 		t.scope = t.scope.Exit()
@@ -230,6 +237,9 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 
 	case *mir.SpawnStmt:
 		callee := m.prog.Funcs[s.Fn]
+		if callee == nil {
+			return fail(fmt.Errorf("spawn of undefined function %q", s.Fn))
+		}
 		args := make([]traced, len(s.Args))
 		for i, a := range s.Args {
 			tv, err := m.evalExpr(t, fr, a)
@@ -243,8 +253,9 @@ func (m *Machine) execStmt(t *thread, fr *frame, s mir.Stmt) (traced, bool, erro
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			_, _, err := m.callFunc(child, callee, args, nil)
-			m.finishThread(child, err)
+			// runThread installs the child's recover boundary: a panic on a
+			// spawned goroutine's stack cannot be caught by Run's own defer.
+			m.runThread(child, callee, args)
 		}()
 
 	case *mir.JoinStmt:
@@ -288,7 +299,11 @@ func (m *Machine) evalExpr(t *thread, fr *frame, e mir.Expr) (traced, error) {
 		return tv, nil
 
 	case *mir.StaticExpr:
-		return traced{v: mir.IntV(m.statics[e.Name]), def: ddg.NoNode}, nil
+		base, ok := m.statics[e.Name]
+		if !ok {
+			return traced{}, fmt.Errorf("reference to undeclared static %q", e.Name)
+		}
+		return traced{v: mir.IntV(base), def: ddg.NoNode}, nil
 
 	case *mir.BinExpr:
 		x, err := m.evalExpr(t, fr, e.X)
@@ -350,6 +365,9 @@ func (m *Machine) evalExpr(t *thread, fr *frame, e mir.Expr) (traced, error) {
 
 	case *mir.CallExpr:
 		callee := m.prog.Funcs[e.Fn]
+		if callee == nil {
+			return traced{}, fmt.Errorf("call of undefined function %q", e.Fn)
+		}
 		args := make([]traced, len(e.Args))
 		for i, a := range e.Args {
 			tv, err := m.evalExpr(t, fr, a)

@@ -1,0 +1,104 @@
+package vm
+
+// FuzzVM drives the machine with byte-generated programs that mix honest
+// kernels with runtime hazards: out-of-bounds heap addressing, unbounded
+// while loops (cut by the op budget), spawn/join and mutex use, division
+// by values that reach zero. The contract under fuzzing: New either
+// rejects the program or Run terminates with a typed *analysis.Error —
+// the machine never panics on any input reachable from the public API.
+
+import (
+	"errors"
+	"testing"
+
+	"discovery/internal/analysis"
+	"discovery/internal/mir"
+)
+
+// genVMProgram decodes a byte stream into a small valid program whose
+// runtime behaviour (not shape) is adversarial.
+func genVMProgram(data []byte) *mir.Program {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	p := mir.NewProgram("vmfuzz")
+	n := int64(2 + next()%6)
+	p.DeclareStatic("a", n)
+	p.DeclareStatic("b", n)
+	p.DeclareMutex("mu")
+
+	f, body := p.NewFunc("main", "vmfuzz.c")
+	wf, wb := p.NewFunc("worker", "vmfuzz.c", "lo")
+	wb.Lock("mu")
+	wb.Store(mir.Idx(mir.G("b"), mir.V("lo")), mir.F(1))
+	wb.Unlock("mu")
+	wb.Finish(wf)
+
+	body.For("i", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+		b.Store(mir.Idx(mir.G("a"), mir.V("i")), mir.I2F(mir.V("i")))
+	})
+	nStmts := int(next()) % 6
+	for s := 0; s < nStmts; s++ {
+		c := int64(next()) // may index far outside the statics
+		switch next() % 6 {
+		case 0: // possibly out-of-bounds store
+			body.Store(mir.Idx(mir.G("a"), mir.C(c*int64(next()))), mir.F(2))
+		case 1: // possibly out-of-bounds load
+			body.Assign("x", mir.Load(mir.Idx(mir.G("b"), mir.C(c))))
+		case 2: // division whose divisor can reach zero
+			body.Assign("x", mir.Div(mir.C(c), mir.C(int64(next())%3)))
+		case 3: // while loop, possibly never terminating (op budget cuts it)
+			body.Assign("k", mir.C(c%8))
+			body.While(mir.Gt(mir.V("k"), mir.C(0)), func(b *mir.Block) {
+				if next()%2 == 0 {
+					b.Assign("k", mir.Sub(mir.V("k"), mir.C(1)))
+				} else {
+					b.Assign("k", mir.Add(mir.V("k"), mir.C(0))) // stuck
+				}
+			})
+		case 4: // spawn/join a worker on a possibly-invalid index
+			body.Spawn("t", "worker", mir.C(c%(n+2)))
+			body.Join(mir.V("t"))
+		case 5: // reduction over whatever the heap holds now
+			body.Assign("acc", mir.F(0))
+			body.For("i", mir.C(0), mir.C(n), mir.C(1), func(b *mir.Block) {
+				b.Assign("acc", mir.FAdd(mir.V("acc"),
+					mir.Load(mir.Idx(mir.G("a"), mir.V("i")))))
+			})
+		}
+	}
+	body.Return(mir.V("acc"))
+	body.Finish(f)
+	p.SetEntry("main")
+	return p
+}
+
+func FuzzVM(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 5, 0, 7, 1, 1, 2, 2, 3, 0, 4, 4, 5, 5})
+	f.Add([]byte{0, 4, 200, 3, 1, 255, 0, 0, 2, 1, 3, 1, 9})
+	f.Add([]byte{7, 3, 10, 4, 2, 4, 1, 4, 3, 4, 5, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := genVMProgram(data)
+		m, err := New(p, WithMaxOps(50_000))
+		if err != nil {
+			var ae *analysis.Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("New returned an untyped error: %v", err)
+			}
+			return
+		}
+		if _, err := m.Run(); err != nil {
+			var ae *analysis.Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("Run returned an untyped error: %v", err)
+			}
+		}
+	})
+}

@@ -9,10 +9,12 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"discovery/internal/analysis"
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
 	"discovery/internal/pagetab"
@@ -98,12 +100,14 @@ func WithMaxOps(n int64) Option {
 	return func(m *Machine) { m.maxOps = n }
 }
 
-// New creates a machine for the program. The program must validate; New
-// panics otherwise (benchmarks are constructed, not user input). Static
+// New creates a machine for the program. A program that fails validation
+// is rejected with a verify-stage InvalidInput error carrying every
+// validation failure; the machine never executes unvalidated input. Static
 // arrays are allocated in declaration order starting at address 0.
-func New(prog *mir.Program, opts ...Option) *Machine {
+func New(prog *mir.Program, opts ...Option) (*Machine, error) {
 	if errs := prog.Validate(); len(errs) > 0 {
-		panic(fmt.Sprintf("vm: invalid program %q: %v", prog.Name, errs[0]))
+		return nil, analysis.Wrap(analysis.StageVerify, analysis.InvalidInput,
+			errors.Join(errs...), "vm: invalid program").InProgram(prog.Name)
 	}
 	prog.Layout()
 	m := &Machine{
@@ -130,24 +134,28 @@ func New(prog *mir.Program, opts ...Option) *Machine {
 	for _, name := range prog.Mutexes {
 		m.mutexes[name] = &sync.Mutex{}
 	}
-	return m
+	return m, nil
 }
 
-// StaticBase returns the heap address of a declared static array.
-func (m *Machine) StaticBase(name string) int64 {
+// StaticBase returns the heap address of a declared static array, or an
+// InvalidInput error naming the unknown static.
+func (m *Machine) StaticBase(name string) (int64, error) {
 	base, ok := m.statics[name]
 	if !ok {
-		panic(fmt.Sprintf("vm: unknown static %q", name))
+		return 0, analysis.Errorf(analysis.StageExecute, analysis.InvalidInput,
+			"vm: unknown static %q", name).InProgram(m.prog.Name)
 	}
-	return base
+	return base, nil
 }
 
-// HeapAt returns the heap value at addr (for test inspection after Run).
-func (m *Machine) HeapAt(addr int64) mir.Value {
+// HeapAt returns the heap value at addr (for inspection after Run), or an
+// InvalidInput error for an address outside the allocated heap.
+func (m *Machine) HeapAt(addr int64) (mir.Value, error) {
 	if addr < 0 || addr >= m.heapSize.Load() {
-		panic(fmt.Sprintf("vm: HeapAt(%d) out of bounds", addr))
+		return mir.Value{}, analysis.Errorf(analysis.StageExecute, analysis.InvalidInput,
+			"vm: HeapAt(%d) out of bounds of %d-cell heap", addr, m.heapSize.Load()).InProgram(m.prog.Name)
 	}
-	return m.heap.Get(addr)
+	return m.heap.Get(addr), nil
 }
 
 // Ops returns the number of operations executed. Threads publish their
@@ -157,21 +165,62 @@ func (m *Machine) Ops() int64 { return m.ops.Load() }
 // Run executes the entry function on thread 0 and waits for every spawned
 // thread to finish. It returns the entry function's return value (the zero
 // Value if it returns nothing) and the first error raised by any thread.
-func (m *Machine) Run() (mir.Value, error) {
+//
+// Run is a recover boundary: a panic escaping the interpreter or an
+// attached tracer — on the main thread or any spawned one — is converted
+// into a structured execute-stage error instead of crashing the process.
+// Runtime failures (out-of-bounds access, division by zero, budget
+// exhaustion) come back as *analysis.Error values classifiable with
+// errors.Is.
+func (m *Machine) Run() (ret mir.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = mir.Value{}, m.classify(analysis.Recovered(analysis.StageExecute, r))
+		}
+	}()
 	entry := m.prog.Funcs[m.prog.Entry]
+	if entry == nil {
+		return mir.Value{}, analysis.Errorf(analysis.StageVerify, analysis.InvalidInput,
+			"vm: entry function %q not defined", m.prog.Entry).InProgram(m.prog.Name)
+	}
 	t0 := m.registerThread()
-	ret, _, err := m.callFunc(t0, entry, nil, nil)
-	m.finishThread(t0, err)
+	rv, err := m.runThread(t0, entry, nil)
 	m.wg.Wait()
 	if err != nil {
-		return mir.Value{}, err
+		return mir.Value{}, m.classify(err)
 	}
 	m.errMu.Lock()
 	defer m.errMu.Unlock()
 	if m.firstErr != nil {
-		return mir.Value{}, m.firstErr
+		return mir.Value{}, m.classify(m.firstErr)
 	}
-	return ret.v, nil
+	return rv.v, nil
+}
+
+// runThread executes fn on thread t inside the thread's own recover
+// boundary (each goroutine has its own stack, so every VM thread needs
+// one) and retires the thread. Used for thread 0 and spawned threads alike.
+func (m *Machine) runThread(t *thread, fn *mir.Func, args []traced) (ret traced, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = traced{}, analysis.Recovered(analysis.StageExecute, r).OnThread(t.id)
+		}
+		m.finishThread(t, err)
+	}()
+	ret, _, err = m.callFunc(t, fn, args, nil)
+	return ret, err
+}
+
+// classify promotes a plain runtime error to a structured execute-stage
+// error and stamps the program name on an already-structured one.
+func (m *Machine) classify(err error) error {
+	var ae *analysis.Error
+	if errors.As(err, &ae) {
+		ae.InProgram(m.prog.Name)
+		return err
+	}
+	return analysis.Wrap(analysis.StageExecute, analysis.InvalidInput, err,
+		"runtime error").InProgram(m.prog.Name)
 }
 
 func (m *Machine) registerThread() *thread {

@@ -1,21 +1,33 @@
 package vm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"discovery/internal/analysis"
 	"discovery/internal/mir"
 )
 
 // runProgram builds a machine and runs it, failing the test on error.
 func runProgram(t *testing.T, p *mir.Program, opts ...Option) (mir.Value, *Machine) {
 	t.Helper()
-	m := New(p, opts...)
+	m := mustNew(t, p, opts...)
 	v, err := m.Run()
 	if err != nil {
 		t.Fatalf("run %q: %v", p.Name, err)
 	}
 	return v, m
+}
+
+// mustNew builds a machine, failing the test on a validation error.
+func mustNew(t *testing.T, p *mir.Program, opts ...Option) *Machine {
+	t.Helper()
+	m, err := New(p, opts...)
+	if err != nil {
+		t.Fatalf("New(%q): %v", p.Name, err)
+	}
+	return m
 }
 
 func TestSequentialSum(t *testing.T) {
@@ -49,11 +61,29 @@ func TestHeapAndStatics(t *testing.T) {
 	b.Store(mir.Idx(mir.G("y"), mir.C(2)), mir.C(99))
 	b.Finish(f)
 	_, m := runProgram(t, p)
-	if m.StaticBase("x") != 0 || m.StaticBase("y") != 4 {
-		t.Errorf("static bases: x=%d y=%d", m.StaticBase("x"), m.StaticBase("y"))
+	bx, errX := m.StaticBase("x")
+	by, errY := m.StaticBase("y")
+	if errX != nil || errY != nil {
+		t.Fatalf("StaticBase errors: %v %v", errX, errY)
 	}
-	if got := m.HeapAt(6).Int(); got != 99 {
+	if bx != 0 || by != 4 {
+		t.Errorf("static bases: x=%d y=%d", bx, by)
+	}
+	v, err := m.HeapAt(6)
+	if err != nil {
+		t.Fatalf("HeapAt(6): %v", err)
+	}
+	if got := v.Int(); got != 99 {
 		t.Errorf("heap[6] = %d, want 99", got)
+	}
+	if _, err := m.StaticBase("ghost"); !errors.Is(err, analysis.ErrInvalidInput) {
+		t.Errorf("StaticBase of unknown static = %v, want invalid input", err)
+	}
+	if _, err := m.HeapAt(1 << 40); !errors.Is(err, analysis.ErrInvalidInput) {
+		t.Errorf("HeapAt out of bounds = %v, want invalid input", err)
+	}
+	if _, err := m.HeapAt(-1); err == nil {
+		t.Error("HeapAt(-1) did not error")
 	}
 }
 
@@ -230,8 +260,7 @@ func TestRuntimeErrors(t *testing.T) {
 			f, b := p.NewFunc("main", "e.c")
 			c.build(b)
 			b.Finish(f)
-			m := New(p)
-			_, err := m.Run()
+			_, err := mustNew(t, p).Run()
 			if err == nil || !strings.Contains(err.Error(), c.want) {
 				t.Errorf("err = %v, want containing %q", err, c.want)
 			}
@@ -244,7 +273,7 @@ func TestErrorsCarryPositions(t *testing.T) {
 	f, b := p.NewFunc("main", "pos.c")
 	b.Return(mir.Div(mir.C(1), mir.C(0)))
 	b.Finish(f)
-	_, err := New(p).Run()
+	_, err := mustNew(t, p).Run()
 	if err == nil || !strings.Contains(err.Error(), "pos.c:") {
 		t.Errorf("error lacks source position: %v", err)
 	}
@@ -258,9 +287,13 @@ func TestOpBudget(t *testing.T) {
 		b.Assign("x", mir.Add(mir.V("x"), mir.C(1)))
 	})
 	b.Finish(f)
-	m := New(p, WithMaxOps(100))
-	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "budget") {
+	m := mustNew(t, p, WithMaxOps(100))
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
 		t.Errorf("budget not enforced: %v", err)
+	}
+	if !errors.Is(err, analysis.ErrResourceExhausted) {
+		t.Errorf("budget error = %v, want resource exhausted", err)
 	}
 }
 
@@ -274,18 +307,77 @@ func TestSpawnedThreadErrorSurfaces(t *testing.T) {
 	b.Join(mir.V("t"))
 	b.Finish(f)
 	p.SetEntry("main")
-	if _, err := New(p).Run(); err == nil {
+	if _, err := mustNew(t, p).Run(); err == nil {
 		t.Error("child thread error not surfaced")
 	}
 }
 
-func TestNewPanicsOnInvalidProgram(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New did not panic on invalid program")
-		}
-	}()
-	New(mir.NewProgram("empty"))
+func TestNewRejectsInvalidProgram(t *testing.T) {
+	m, err := New(mir.NewProgram("empty"))
+	if err == nil {
+		t.Fatal("New accepted an invalid program")
+	}
+	if m != nil {
+		t.Error("New returned a machine alongside the error")
+	}
+	if !errors.Is(err, analysis.ErrInvalidInput) {
+		t.Errorf("error kind = %v, want invalid input", err)
+	}
+	if !errors.Is(err, &analysis.Error{Stage: analysis.StageVerify}) {
+		t.Errorf("error stage = %v, want verify", err)
+	}
+	if !strings.Contains(err.Error(), "empty") {
+		t.Errorf("error does not name the program: %v", err)
+	}
+}
+
+// panicTracer panics when asked for a thread tracer, standing in for an
+// instrumentation bug.
+type panicTracer struct{ onThread int32 }
+
+func (p *panicTracer) ThreadTracer(thread int32) ThreadTracer {
+	if thread == p.onThread {
+		panic("tracer bug")
+	}
+	return nil
+}
+
+func TestTracerPanicContainedOnMainThread(t *testing.T) {
+	p := mir.NewProgram("tpanic")
+	f, b := p.NewFunc("main", "t.c")
+	b.Return(mir.C(1))
+	b.Finish(f)
+	m := mustNew(t, p, WithTracer(&panicTracer{onThread: 0}))
+	_, err := m.Run()
+	if err == nil {
+		t.Fatal("tracer panic did not surface as an error")
+	}
+	var ae *analysis.Error
+	if !errors.As(err, &ae) || ae.Kind != analysis.Internal {
+		t.Errorf("tracer panic = %v, want internal error", err)
+	}
+	if len(ae.Stack) == 0 {
+		t.Error("recovered tracer panic lost its stack")
+	}
+}
+
+func TestTracerPanicContainedOnSpawnedThread(t *testing.T) {
+	// The panic fires during the spawned thread's registration, on the
+	// spawning thread's stack; a second variant panicking inside the child
+	// goroutine would exercise runThread's own recover the same way.
+	p := mir.NewProgram("tpanic2")
+	w, wb := p.NewFunc("worker", "t.c", "pid")
+	wb.Return(mir.V("pid"))
+	wb.Finish(w)
+	f, b := p.NewFunc("main", "t.c")
+	b.Spawn("t1", "worker", mir.C(0))
+	b.Join(mir.V("t1"))
+	b.Finish(f)
+	p.SetEntry("main")
+	m := mustNew(t, p, WithTracer(&panicTracer{onThread: 1}))
+	if _, err := m.Run(); err == nil || !errors.Is(err, analysis.ErrInternal) {
+		t.Errorf("spawned-thread tracer panic = %v, want internal error", err)
+	}
 }
 
 func TestBarrierCycles(t *testing.T) {
