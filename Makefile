@@ -3,12 +3,13 @@
 #   make check   — everything below in sequence (the tier-1 gate + races)
 #   make race    — race-detector pass over the concurrency-bearing packages
 #   make fuzz    — short native-fuzzing pass over the crash-safety targets
-#   make bench   — trace throughput benchmark (writes BENCH_trace.json)
+#   make bench   — trace + find benchmarks (BENCH_trace.json, BENCH_find.json)
+#   make benchsmoke — one-iteration find benchmark (CI sanity check)
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench benchsmoke
 
 check: build vet test race
 
@@ -34,3 +35,8 @@ fuzz:
 
 bench:
 	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32
+
+# One timed iteration of the find fixpoint benchmark: catches bit-rot in
+# the benchmark itself without the cost of a real measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFindFixpoint$$' -benchtime=1x .

@@ -34,6 +34,8 @@ func main() {
 		budget     = flag.Duration("budget", 0, "global wall-clock budget for pattern finding (0 = none)")
 		solverBudg = flag.Duration("solver-budget", 0, "per-solve constraint solver timeout (0 = the 60s default)")
 		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
+		noCache    = flag.Bool("no-cache", false, "disable the view-verdict solve cache (escape hatch; every solve runs)")
+		cacheStats = flag.Bool("cache-stats", false, "print view cache hit/miss/skip counts to stderr")
 		check      = flag.Bool("check", false, "verify DDG structural invariants after tracing and after simplification")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 	)
@@ -91,6 +93,7 @@ func main() {
 	res := core.Find(tr.Graph, core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
+		DisableCache: *noCache,
 	})
 	if *check && res.Graph != nil && res.Graph != tr.Graph {
 		if err := res.Graph.CheckInvariants(); err != nil {
@@ -102,6 +105,13 @@ func main() {
 	// own diagnostics instead of pretending coverage was complete.
 	if d := tr.Diagnostic(); d != nil {
 		res.Failures = append(res.Failures, d)
+	}
+	if *cacheStats {
+		line := report.CacheStats(res)
+		if line == "" {
+			line = "view cache: disabled"
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 
 	switch *format {

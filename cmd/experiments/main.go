@@ -9,9 +9,10 @@
 //
 // Available experiments: table1, table2, table3, accuracy, figure7,
 // figure8, phases, simplify, ablation, all. "bench" (not part of all)
-// measures tracing throughput and writes BENCH_trace.json:
+// measures tracing throughput and the pattern-finding fixpoint (cold vs
+// warm view cache), writing BENCH_trace.json and BENCH_find.json:
 //
-//	experiments -run bench -bench-reps 20 -bench-scale 32
+//	experiments -run bench -bench-reps 20 -bench-scale 32 -find-reps 10
 package main
 
 import (
@@ -34,7 +35,9 @@ func main() {
 		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
 		benchReps  = flag.Int("bench-reps", 20, "repetitions per bench configuration")
 		benchScal  = flag.Int64("bench-scale", 32, "input scale for bench (md5 nbuf = 8*scale)")
-		benchOut   = flag.String("bench-out", "BENCH_trace.json", "output file for bench results")
+		benchOut   = flag.String("bench-out", "BENCH_trace.json", "output file for trace bench results")
+		findReps   = flag.Int("find-reps", 10, "repetitions per find bench configuration")
+		findOut    = flag.String("find-out", "BENCH_find.json", "output file for find bench results")
 	)
 	flag.Parse()
 
@@ -136,6 +139,19 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchOut)
+			fres, err := experiments.RunFindBench(*findReps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fres.Text())
+			fdata, err := fres.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*findOut, fdata, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *findOut)
 			return nil
 		},
 	}

@@ -1,0 +1,83 @@
+package core
+
+// Cache/no-cache equivalence on random programs, in-package so it reuses
+// the random_test generators. Complements the corpus suite in
+// equivalence_test.go; Workers is set high so `make race` exercises the
+// matching workers sharing one cache.
+
+import (
+	"fmt"
+	"testing"
+
+	"discovery/internal/trace"
+)
+
+// resultSig summarizes a Find outcome: final patterns plus every match
+// with its provenance, in order.
+func resultSig(res *Result) string {
+	s := fmt.Sprintf("iters=%d;", res.Iterations)
+	for _, p := range res.Patterns {
+		s += p.Kind.String() + ":" + p.Nodes().Key() + ";"
+	}
+	for _, m := range res.Matches {
+		s += fmt.Sprintf("it%d:%s:%s@%v;", m.Iteration, m.Pattern.Kind,
+			m.Pattern.Nodes().Key(), m.Sub.Key())
+	}
+	return s
+}
+
+func TestCacheEquivalenceOnRandomPrograms(t *testing.T) {
+	for seed := uint64(101); seed <= 130; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tr, err := trace.Run(genProgram(seed))
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			opts := Options{Workers: 8, VerifyMatches: true}
+			if seed%3 == 0 {
+				opts.Extensions = true
+			}
+
+			off := opts
+			off.DisableCache = true
+			want := resultSig(Find(tr.Graph, off))
+
+			if got := resultSig(Find(tr.Graph, opts)); got != want {
+				t.Errorf("fresh cache diverges:\nno-cache: %s\ncached:   %s", want, got)
+			}
+
+			shared := opts
+			shared.Cache = NewViewCache()
+			Find(tr.Graph, shared) // prime
+			res := Find(tr.Graph, shared)
+			if got := resultSig(res); got != want {
+				t.Errorf("warm cache diverges:\nno-cache: %s\nwarm:     %s", want, got)
+			}
+			if _, misses, _ := res.CacheStats(); misses != 0 {
+				t.Errorf("warm run recorded %d cache miss(es)", misses)
+			}
+		})
+	}
+}
+
+func TestSharedCacheResetsAcrossGraphs(t *testing.T) {
+	// One cache fed two different traces must self-invalidate between them
+	// and still produce the uncached results on both.
+	cache := NewViewCache()
+	for _, seed := range []uint64{131, 132, 131} {
+		tr, err := trace.Run(genProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := Options{Workers: 2, DisableCache: true}
+		want := resultSig(Find(tr.Graph, off))
+		got := resultSig(Find(tr.Graph, Options{Workers: 2, Cache: cache}))
+		if got != want {
+			t.Errorf("seed %d with shared cache diverges:\nwant %s\ngot  %s", seed, want, got)
+		}
+	}
+	if s := cache.Snapshot(); s.Resets != 2 {
+		t.Errorf("want 2 fingerprint resets (131→132→131), got %d", s.Resets)
+	}
+}

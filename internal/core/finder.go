@@ -54,6 +54,16 @@ type Options struct {
 	// Off by default so Table 3 behaviour is the baseline.
 	Extensions bool
 
+	// DisableCache turns off the view–verdict cache (the -no-cache escape
+	// hatch): every solve runs even when an identical view was already
+	// decided, and Cache is ignored.
+	DisableCache bool
+	// Cache, when non-nil, is consulted and populated in place of the
+	// run-private cache, letting repeated runs over the same trace share
+	// verdicts (see ViewCache). It self-invalidates when the graph or a
+	// match-relevant option differs from the run it was filled by.
+	Cache *ViewCache
+
 	// Ablation switches.
 	DisableSimplify  bool
 	DisableDecompose bool
@@ -160,6 +170,18 @@ func (r *Result) Degraded() bool {
 		len(r.Failures) > 0
 }
 
+// CacheStats sums the view-cache outcomes recorded across all pattern
+// kinds: solves answered from the cache, solves that ran and populated it,
+// and solves suppressed by a cached "undecided" verdict.
+func (r *Result) CacheStats() (hits, misses, skips int) {
+	for _, ks := range r.SolverStats {
+		hits += ks.CacheHits
+		misses += ks.CacheMisses
+		skips += ks.CacheSkips
+	}
+	return hits, misses, skips
+}
+
 // Find runs the iterative pattern finder on a traced DDG.
 func Find(g *ddg.Graph, opts Options) *Result {
 	return FindCtx(context.Background(), g, opts)
@@ -212,11 +234,26 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	res.SimplifiedNodes = gs.NumNodes()
 	res.Phases.Simplify = time.Since(start)
 
+	// The view–verdict cache. A caller-supplied cache carries verdicts
+	// across runs; otherwise a run-private one still serves the group-count
+	// gate and deduplicates any identical views within this run. prepare
+	// resets a carried cache whose fingerprint does not match this run.
+	var cache *ViewCache
+	if !opts.DisableCache {
+		cache = opts.Cache
+		if cache == nil {
+			cache = NewViewCache()
+		}
+		if !guard(res, "cache", func() { cache.prepare(cacheFingerprint(gs, opts)) }) {
+			cache = nil
+		}
+	}
+
 	// Phase: decompose (the decomposed sub-DDGs are compacted lazily when
 	// viewed, per sub-DDG provenance).
 	start = time.Now()
 	var pool []*SubDDG
-	seen := map[string]bool{}
+	seen := map[ddg.Hash128]bool{}
 	addPool := func(s *SubDDG) bool {
 		if s.Nodes.Len() == 0 || seen[s.Key()] {
 			return false
@@ -259,7 +296,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		// phase's own bookkeeping.
 		start = time.Now()
 		var matched []*SubDDG
-		guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res) })
+		guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, cache) })
 		for _, s := range matched {
 			for _, p := range s.Matched {
 				res.Matches = append(res.Matches, Match{Pattern: p, Sub: s, Iteration: iter})
@@ -349,7 +386,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	// (paper §9 future work; see patterns.MatchPipeline).
 	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
-		guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res) })
+		guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, cache) })
 		res.Phases.Match += time.Since(start)
 	}
 
@@ -400,7 +437,7 @@ func interrupted(ctx context.Context, res *Result) bool {
 // detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
 // paper's patterns leave stateful stages unmatched, which is exactly where
 // pipelines hide (its excluded benchmarks bodytrack and h264dec).
-func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result) {
+func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *ViewCache) {
 	var stages []*SubDDG
 	for _, s := range pool {
 		if s.Loop != 0 && len(s.Matched) == 0 {
@@ -414,15 +451,22 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 	if iter == 0 {
 		iter = 1
 	}
-	views := map[*SubDDG]*patterns.View{}
-	view := func(s *SubDDG) *patterns.View {
-		if v, ok := views[s]; ok {
-			return v
+	compact := !opts.DisableCompact
+	// Views are memoized on the sub-DDGs, so a stage viewed by the match
+	// phase (or by several candidate pairings here) is built once; with a
+	// warm cache the group-count gate needs no view at all.
+	groupsOf := func(s *SubDDG) int {
+		if n, ok := cache.groupCount(s.ViewHash(compact)); ok {
+			return n
 		}
-		v := s.View(gs, !opts.DisableCompact)
-		views[s] = v
-		return v
+		n := s.CachedView(gs, compact).NumGroups()
+		cache.storeGroupCount(s.ViewHash(compact), n)
+		return n
 	}
+	// Local budget collecting this pass's cache counters; merged into
+	// res.SolverStats at the end (MatchPipeline itself runs no solver).
+	pb := &patterns.Budget{}
+	defer func() { rollupStats(res, pb) }()
 	for _, a := range stages {
 		if interrupted(ctx, res) {
 			return
@@ -431,22 +475,42 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 			if a == b || !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
 				continue
 			}
-			va, vb := view(a), view(b)
-			if va.NumGroups() > opts.maxViewGroups() || vb.NumGroups() > opts.maxViewGroups() {
+			if groupsOf(a) > opts.maxViewGroups() || groupsOf(b) > opts.maxViewGroups() {
 				continue
 			}
-			if p := patterns.MatchPipeline(gs, va, vb); p != nil {
-				if opts.VerifyMatches {
+			// The pipeline verdict is a property of the ordered stage pair,
+			// cached under the pair's combined view hash.
+			h := ddg.NewHasher(hashSeedPipelinePair)
+			h.Hash(a.ViewHash(compact))
+			h.Hash(b.ViewHash(compact))
+			pair := h.Sum()
+			var p *patterns.Pattern
+			switch status, pat := cache.lookup(pair, patterns.KindPipeline, pb.Score()); status {
+			case cacheHit:
+				pb.RecordCacheHit(patterns.KindPipeline)
+				p = pat
+			default:
+				if cache != nil {
+					pb.RecordCacheMiss(patterns.KindPipeline)
+				}
+				p = patterns.MatchPipeline(gs, a.CachedView(gs, compact), b.CachedView(gs, compact))
+				if p != nil && opts.VerifyMatches {
 					if err := patterns.Verify(gs, p); err != nil {
-						continue
+						p = nil
 					}
 				}
+				cache.store(pair, patterns.KindPipeline, p, false, pb.Score())
+			}
+			if p != nil {
 				res.Matches = append(res.Matches,
 					Match{Pattern: p, Sub: a, Iteration: iter})
 			}
 		}
 	}
 }
+
+// hashSeedPipelinePair tags ordered stage-pair hashes in the view cache.
+const hashSeedPipelinePair = 0x6b8d2f4a1c3e5077
 
 // budgetFor builds a fresh solver budget carrying the run's bounds. Each
 // matchSub call gets its own so per-sub-DDG "budget exceeded" outcomes stay
@@ -464,7 +528,7 @@ func budgetFor(ctx context.Context, opts Options) *patterns.Budget {
 // done the feed stops — workers finish their in-flight sub-DDG and exit —
 // and the unmatched remainder is reported via res.Interrupted rather than
 // silently dropped.
-func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result) []*SubDDG {
+func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *ViewCache) []*SubDDG {
 	workers := opts.workers()
 	if workers > len(active) {
 		workers = len(active)
@@ -503,7 +567,7 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 			defer wg.Done()
 			for s := range work {
 				b := budgetFor(ctx, opts)
-				found, skip, fail := matchSubSafe(gs, s, opts, b)
+				found, skip, fail := matchSubSafe(gs, s, opts, b, cache)
 				s.Matched = found
 				if fail != nil {
 					fails[w] = append(fails[w], fail)
@@ -529,16 +593,7 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 	// Panics contained inside individual solver runs (cp.Stats.Err) ride
 	// along on the merged budgets.
 	res.Failures = append(res.Failures, rollup.Errs...)
-	if len(rollup.Kinds) > 0 {
-		if res.SolverStats == nil {
-			res.SolverStats = map[patterns.Kind]patterns.KindStats{}
-		}
-		for kind, ks := range rollup.Kinds {
-			cur := res.SolverStats[kind]
-			cur.Add(*ks)
-			res.SolverStats[kind] = cur
-		}
-	}
+	rollupStats(res, rollup)
 	interrupted(ctx, res)
 
 	var matched []*SubDDG
@@ -550,12 +605,28 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 	return matched
 }
 
+// rollupStats folds a budget's per-kind solver effort and cache counters
+// into the result.
+func rollupStats(res *Result, b *patterns.Budget) {
+	if len(b.Kinds) == 0 {
+		return
+	}
+	if res.SolverStats == nil {
+		res.SolverStats = map[patterns.Kind]patterns.KindStats{}
+	}
+	for kind, ks := range b.Kinds {
+		cur := res.SolverStats[kind]
+		cur.Add(*ks)
+		res.SolverStats[kind] = cur
+	}
+}
+
 // matchSubSafe is matchSub inside a recover boundary: a panic while
 // matching one sub-DDG costs that sub-DDG's matches, not the phase. Each
 // worker goroutine has its own stack, so the containment must live here,
 // per claimed sub-DDG, rather than in the phase guard on the main
 // goroutine.
-func matchSubSafe(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found []*patterns.Pattern, skipped bool, fail *analysis.Error) {
+func matchSubSafe(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget, cache *ViewCache) (found []*patterns.Pattern, skipped bool, fail *analysis.Error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ae := analysis.Recovered(analysis.StageMatch, r)
@@ -564,13 +635,18 @@ func matchSubSafe(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (f
 				"matching a sub-DDG of %d nodes failed", s.Nodes.Len())
 		}
 	}()
-	found, skipped = matchSub(gs, s, opts, b)
+	found, skipped = matchSub(gs, s, opts, b, cache)
 	return found, skipped, nil
 }
 
 // matchSub matches one sub-DDG against the applicable definitions, running
-// the constraint solver under b.
-func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found []*patterns.Pattern, skipped bool) {
+// the constraint solver under b. Every solve is consulted against the view
+// cache first: a decided verdict (pattern or none) answers without running
+// the matcher — a warm hit without building the view at all — while an
+// undecided one is retried only when b allows more effort than the attempt
+// that failed, and otherwise reported as exceeded, exactly as the uncached
+// solve would have been.
+func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget, cache *ViewCache) (found []*patterns.Pattern, skipped bool) {
 	keep := func(p *patterns.Pattern) {
 		if p == nil {
 			return
@@ -584,7 +660,9 @@ func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found
 	}
 
 	if s.FusedA != nil {
-		// Compound matching combines the constituents' patterns.
+		// Compound matching combines the constituents' patterns. Not view
+		// solves — the inputs are the constituents' pattern lists, not a
+		// view — so the cache does not apply.
 		for _, pa := range s.FusedA.Matched {
 			if !pa.Kind.IsMapKind() {
 				continue
@@ -603,29 +681,85 @@ func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget) (found
 		return found, false
 	}
 
-	v := s.View(gs, !opts.DisableCompact)
-	if v.NumGroups() > opts.maxViewGroups() {
+	compact := !opts.DisableCompact
+	vhash := s.ViewHash(compact)
+	view := func() *patterns.View { return s.CachedView(gs, compact) }
+
+	// Oversized-view gate, answered from the cache when warm so rejected
+	// views are never built.
+	n, ok := cache.groupCount(vhash)
+	if !ok {
+		n = view().NumGroups()
+		cache.storeGroupCount(vhash, n)
+	}
+	if n > opts.maxViewGroups() {
 		return nil, true
 	}
+
+	// match runs one kind's matcher through the cache. Verdicts are stored
+	// post-verification, so a hit's pattern needs no re-check.
+	match := func(kind patterns.Kind, run func(v *patterns.View) *patterns.Pattern) {
+		switch status, pat := cache.lookup(vhash, kind, b.Score()); status {
+		case cacheHit:
+			b.RecordCacheHit(kind)
+			if pat != nil {
+				found = append(found, pat)
+			}
+			return
+		case cacheSkip:
+			b.RecordCacheSkip(kind)
+			b.MarkExceeded()
+			return
+		}
+		if cache != nil {
+			b.RecordCacheMiss(kind)
+		}
+		before := b.KindTimeouts(kind)
+		p := run(view())
+		if p != nil && opts.VerifyMatches {
+			if err := patterns.Verify(gs, p); err != nil {
+				p = nil
+			}
+		}
+		// A nil from a resource-limited solve is "undecided", not "none".
+		limited := b.KindTimeouts(kind) > before
+		cache.store(vhash, kind, p, p == nil && limited, b.Score())
+		if p != nil {
+			found = append(found, p)
+		}
+	}
+
 	if s.Assoc {
-		keep(patterns.MatchLinearReduction(v, b))
-		keep(patterns.MatchTiledReduction(v, b))
+		match(patterns.KindLinearReduction, func(v *patterns.View) *patterns.Pattern {
+			return patterns.MatchLinearReduction(v, b)
+		})
+		match(patterns.KindTiledReduction, func(v *patterns.View) *patterns.Pattern {
+			return patterns.MatchTiledReduction(v, b)
+		})
 		if opts.Extensions && len(found) == 0 {
 			// The combining-tree generalization, only where the paper's
 			// specific variants did not apply.
-			keep(patterns.MatchTreeReduction(v))
+			match(patterns.KindTreeReduction, func(v *patterns.View) *patterns.Pattern {
+				return patterns.MatchTreeReduction(v)
+			})
 		}
 		return found, false
 	}
-	m := patterns.MatchMap(v)
-	if opts.Extensions && m != nil {
-		if st := patterns.MatchStencil(gs, m); st != nil {
-			m = st // report the more specific refinement
+	match(patterns.KindMap, func(v *patterns.View) *patterns.Pattern {
+		m := patterns.MatchMap(v)
+		if opts.Extensions && m != nil {
+			if st := patterns.MatchStencil(gs, m); st != nil {
+				m = st // report the more specific refinement
+			}
 		}
-	}
-	keep(m)
-	keep(patterns.MatchLinearReduction(v, b))
-	keep(patterns.MatchTiledReduction(v, b))
+		return m
+	})
+	match(patterns.KindLinearReduction, func(v *patterns.View) *patterns.Pattern {
+		return patterns.MatchLinearReduction(v, b)
+	})
+	match(patterns.KindTiledReduction, func(v *patterns.View) *patterns.Pattern {
+		return patterns.MatchTiledReduction(v, b)
+	})
 	return found, false
 }
 
@@ -643,13 +777,17 @@ func hasMapMatch(s *SubDDG) bool {
 // Pattern Merging).
 func merge(matches []Match) []*patterns.Pattern {
 	var out []*patterns.Pattern
-	seen := map[string]bool{}
+	type mergeKey struct {
+		nodes ddg.Hash128
+		kind  patterns.Kind
+	}
+	seen := map[mergeKey]bool{}
 	for _, m := range matches {
-		key := m.Pattern.Nodes().Key()
-		if seen[key+"/"+m.Pattern.Kind.String()] {
+		key := mergeKey{m.Pattern.Nodes().Hash(), m.Pattern.Kind}
+		if seen[key] {
 			continue
 		}
-		seen[key+"/"+m.Pattern.Kind.String()] = true
+		seen[key] = true
 		out = append(out, m.Pattern)
 	}
 	// A pattern is discarded iff a strictly larger pattern subsumes it.

@@ -30,27 +30,48 @@ type SubDDG struct {
 	// Matched patterns on this sub-DDG, filled by the match phase.
 	Matched []*patterns.Pattern
 
-	key string
+	key   ddg.Hash128
+	vhash ddg.Hash128
+	view  *patterns.View
 }
 
-// Key canonically identifies the sub-DDG by node set and provenance kind;
-// the pool rejects duplicates by key, which is Algorithm 1's termination
+// Domain tags for the finder's hash keys (see ddg.NewHasher).
+const (
+	hashSeedPoolKey  = 0x90a7b3c5d1e2f407
+	hashSeedFusedKey = 0x2c4e6a8b0d1f3355
+)
+
+// Key canonically identifies the sub-DDG by node set and provenance; the
+// pool rejects duplicates by key, which is Algorithm 1's termination
 // argument (both key dimensions are finite). Provenance is part of the key
 // because the same node set can need a different view: a sequential
 // map-reduction loop and the fusion of its subtracted map with its
 // reduction cover identical nodes, but only the fused provenance can match
-// the compound pattern.
-func (s *SubDDG) Key() string {
-	if s.key == "" {
+// the compound pattern. The key is a 128-bit content hash — 16 bytes per
+// pool entry regardless of sub-DDG size, unlike the O(n) strings it
+// replaces.
+func (s *SubDDG) Key() ddg.Hash128 {
+	if s.key.IsZero() {
 		if s.FusedA != nil {
 			// Fused sub-DDGs are keyed by their constituents, not just the
 			// union: the same union can arise from different pattern
 			// pairings (e.g. the row-level and pixel-level views of one
 			// loop nest fused with the same consumer), and only some
 			// pairings match compound patterns.
-			s.key = "fused(" + s.FusedA.Key() + ";" + s.FusedB.Key() + ")"
+			h := ddg.NewHasher(hashSeedFusedKey)
+			h.Hash(s.FusedA.Key())
+			h.Hash(s.FusedB.Key())
+			s.key = h.Sum()
 		} else {
-			s.key = s.Nodes.Key() + "|" + s.Kind()
+			h := ddg.NewHasher(hashSeedPoolKey)
+			h.Hash(s.Nodes.Hash())
+			h.Word(uint64(s.Loop))
+			var assoc uint64
+			if s.Assoc {
+				assoc = 1
+			}
+			h.Word(assoc)
+			s.key = h.Sum()
 		}
 	}
 	return s.key
@@ -73,11 +94,43 @@ func (s *SubDDG) Kind() string {
 // View builds the matching view of the sub-DDG (paper §5, DDG Compaction):
 // loop-derived sub-DDGs compact to one group per dynamic iteration unless
 // compaction is disabled; everything else is node-per-node.
-func (s *SubDDG) View(g *ddg.Graph, compact bool) *patterns.View {
+func (s *SubDDG) View(g ddg.GraphView, compact bool) *patterns.View {
 	if s.Loop != 0 && compact {
 		return patterns.LoopView(g, s.Nodes, s.Loop)
 	}
 	return patterns.NodeView(g, s.Nodes)
+}
+
+// viewLoop is the grouping provenance the view would use: the sub-DDG's
+// loop when compacting applies, zero (node-per-node) otherwise.
+func (s *SubDDG) viewLoop(compact bool) mir.LoopID {
+	if s.Loop != 0 && compact {
+		return s.Loop
+	}
+	return 0
+}
+
+// ViewHash returns the content hash of the sub-DDG's view without building
+// it (see patterns.ViewKey): the cache key a solve verdict is stored
+// under. Memoized; one Find run uses a single compaction mode, so the memo
+// never goes stale.
+func (s *SubDDG) ViewHash(compact bool) ddg.Hash128 {
+	if s.vhash.IsZero() {
+		s.vhash = patterns.ViewKey(s.Nodes, s.viewLoop(compact))
+	}
+	return s.vhash
+}
+
+// CachedView is View with the result memoized on the sub-DDG, so the match
+// phase and the pipeline pass share one lazily-built view per sub-DDG
+// instead of rebuilding it at each use. Not synchronized: each sub-DDG is
+// claimed by exactly one matching worker, and the pipeline pass runs after
+// the workers' barrier.
+func (s *SubDDG) CachedView(g ddg.GraphView, compact bool) *patterns.View {
+	if s.view == nil {
+		s.view = s.View(g, compact)
+	}
+	return s.view
 }
 
 // String summarizes the sub-DDG.
@@ -136,12 +189,12 @@ func Decompose(g *ddg.Graph) []*SubDDG {
 		ops = append(ops, op)
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
-	seen := map[string]bool{}
+	seen := map[ddg.Hash128]bool{}
 	addAssoc := func(nodes ddg.Set) {
-		if nodes.Len() < 2 || seen[nodes.Key()] {
+		if nodes.Len() < 2 || seen[nodes.Hash()] {
 			return
 		}
-		seen[nodes.Key()] = true
+		seen[nodes.Hash()] = true
 		subs = append(subs, &SubDDG{Nodes: nodes, Assoc: true})
 	}
 	for _, op := range ops {

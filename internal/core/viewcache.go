@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sync"
+
+	"discovery/internal/ddg"
+	"discovery/internal/patterns"
+)
+
+// ViewCache is a content-addressed map from view hash to per-kind match
+// verdicts, consulted before every sub-DDG solve. Repeated runs over the
+// same trace — re-evaluations, experiment sweeps, benchmark reps — present
+// identical views (the deterministic tracer guarantees identical node
+// ids), so a warm cache answers their solves without even building the
+// views.
+//
+// Soundness rests on the cache key: a view's match outcome within one
+// graph is a pure function of (node set, grouping provenance), which is
+// exactly what patterns.ViewKey hashes, and the cache self-invalidates
+// (prepare) whenever the graph fingerprint or an option that alters match
+// outcomes differs from the previous run's. Verdicts are stored per
+// pattern kind, so provenances that share a grouping (an associative
+// component and a whole-graph sub-DDG over the same nodes) safely share
+// entries: they consult different kind slots or, where they overlap, ask
+// the same question of the same view.
+//
+// Three verdicts exist: "pattern" (with the matched pattern), "no
+// pattern", and "budget-undecided" — a solve cut short by its resource
+// limits. Undecided entries carry the budget score of the failed attempt
+// and are retried only when the current budget grew; otherwise the lookup
+// reports a skip and the caller marks the outcome exceeded, preserving
+// the degraded-result accounting of an uncached run.
+//
+// A ViewCache is safe for concurrent use by the matching workers of one
+// Find run, and may be reused across sequential runs (that is its point).
+// Sharing one cache between concurrent Find runs is not supported: cached
+// patterns memoize lazily (Pattern.Nodes) on the consuming run's main
+// goroutine.
+type ViewCache struct {
+	mu    sync.RWMutex
+	fp    ddg.Hash128
+	fpSet bool
+
+	// groups caches each view's group count, so the oversized-view gate is
+	// answered without building the view.
+	groups  map[ddg.Hash128]int
+	entries map[cacheKey]cacheEntry
+
+	resets int
+}
+
+type cacheKey struct {
+	view ddg.Hash128
+	kind patterns.Kind
+}
+
+type cacheVerdict uint8
+
+const (
+	verdictNone cacheVerdict = iota + 1
+	verdictPattern
+	verdictUndecided
+)
+
+type cacheEntry struct {
+	verdict cacheVerdict
+	pat     *patterns.Pattern
+	score   patterns.BudgetScore // budget of the undecided attempt
+}
+
+// lookupStatus is the outcome of a cache lookup.
+type lookupStatus uint8
+
+const (
+	// cacheMiss: no usable entry; run the solve and store the verdict.
+	cacheMiss lookupStatus = iota
+	// cacheHit: a decided verdict was returned.
+	cacheHit
+	// cacheSkip: a previous attempt was undecided under a budget at least
+	// as large; the solve is pointless, but the outcome is still
+	// "undecided", not "no pattern".
+	cacheSkip
+)
+
+// NewViewCache returns an empty cache, ready to be passed as Options.Cache
+// to share verdicts across Find runs over the same trace.
+func NewViewCache() *ViewCache {
+	return &ViewCache{}
+}
+
+// prepare pins the cache to a run fingerprint (graph content + the options
+// that alter match outcomes), resetting all entries when it differs from
+// the fingerprint the cached verdicts were produced under.
+func (c *ViewCache) prepare(fp ddg.Hash128) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fpSet && c.fp == fp {
+		return
+	}
+	if c.fpSet {
+		c.resets++
+	}
+	c.fp = fp
+	c.fpSet = true
+	c.groups = nil
+	c.entries = nil
+}
+
+// groupCount returns the cached group count of the view, if known.
+func (c *ViewCache) groupCount(view ddg.Hash128) (int, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.groups[view]
+	return n, ok
+}
+
+// storeGroupCount records the view's group count.
+func (c *ViewCache) storeGroupCount(view ddg.Hash128, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.groups == nil {
+		c.groups = map[ddg.Hash128]int{}
+	}
+	c.groups[view] = n
+}
+
+// lookup consults the cache for the view's verdict under kind. score is
+// the current budget's effort allowance, used to decide whether an
+// undecided entry is worth retrying (cacheMiss) or not (cacheSkip).
+func (c *ViewCache) lookup(view ddg.Hash128, kind patterns.Kind, score patterns.BudgetScore) (lookupStatus, *patterns.Pattern) {
+	if c == nil {
+		return cacheMiss, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[cacheKey{view, kind}]
+	if !ok {
+		return cacheMiss, nil
+	}
+	if e.verdict == verdictUndecided {
+		if score.Grew(e.score) {
+			return cacheMiss, nil // a larger budget might decide it
+		}
+		return cacheSkip, nil
+	}
+	return cacheHit, e.pat
+}
+
+// store records the verdict of a solve that ran: the verified pattern, "no
+// pattern" (pat nil, undecided false), or "budget-undecided" (pat nil,
+// undecided true) together with the budget score of the failed attempt.
+func (c *ViewCache) store(view ddg.Hash128, kind patterns.Kind, pat *patterns.Pattern, undecided bool, score patterns.BudgetScore) {
+	if c == nil {
+		return
+	}
+	e := cacheEntry{verdict: verdictNone, pat: pat}
+	switch {
+	case pat != nil:
+		e.verdict = verdictPattern
+	case undecided:
+		e.verdict = verdictUndecided
+		e.score = score
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[cacheKey]cacheEntry{}
+	}
+	c.entries[cacheKey{view, kind}] = e
+}
+
+// CacheSnapshot describes a cache's current contents.
+type CacheSnapshot struct {
+	// Entries is the number of stored verdicts; GroupCounts the number of
+	// cached view sizes.
+	Entries, GroupCounts int
+	// Resets counts fingerprint-mismatch invalidations since creation.
+	Resets int
+}
+
+// Snapshot returns the cache's current size and reset count.
+func (c *ViewCache) Snapshot() CacheSnapshot {
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheSnapshot{
+		Entries:     len(c.entries),
+		GroupCounts: len(c.groups),
+		Resets:      c.resets,
+	}
+}
+
+// hashSeedCacheFP tags run fingerprints (cacheFingerprint).
+const hashSeedCacheFP = 0x3d9f1b7e5a2c4d69
+
+// cacheFingerprint identifies the matching problem a cache entry answers:
+// the simplified graph's content plus every option that changes what a
+// solve returns. VerifyMatches is included because verdicts are stored
+// post-verification; Extensions because it changes what the map slot
+// produces (stencil refinement) and whether tree reductions run;
+// compaction and the view-size gate because they decide which views exist
+// at all. Budget options are deliberately excluded — undecided entries
+// carry their budget score instead, so a bigger budget retries rather than
+// invalidates.
+func cacheFingerprint(gs *ddg.Graph, opts Options) ddg.Hash128 {
+	h := ddg.NewHasher(hashSeedCacheFP)
+	h.Hash(gs.Fingerprint())
+	var flags uint64
+	if opts.VerifyMatches {
+		flags |= 1
+	}
+	if opts.Extensions {
+		flags |= 2
+	}
+	if opts.DisableCompact {
+		flags |= 4
+	}
+	h.Word(flags)
+	h.Word(uint64(opts.maxViewGroups()))
+	return h.Sum()
+}

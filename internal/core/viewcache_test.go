@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"discovery/internal/ddg"
+	"discovery/internal/patterns"
+)
+
+func TestViewCacheVerdicts(t *testing.T) {
+	c := NewViewCache()
+	fp := ddg.Hash128{Hi: 1, Lo: 2}
+	c.prepare(fp)
+
+	vA := ddg.Hash128{Hi: 10, Lo: 1}
+	vB := ddg.Hash128{Hi: 10, Lo: 2}
+	score := patterns.BudgetScore{TimeoutNS: 100, Steps: 1000}
+
+	if st, _ := c.lookup(vA, patterns.KindMap, score); st != cacheMiss {
+		t.Fatalf("empty cache: want miss, got %v", st)
+	}
+
+	// "no pattern" verdict hits with a nil pattern.
+	c.store(vA, patterns.KindMap, nil, false, score)
+	if st, p := c.lookup(vA, patterns.KindMap, score); st != cacheHit || p != nil {
+		t.Errorf("no-pattern entry: want hit/nil, got %v/%v", st, p)
+	}
+
+	// A pattern verdict hits with the stored pattern.
+	pat := &patterns.Pattern{Kind: patterns.KindMap}
+	c.store(vB, patterns.KindMap, pat, false, score)
+	if st, p := c.lookup(vB, patterns.KindMap, score); st != cacheHit || p != pat {
+		t.Errorf("pattern entry: want hit with pattern, got %v/%v", st, p)
+	}
+
+	// Verdicts are per kind: the same view under another kind is a miss.
+	if st, _ := c.lookup(vB, patterns.KindLinearReduction, score); st != cacheMiss {
+		t.Errorf("other kind: want miss, got %v", st)
+	}
+}
+
+func TestViewCacheUndecidedRetriesOnlyWhenBudgetGrew(t *testing.T) {
+	c := NewViewCache()
+	c.prepare(ddg.Hash128{Hi: 1})
+	v := ddg.Hash128{Hi: 3, Lo: 4}
+	small := patterns.BudgetScore{TimeoutNS: 100, Steps: 50}
+
+	c.store(v, patterns.KindMap, nil, true, small)
+
+	// Same or smaller budget: skip (re-solving cannot decide it).
+	if st, _ := c.lookup(v, patterns.KindMap, small); st != cacheSkip {
+		t.Errorf("same budget: want skip, got %v", st)
+	}
+	smaller := patterns.BudgetScore{TimeoutNS: 50, Steps: 50}
+	if st, _ := c.lookup(v, patterns.KindMap, smaller); st != cacheSkip {
+		t.Errorf("smaller budget: want skip, got %v", st)
+	}
+
+	// Strictly more time or more steps: retry.
+	moreTime := patterns.BudgetScore{TimeoutNS: 200, Steps: 50}
+	if st, _ := c.lookup(v, patterns.KindMap, moreTime); st != cacheMiss {
+		t.Errorf("grown timeout: want miss, got %v", st)
+	}
+	moreSteps := patterns.BudgetScore{TimeoutNS: 100, Steps: 51}
+	if st, _ := c.lookup(v, patterns.KindMap, moreSteps); st != cacheMiss {
+		t.Errorf("grown steps: want miss, got %v", st)
+	}
+
+	// A decided verdict overwrites the undecided entry.
+	c.store(v, patterns.KindMap, nil, false, moreTime)
+	if st, _ := c.lookup(v, patterns.KindMap, small); st != cacheHit {
+		t.Errorf("after decided store: want hit, got %v", st)
+	}
+}
+
+func TestViewCachePrepareResets(t *testing.T) {
+	c := NewViewCache()
+	fp1 := ddg.Hash128{Hi: 1}
+	fp2 := ddg.Hash128{Hi: 2}
+	v := ddg.Hash128{Lo: 9}
+
+	c.prepare(fp1)
+	c.store(v, patterns.KindMap, nil, false, patterns.BudgetScore{})
+	c.storeGroupCount(v, 7)
+	if s := c.Snapshot(); s.Entries != 1 || s.GroupCounts != 1 || s.Resets != 0 {
+		t.Fatalf("after store: %+v", s)
+	}
+
+	// Same fingerprint: contents survive.
+	c.prepare(fp1)
+	if s := c.Snapshot(); s.Entries != 1 || s.Resets != 0 {
+		t.Errorf("same fp re-prepare must keep entries: %+v", s)
+	}
+	if n, ok := c.groupCount(v); !ok || n != 7 {
+		t.Errorf("group count lost: %d %v", n, ok)
+	}
+
+	// Different fingerprint: full invalidation.
+	c.prepare(fp2)
+	if s := c.Snapshot(); s.Entries != 0 || s.GroupCounts != 0 || s.Resets != 1 {
+		t.Errorf("fp change must reset: %+v", s)
+	}
+	if st, _ := c.lookup(v, patterns.KindMap, patterns.BudgetScore{}); st != cacheMiss {
+		t.Errorf("after reset: want miss, got %v", st)
+	}
+}
+
+func TestViewCacheNilSafe(t *testing.T) {
+	var c *ViewCache
+	c.prepare(ddg.Hash128{Hi: 1})
+	c.store(ddg.Hash128{}, patterns.KindMap, nil, false, patterns.BudgetScore{})
+	c.storeGroupCount(ddg.Hash128{}, 3)
+	if st, _ := c.lookup(ddg.Hash128{}, patterns.KindMap, patterns.BudgetScore{}); st != cacheMiss {
+		t.Errorf("nil cache lookup: want miss, got %v", st)
+	}
+	if _, ok := c.groupCount(ddg.Hash128{}); ok {
+		t.Error("nil cache groupCount: want !ok")
+	}
+	if s := c.Snapshot(); s != (CacheSnapshot{}) {
+		t.Errorf("nil cache snapshot: %+v", s)
+	}
+}
+
+func TestCacheFingerprintSensitivity(t *testing.T) {
+	g := traceProgram(t, genProgram(7))
+	base := cacheFingerprint(g, Options{})
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"verify", Options{VerifyMatches: true}},
+		{"extensions", Options{Extensions: true}},
+		{"no-compact", Options{DisableCompact: true}},
+		{"view-groups", Options{MaxViewGroups: 17}},
+	} {
+		if cacheFingerprint(g, tc.opts) == base {
+			t.Errorf("%s must change the cache fingerprint", tc.name)
+		}
+	}
+	// Budget options must NOT change it: undecided entries carry scores.
+	budgeted := Options{SolverBudget: 1, SolverStepLimit: 5, Budget: 1}
+	if cacheFingerprint(g, budgeted) != base {
+		t.Error("budget options must not invalidate the cache")
+	}
+	// And a different graph must.
+	g2 := traceProgram(t, genProgram(8))
+	if cacheFingerprint(g2, Options{}) == base {
+		t.Error("different graphs must fingerprint differently")
+	}
+}

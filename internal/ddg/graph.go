@@ -51,6 +51,9 @@ type Graph struct {
 	succArr []NodeID
 	predOff []uint32
 	predArr []NodeID
+
+	// fpMemo caches Fingerprint (hash.go); immutable once computed.
+	fpMemo fingerprintMemo
 }
 
 // dedupeThreshold is the out-degree beyond which AddArc switches from a

@@ -37,6 +37,15 @@ func (s Set) Contains(id NodeID) bool {
 	return i < len(s) && s[i] == id
 }
 
+// IndexOf returns the position of id in the sorted set, or -1 if absent.
+func (s Set) IndexOf(id NodeID) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return i
+	}
+	return -1
+}
+
 // Union returns s ∪ t.
 func (s Set) Union(t Set) Set {
 	out := make(Set, 0, len(s)+len(t))

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"discovery/internal/core"
+	"discovery/internal/starbench"
+	"discovery/internal/stats"
+	"discovery/internal/trace"
+)
+
+// Pattern-finding fixpoint benchmark: cold (fresh view cache per run)
+// versus warm (one cache shared across runs of the same trace), on
+// Starbench workloads. Re-analysis of an unchanged trace is the common
+// case in experiment sweeps and repeated evaluations; the warm rows show
+// what the content-addressed solve cache buys there (BENCH_find.json).
+
+// FindBenchRow is one (workload, cache mode) measurement.
+type FindBenchRow struct {
+	Bench    string  `json:"bench"`
+	Version  string  `json:"version"`
+	Mode     string  `json:"mode"` // "cold" or "warm"
+	MedianNS int64   `json:"median_ns"`
+	MatchNS  int64   `json:"match_ns"` // match-phase share of the last run
+	RobustCV float64 `json:"robust_cv"`
+	Nodes    int     `json:"ddg_nodes"`
+	Patterns int     `json:"patterns"`
+	Hits     int     `json:"cache_hits"`
+	Misses   int     `json:"cache_misses"`
+}
+
+// FindBenchResult is the full benchmark outcome.
+type FindBenchResult struct {
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Repetitions int            `json:"repetitions"`
+	Rows        []FindBenchRow `json:"rows"`
+	// MaxWarmSpeedup is the best cold/warm median ratio across the
+	// workloads (the acceptance criterion: >= 1.5 on at least one).
+	MaxWarmSpeedup float64 `json:"max_warm_speedup"`
+}
+
+// findBenchWorkloads are the measured benchmarks: the three pattern-dense
+// pthreads workloads whose match phases dominate their Find time.
+var findBenchWorkloads = []string{"streamcluster", "kmeans", "rot-cc"}
+
+// RunFindBench measures the pattern-finding fixpoint (median of reps runs)
+// on each workload, cold and warm.
+func RunFindBench(reps int) (*FindBenchResult, error) {
+	if reps < 1 {
+		reps = 10
+	}
+	out := &FindBenchResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Repetitions: reps,
+	}
+	for _, name := range findBenchWorkloads {
+		b := starbench.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("findbench: unknown benchmark %q", name)
+		}
+		built := b.Build(starbench.Pthreads, b.Analysis)
+		tr, err := trace.Run(built.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("findbench %s: tracing failed: %w", name, err)
+		}
+		var coldPatterns int
+		for _, mode := range []string{"cold", "warm"} {
+			opts := Opts()
+			if mode == "warm" {
+				// One shared cache, primed by a run outside the measurement.
+				opts.Cache = core.NewViewCache()
+				core.Find(tr.Graph, opts)
+			}
+			var res *core.Result
+			m := stats.Measure(reps, func() {
+				res = core.Find(tr.Graph, opts)
+			})
+			if len(res.Failures) > 0 {
+				return nil, fmt.Errorf("findbench %s/%s: degraded run: %v", name, mode, res.Failures[0])
+			}
+			if mode == "cold" {
+				coldPatterns = len(res.Patterns)
+			} else if len(res.Patterns) != coldPatterns {
+				return nil, fmt.Errorf("findbench %s: warm run found %d patterns, cold %d",
+					name, len(res.Patterns), coldPatterns)
+			}
+			hits, misses, _ := res.CacheStats()
+			out.Rows = append(out.Rows, FindBenchRow{
+				Bench:    name,
+				Version:  string(starbench.Pthreads),
+				Mode:     mode,
+				MedianNS: int64(m.Median),
+				MatchNS:  int64(res.Phases.Match),
+				RobustCV: m.RobustCV,
+				Nodes:    tr.Graph.NumNodes(),
+				Patterns: len(res.Patterns),
+				Hits:     hits,
+				Misses:   misses,
+			})
+		}
+		cold := out.Rows[len(out.Rows)-2]
+		warm := out.Rows[len(out.Rows)-1]
+		if warm.MedianNS > 0 {
+			if s := float64(cold.MedianNS) / float64(warm.MedianNS); s > out.MaxWarmSpeedup {
+				out.MaxWarmSpeedup = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// JSON renders the result for BENCH_find.json.
+func (r *FindBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders a human-readable table.
+func (r *FindBenchResult) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Find fixpoint, cold vs warm view cache: %d reps, GOMAXPROCS=%d\n",
+		r.Repetitions, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-14s %6s %12s %12s %8s %9s %7s %7s\n",
+		"bench", "mode", "median", "match", "rcv", "patterns", "hits", "misses")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %6s %12v %12v %7.1f%% %9d %7d %7d\n",
+			row.Bench, row.Mode, time.Duration(row.MedianNS), time.Duration(row.MatchNS),
+			row.RobustCV*100, row.Patterns, row.Hits, row.Misses)
+	}
+	fmt.Fprintf(&sb, "best warm speedup: %.2fx\n", r.MaxWarmSpeedup)
+	return sb.String()
+}

@@ -13,6 +13,7 @@ package patterns
 import (
 	"context"
 	"errors"
+	"math"
 	"time"
 
 	"discovery/internal/analysis"
@@ -32,6 +33,14 @@ type KindStats struct {
 	Propagations int64
 	Solutions    int64
 	Elapsed      time.Duration
+	// Cache outcomes for this kind from the finder's view–verdict cache:
+	// Hits are solves answered from a cached verdict, Misses are solves
+	// that ran (and then populated the cache), Skips are solves suppressed
+	// because a previous attempt was already undecided under a budget at
+	// least as large.
+	CacheHits   int
+	CacheMisses int
+	CacheSkips  int
 }
 
 // Add accumulates other into k (for cross-worker rollups).
@@ -43,6 +52,30 @@ func (k *KindStats) Add(other KindStats) {
 	k.Propagations += other.Propagations
 	k.Solutions += other.Solutions
 	k.Elapsed += other.Elapsed
+	k.CacheHits += other.CacheHits
+	k.CacheMisses += other.CacheMisses
+	k.CacheSkips += other.CacheSkips
+}
+
+// BudgetScore is a comparable summary of how much solver effort a budget
+// allows per run. The view cache stores the score alongside each
+// "undecided" verdict and retries the solve only when the current budget's
+// score grew — a larger budget might decide what a smaller one could not,
+// while an equal or smaller one cannot.
+type BudgetScore struct {
+	// TimeoutNS is the effective per-solve timeout in nanoseconds (the
+	// budget's SolveTimeout or the package default, clamped to the context
+	// deadline's remaining time when there is one).
+	TimeoutNS int64
+	// Steps is the deterministic step limit; unlimited is MaxInt64.
+	Steps int64
+}
+
+// Grew reports whether s allows strictly more effort than old on at least
+// one axis (and no less on the other is not required: any axis growing can
+// flip an undecided verdict).
+func (s BudgetScore) Grew(old BudgetScore) bool {
+	return s.TimeoutNS > old.TimeoutNS || s.Steps > old.Steps
 }
 
 // Budget bounds the constraint-solver effort of matcher invocations and
@@ -137,6 +170,88 @@ func (b *Budget) record(kind Kind, st cp.Stats) {
 		}
 		b.Errs = append(b.Errs, ae)
 	}
+}
+
+// Score summarizes the effort the budget currently allows per solver run
+// (see BudgetScore). Valid on a nil budget: the package defaults.
+func (b *Budget) Score() BudgetScore {
+	s := BudgetScore{TimeoutNS: int64(SolverBudget), Steps: math.MaxInt64}
+	if b == nil {
+		return s
+	}
+	if b.SolveTimeout != 0 {
+		s.TimeoutNS = int64(b.SolveTimeout)
+	}
+	if b.Ctx != nil {
+		if d, ok := b.Ctx.Deadline(); ok {
+			if r := int64(time.Until(d)); r < s.TimeoutNS {
+				if r < 0 {
+					r = 0
+				}
+				s.TimeoutNS = r
+			}
+		}
+	}
+	if b.StepLimit != 0 {
+		s.Steps = b.StepLimit
+	}
+	return s
+}
+
+// MarkExceeded records a resource-limited outcome without a solver run —
+// used when the view cache suppresses a solve whose previous attempt was
+// undecided, so the caller still observes "undecided within budget" rather
+// than "no pattern".
+func (b *Budget) MarkExceeded() {
+	if b != nil {
+		b.Exceeded = true
+	}
+}
+
+// stats returns (allocating if needed) the KindStats bucket for kind.
+func (b *Budget) stats(kind Kind) *KindStats {
+	if b.Kinds == nil {
+		b.Kinds = map[Kind]*KindStats{}
+	}
+	ks := b.Kinds[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		b.Kinds[kind] = ks
+	}
+	return ks
+}
+
+// RecordCacheHit books a solve answered from the view cache.
+func (b *Budget) RecordCacheHit(kind Kind) {
+	if b != nil {
+		b.stats(kind).CacheHits++
+	}
+}
+
+// RecordCacheMiss books a solve that ran because the view cache had no
+// usable entry.
+func (b *Budget) RecordCacheMiss(kind Kind) {
+	if b != nil {
+		b.stats(kind).CacheMisses++
+	}
+}
+
+// RecordCacheSkip books a solve suppressed by a cached "undecided" verdict
+// whose budget was at least as large as the current one.
+func (b *Budget) RecordCacheSkip(kind Kind) {
+	if b != nil {
+		b.stats(kind).CacheSkips++
+	}
+}
+
+// KindTimeouts returns the resource-limited run count booked under kind so
+// far. The finder brackets a matcher call with it to tell whether that
+// call specifically was cut short.
+func (b *Budget) KindTimeouts(kind Kind) int {
+	if b == nil || b.Kinds == nil || b.Kinds[kind] == nil {
+		return 0
+	}
+	return b.Kinds[kind].Timeouts
 }
 
 // solve runs sv.Solve under the budget, attributing the effort to kind.

@@ -43,7 +43,7 @@ var extensionKindNames = map[Kind]kindName{}
 
 // MatchStencil refines a matched (plain) map into a stencil, or returns
 // nil if the map has no overlapping-neighbourhood structure.
-func MatchStencil(g *ddg.Graph, m *Pattern) *Pattern {
+func MatchStencil(g ddg.GraphView, m *Pattern) *Pattern {
 	if m == nil || m.Kind != KindMap || len(m.Comps) < 3 {
 		return nil
 	}
@@ -138,7 +138,7 @@ func MatchTreeReduction(v *View) *Pattern {
 		if v.OutDegree(i) > 1 {
 			return nil
 		}
-		for _, j := range v.Arcs[i] {
+		for _, j := range v.Arcs(i) {
 			indeg[j]++
 		}
 		if v.OutDegree(i) == 0 {
@@ -161,11 +161,11 @@ func MatchTreeReduction(v *View) *Pattern {
 	}
 	// Leaves take input elements; the root produces the result.
 	for i := 0; i < n; i++ {
-		if indeg[i] == 0 && !v.ExtIn[i] {
+		if indeg[i] == 0 && !v.ExtIn(i) {
 			return nil
 		}
 	}
-	if !v.ExtOut[sink] {
+	if !v.ExtOut(sink) {
 		return nil
 	}
 	if !v.G.Convex(v.Ambient, nil) {
@@ -185,7 +185,7 @@ func topoOrder(v *View) []int {
 	n := v.NumGroups()
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
-		for _, j := range v.Arcs[i] {
+		for _, j := range v.Arcs(i) {
 			indeg[j]++
 		}
 	}
@@ -201,7 +201,7 @@ func topoOrder(v *View) []int {
 		u := queue[0]
 		queue = queue[1:]
 		order = append(order, u)
-		for _, j := range v.Arcs[u] {
+		for _, j := range v.Arcs(u) {
 			indeg[j]--
 			if indeg[j] == 0 {
 				queue = append(queue, j)

@@ -38,7 +38,7 @@ func MatchMap(v *View) *Pattern {
 	}
 	// (2c) every component takes an input element.
 	for i := 0; i < n; i++ {
-		if !v.ExtIn[i] {
+		if !v.ExtIn(i) {
 			return nil
 		}
 	}
@@ -47,7 +47,7 @@ func MatchMap(v *View) *Pattern {
 	// output for the view to compute anything.
 	var full, partial []int
 	for i := 0; i < n; i++ {
-		if v.ExtOut[i] {
+		if v.ExtOut(i) {
 			full = append(full, i)
 		} else {
 			partial = append(partial, i)
@@ -59,9 +59,9 @@ func MatchMap(v *View) *Pattern {
 	// (1c) relaxed isomorphism: full components share an operation-set
 	// label; conditional components execute a subset of it (they skipped
 	// their output branch).
-	fullSet := v.OpSet[full[0]]
+	fullSet := v.OpSet(full[0])
 	for _, i := range full[1:] {
-		if v.OpSet[i] != fullSet {
+		if v.OpSet(i) != fullSet {
 			return nil
 		}
 	}

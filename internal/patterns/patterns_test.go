@@ -550,11 +550,11 @@ func TestViewBasics(t *testing.T) {
 		t.Fatalf("groups = %d", v.NumGroups())
 	}
 	for i := 0; i < 3; i++ {
-		if !v.ExtIn[i] || !v.ExtOut[i] {
-			t.Errorf("group %d: ExtIn=%v ExtOut=%v", i, v.ExtIn[i], v.ExtOut[i])
+		if !v.ExtIn(i) || !v.ExtOut(i) {
+			t.Errorf("group %d: ExtIn=%v ExtOut=%v", i, v.ExtIn(i), v.ExtOut(i))
 		}
-		if v.Label[i] != v.Label[0] || v.OpSet[i] != "fmul,fsub" {
-			t.Errorf("group %d labels: %q / %q", i, v.Label[i], v.OpSet[i])
+		if v.Label(i) != v.Label(0) || v.OpSet(i) != "fmul,fsub" {
+			t.Errorf("group %d labels: %q / %q", i, v.Label(i), v.OpSet(i))
 		}
 		if v.OutDegree(i) != 0 || v.InDegree(i) != 0 {
 			t.Errorf("group %d has view arcs", i)

@@ -27,14 +27,14 @@ func init() {
 
 // MatchPipeline reports the pipeline formed by stage view a feeding stage
 // view b, or nil. Both views must be loop views of the candidate stages.
-func MatchPipeline(g *ddg.Graph, a, b *View) *Pattern {
+func MatchPipeline(g ddg.GraphView, a, b *View) *Pattern {
 	n := a.NumGroups()
 	if n < 2 || b.NumGroups() != n {
 		return nil // stages process the same item stream
 	}
 	// Stage-uniform labels: every item goes through the same operations.
 	for i := 1; i < n; i++ {
-		if a.Label[i] != a.Label[0] || b.Label[i] != b.Label[0] {
+		if a.Label(i) != a.Label(0) || b.Label(i) != b.Label(0) {
 			return nil
 		}
 	}
@@ -82,13 +82,13 @@ func MatchPipeline(g *ddg.Graph, a, b *View) *Pattern {
 	}
 	// Every stage-a group has input; the final stage emits results.
 	for i := 0; i < n; i++ {
-		if !a.ExtIn[i] && a.InDegree(i) == 0 {
+		if !a.ExtIn(i) && a.InDegree(i) == 0 {
 			return nil
 		}
 	}
 	anyOut := false
 	for j := 0; j < n; j++ {
-		if b.ExtOut[j] {
+		if b.ExtOut(j) {
 			anyOut = true
 		}
 	}

@@ -48,7 +48,7 @@ func MatchLinearReduction(v *View, budget *Budget) *Pattern {
 	}
 	// (3e) every component takes an input data element.
 	for i := 0; i < n; i++ {
-		if !v.ExtIn[i] && v.InDegree(i) == 0 {
+		if !v.ExtIn(i) && v.InDegree(i) == 0 {
 			return nil
 		}
 	}
@@ -94,7 +94,7 @@ func MatchLinearReduction(v *View, budget *Budget) *Pattern {
 		}
 	}
 	// (3f) the last component produces the output element.
-	if !v.ExtOut[order[n-1]] {
+	if !v.ExtOut(order[n-1]) {
 		return nil
 	}
 	// (1e) pattern convexity.
@@ -120,12 +120,13 @@ func pathOrder(v *View) []int {
 		next[i] = -1
 	}
 	for i := 0; i < n; i++ {
-		if len(v.Arcs[i]) > 1 {
+		a := v.Arcs(i)
+		if len(a) > 1 {
 			return nil
 		}
-		if len(v.Arcs[i]) == 1 {
-			next[i] = v.Arcs[i][0]
-			indeg[v.Arcs[i][0]]++
+		if len(a) == 1 {
+			next[i] = a[0]
+			indeg[a[0]]++
 			arcs++
 		}
 	}
@@ -202,7 +203,7 @@ func MatchTiledReduction(v *View, budget *Budget) *Pattern {
 	outdeg := make([]int, n)
 	for i := 0; i < n; i++ {
 		outdeg[i] = v.OutDegree(i)
-		for _, j := range v.Arcs[i] {
+		for _, j := range v.Arcs(i) {
 			indeg[j]++
 		}
 	}
@@ -295,7 +296,7 @@ func (p *tiledShape) Propagate(s *cp.Space) bool {
 	// node feeding a partial node would be a backward arc, impossible).
 	for i := 0; i < n; i++ {
 		if s.Assigned(p.role[i]) && s.Value(p.role[i]) == 1 {
-			for _, j := range v.Arcs[i] {
+			for _, j := range v.Arcs(i) {
 				if !s.Assign(p.role[j], 1) {
 					return false
 				}
@@ -340,7 +341,7 @@ func checkTiled(v *View, isFinal func(int) bool) *tiledStructure {
 	head := -1
 	for _, i := range finals {
 		var succFinals []int
-		for _, j := range v.Arcs[i] {
+		for _, j := range v.Arcs(i) {
 			if finalSet[j] {
 				succFinals = append(succFinals, j)
 			} else {
@@ -399,7 +400,7 @@ func checkTiled(v *View, isFinal func(int) bool) *tiledStructure {
 	fedCount := make([]int, m)
 	for _, i := range partials {
 		var ps, fs []int
-		for _, j := range v.Arcs[i] {
+		for _, j := range v.Arcs(i) {
 			if partialSet[j] {
 				ps = append(ps, j)
 			} else {
@@ -464,11 +465,11 @@ func checkTiled(v *View, isFinal func(int) bool) *tiledStructure {
 	// (3e)/(3f) analogue: every partial node takes an element from outside
 	// the sub-DDG; the final sink produces an output element.
 	for _, i := range partials {
-		if !v.ExtIn[i] {
+		if !v.ExtIn(i) {
 			return nil
 		}
 	}
-	if !v.ExtOut[order[m-1]] {
+	if !v.ExtOut(order[m-1]) {
 		return nil
 	}
 	return &tiledStructure{finalOrder: order, chains: chains}

@@ -15,26 +15,62 @@ import (
 // iteration, which is the paper's DDG Compaction phase (§5) — so that a
 // work-split Pthreads loop and its sequential counterpart present identical
 // views. Associative-component sub-DDGs are viewed node-per-node.
+//
+// Only the grouping is built eagerly. Group arcs, boundary flags, and
+// labels derive lazily from a zero-copy overlay of the ambient node set
+// (ddg.SubView) the first time a matcher asks for them — a view that is
+// answered from the finder's verdict cache, or rejected by the group-count
+// gate, never touches the graph's adjacency at all. Nothing of the base
+// graph is copied either way.
 type View struct {
-	G       *ddg.Graph
-	Ambient ddg.Set // the sub-DDG's nodes
+	G       ddg.GraphView
+	Ambient ddg.Set   // the sub-DDG's nodes
+	Groups  []ddg.Set // view node -> original nodes
 
-	Groups []ddg.Set // view node -> original nodes
-	Label  []string  // operation-multiset label per group (relaxed 1c)
-	OpSet  []string  // operation-set label per group (conditional variants)
+	hash ddg.Hash128 // content hash: ViewKey(Ambient, loop)
 
-	Arcs   [][]int // group adjacency (original arcs between groups)
-	ExtIn  []bool  // group receives an arc from outside the sub-DDG
-	ExtOut []bool  // group sends an arc outside the sub-DDG
+	sub *ddg.SubView // lazy overlay of Ambient over G
+
+	// Lazily built group structure (ensure).
+	built  bool
+	arcs   [][]int // group adjacency (original arcs between groups), sorted
+	indeg  []int   // distinct-group in-degree per group
+	extIn  []bool  // group receives an arc from outside the sub-DDG
+	extOut []bool  // group sends an arc outside the sub-DDG
+
+	// Lazily computed labels, per group ("" = not yet computed; group
+	// labels are never empty since groups are non-empty).
+	labels []string
+	opsets []string
 
 	reach [][]bool // group-level reachability closure (lazy)
+}
+
+// hashSeedView tags view hashes (see ViewKey).
+const hashSeedView = 0x71e3d5a9c4b8f017
+
+// ViewKey returns the 128-bit content hash identifying the view of a node
+// set under a grouping provenance: loop != 0 names the compacted loop view
+// (one group per dynamic (invocation, iteration) of that static loop);
+// loop == 0 names the node-per-node view. Within one graph the grouping —
+// and hence every match verdict — is a pure function of (nodes, loop), so
+// this pair is exactly what must be hashed: the same node set viewed under
+// a different loop, or uncompacted, partitions differently and may match
+// differently, while provenances that share a grouping (an associative
+// component and a whole-graph sub-DDG over the same nodes are both
+// node-per-node) may safely share cached verdicts.
+func ViewKey(nodes ddg.Set, loop mir.LoopID) ddg.Hash128 {
+	h := ddg.NewHasher(hashSeedView)
+	h.Word(uint64(loop))
+	h.Hash(nodes.Hash())
+	return h.Sum()
 }
 
 // LoopView builds the compacted view of a loop-derived sub-DDG: one group
 // per (invocation, iteration) of the given static loop. Nodes lacking a
 // frame for the loop are grouped separately per node (they are rare:
 // boundary computation hoisted around the loop).
-func LoopView(g *ddg.Graph, nodes ddg.Set, loop mir.LoopID) *View {
+func LoopView(g ddg.GraphView, nodes ddg.Set, loop mir.LoopID) *View {
 	type key struct {
 		inv  uint64
 		iter int64
@@ -65,81 +101,141 @@ func LoopView(g *ddg.Graph, nodes ddg.Set, loop mir.LoopID) *View {
 	for _, u := range loose {
 		groups = append(groups, ddg.NewSet(u))
 	}
-	return newView(g, nodes, groups)
+	return &View{G: g, Ambient: nodes, Groups: groups, hash: ViewKey(nodes, loop)}
 }
 
 // NodeView builds the node-per-node view of a sub-DDG (associative
 // components).
-func NodeView(g *ddg.Graph, nodes ddg.Set) *View {
+func NodeView(g ddg.GraphView, nodes ddg.Set) *View {
 	groups := make([]ddg.Set, len(nodes))
 	for i, u := range nodes {
 		groups[i] = ddg.NewSet(u)
 	}
-	return newView(g, nodes, groups)
+	return &View{G: g, Ambient: nodes, Groups: groups, hash: ViewKey(nodes, 0)}
 }
 
-func newView(g *ddg.Graph, nodes ddg.Set, groups []ddg.Set) *View {
-	v := &View{
-		G:       g,
-		Ambient: nodes,
-		Groups:  groups,
-		Label:   make([]string, len(groups)),
-		OpSet:   make([]string, len(groups)),
-		Arcs:    make([][]int, len(groups)),
-		ExtIn:   make([]bool, len(groups)),
-		ExtOut:  make([]bool, len(groups)),
+// Hash returns the view's content hash (see ViewKey): equal hashes within
+// one graph mean identical groupings and identical match outcomes.
+func (v *View) Hash() ddg.Hash128 { return v.hash }
+
+// Sub returns the zero-copy overlay of the view's ambient set, building it
+// on first use.
+func (v *View) Sub() *ddg.SubView {
+	if v.sub == nil {
+		v.sub = v.G.Overlay(v.Ambient)
 	}
-	// Dense group lookup: -1 marks nodes outside the sub-DDG.
-	groupOf := make([]int32, g.NumNodes())
-	for i := range groupOf {
-		groupOf[i] = -1
+	return v.sub
+}
+
+// ensure derives the group-level arc structure and boundary flags from the
+// overlay. Membership tests ride the overlay's bitset; the group of a
+// member node is found through its position in the sorted ambient set, so
+// the scratch state is O(|ambient|), never O(|graph|).
+func (v *View) ensure() {
+	if v.built {
+		return
 	}
-	for i, grp := range groups {
-		v.Label[i] = g.LabelKey(grp)
-		v.OpSet[i] = g.OpSetKey(grp)
+	v.built = true
+	sub := v.Sub()
+	n := len(v.Groups)
+	v.arcs = make([][]int, n)
+	v.indeg = make([]int, n)
+	v.extIn = make([]bool, n)
+	v.extOut = make([]bool, n)
+	// Ambient-aligned group index: gidx[i] = group of v.Ambient[i].
+	gidx := make([]int32, len(v.Ambient))
+	for i, grp := range v.Groups {
 		for _, u := range grp {
-			groupOf[u] = int32(i)
+			gidx[v.Ambient.IndexOf(u)] = int32(i)
 		}
 	}
-	arcSeen := map[int64]bool{}
-	for i, grp := range groups {
+	for i, grp := range v.Groups {
+		var out []int
 		for _, u := range grp {
-			for _, w := range g.Succs(u) {
-				j := groupOf[w]
-				switch {
-				case j < 0:
-					v.ExtOut[i] = true
-				case int(j) != i:
-					key := int64(i)<<32 | int64(j)
-					if !arcSeen[key] {
-						arcSeen[key] = true
-						v.Arcs[i] = append(v.Arcs[i], int(j))
-					}
+			for _, w := range v.G.Succs(u) {
+				if !sub.Contains(w) {
+					v.extOut[i] = true
+					continue
+				}
+				if j := int(gidx[v.Ambient.IndexOf(w)]); j != i {
+					out = append(out, j)
 				}
 			}
-			if !v.ExtIn[i] {
-				for _, w := range g.Preds(u) {
-					if groupOf[w] < 0 {
-						v.ExtIn[i] = true
+			if !v.extIn[i] {
+				for _, w := range v.G.Preds(u) {
+					if !sub.Contains(w) {
+						v.extIn[i] = true
 						break
 					}
 				}
 			}
 		}
+		sort.Ints(out)
+		dedup := out[:0]
+		for k, j := range out {
+			if k > 0 && j == out[k-1] {
+				continue
+			}
+			dedup = append(dedup, j)
+		}
+		v.arcs[i] = dedup
+		for _, j := range dedup {
+			v.indeg[j]++
+		}
 	}
-	for i := range v.Arcs {
-		sort.Ints(v.Arcs[i])
-	}
-	return v
 }
 
 // NumGroups returns the number of view groups.
 func (v *View) NumGroups() int { return len(v.Groups) }
 
+// Arcs returns the sorted distinct groups that group i has arcs to. The
+// returned slice is shared; callers must not mutate it.
+func (v *View) Arcs(i int) []int {
+	v.ensure()
+	return v.arcs[i]
+}
+
+// ExtIn reports whether group i receives an arc from outside the sub-DDG.
+func (v *View) ExtIn(i int) bool {
+	v.ensure()
+	return v.extIn[i]
+}
+
+// ExtOut reports whether group i sends an arc outside the sub-DDG.
+func (v *View) ExtOut(i int) bool {
+	v.ensure()
+	return v.extOut[i]
+}
+
+// Label returns the operation-multiset label of group i (relaxed 1c),
+// computed on first use per group.
+func (v *View) Label(i int) string {
+	if v.labels == nil {
+		v.labels = make([]string, len(v.Groups))
+	}
+	if v.labels[i] == "" {
+		v.labels[i] = v.G.LabelKey(v.Groups[i])
+	}
+	return v.labels[i]
+}
+
+// OpSet returns the operation-set label of group i (conditional variants),
+// computed on first use per group.
+func (v *View) OpSet(i int) string {
+	if v.opsets == nil {
+		v.opsets = make([]string, len(v.Groups))
+	}
+	if v.opsets[i] == "" {
+		v.opsets[i] = v.G.OpSetKey(v.Groups[i])
+	}
+	return v.opsets[i]
+}
+
 // HasArc reports a group-level arc i -> j.
 func (v *View) HasArc(i, j int) bool {
-	k := sort.SearchInts(v.Arcs[i], j)
-	return k < len(v.Arcs[i]) && v.Arcs[i][k] == j
+	arcs := v.Arcs(i)
+	k := sort.SearchInts(arcs, j)
+	return k < len(arcs) && arcs[k] == j
 }
 
 // Reaches reports group-level reachability i ->* j (strictly forward,
@@ -153,13 +249,14 @@ func (v *View) Reaches(i, j int) bool {
 }
 
 func (v *View) computeReach() {
+	v.ensure()
 	n := len(v.Groups)
 	v.reach = make([][]bool, n)
 	// Reverse-topological accumulation would be fastest; a BFS per group is
 	// ample for view sizes (at most a few hundred groups).
 	for i := 0; i < n; i++ {
 		v.reach[i] = make([]bool, n)
-		stack := append([]int(nil), v.Arcs[i]...)
+		stack := append([]int(nil), v.arcs[i]...)
 		for len(stack) > 0 {
 			j := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -167,24 +264,19 @@ func (v *View) computeReach() {
 				continue
 			}
 			v.reach[i][j] = true
-			stack = append(stack, v.Arcs[j]...)
+			stack = append(stack, v.arcs[j]...)
 		}
 	}
 }
 
 // InDegree returns the number of distinct groups with arcs into group i.
 func (v *View) InDegree(i int) int {
-	n := 0
-	for j := range v.Groups {
-		if j != i && v.HasArc(j, i) {
-			n++
-		}
-	}
-	return n
+	v.ensure()
+	return v.indeg[i]
 }
 
 // OutDegree returns the number of distinct groups that group i has arcs to.
-func (v *View) OutDegree(i int) int { return len(v.Arcs[i]) }
+func (v *View) OutDegree(i int) int { return len(v.Arcs(i)) }
 
 // GroupsUnion returns the original nodes of the given groups.
 func (v *View) GroupsUnion(idx ...int) ddg.Set {

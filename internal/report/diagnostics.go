@@ -45,8 +45,21 @@ func Diagnostics(res *core.Result) string {
 	for _, f := range res.Failures {
 		fmt.Fprintf(&sb, "  - contained failure: %v\n", f)
 	}
+	if line := CacheStats(res); line != "" {
+		sb.WriteString("  " + line + "\n")
+	}
 	sb.WriteString(solverEffort(res))
 	return sb.String()
+}
+
+// CacheStats renders a one-line view-cache summary ("" when the run
+// recorded no cache activity, e.g. under -no-cache).
+func CacheStats(res *core.Result) string {
+	hits, misses, skips := res.CacheStats()
+	if hits+misses+skips == 0 {
+		return ""
+	}
+	return fmt.Sprintf("view cache: %d hit(s), %d miss(es), %d skip(s)", hits, misses, skips)
 }
 
 // solverEffort renders the per-kind solver rollup lines.
@@ -86,6 +99,16 @@ type KindStatsJSON struct {
 	Propagations int64 `json:"propagations"`
 	Solutions    int64 `json:"solutions"`
 	ElapsedMS    int64 `json:"elapsed_ms"`
+	CacheHits    int   `json:"cache_hits,omitempty"`
+	CacheMisses  int   `json:"cache_misses,omitempty"`
+	CacheSkips   int   `json:"cache_skips,omitempty"`
+}
+
+// CacheJSON is the view-cache rollup across all pattern kinds.
+type CacheJSON struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Skips  int `json:"skips"`
 }
 
 // FailureJSON is one contained failure (a recovered panic or typed error)
@@ -105,6 +128,7 @@ type DiagnosticsJSON struct {
 	PoolLimited   bool                     `json:"pool_limited"`
 	Failures      []FailureJSON            `json:"failures,omitempty"`
 	Solver        map[string]KindStatsJSON `json:"solver,omitempty"`
+	Cache         *CacheJSON               `json:"cache,omitempty"`
 }
 
 // SummaryJSON is the machine-readable counterpart of Summary.
@@ -157,9 +181,15 @@ func JSON(res *core.Result) ([]byte, error) {
 				Runs: ks.Runs, Timeouts: ks.Timeouts,
 				Nodes: ks.Nodes, Failures: ks.Failures,
 				Propagations: ks.Propagations, Solutions: ks.Solutions,
-				ElapsedMS: ks.Elapsed.Milliseconds(),
+				ElapsedMS:   ks.Elapsed.Milliseconds(),
+				CacheHits:   ks.CacheHits,
+				CacheMisses: ks.CacheMisses,
+				CacheSkips:  ks.CacheSkips,
 			}
 		}
+	}
+	if hits, misses, skips := res.CacheStats(); hits+misses+skips > 0 {
+		out.Diagnostics.Cache = &CacheJSON{Hits: hits, Misses: misses, Skips: skips}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
