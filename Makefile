@@ -4,12 +4,13 @@
 #   make race    — race-detector pass over the concurrency-bearing packages
 #   make fuzz    — short native-fuzzing pass over the crash-safety targets
 #   make bench   — trace + find benchmarks (BENCH_trace.json, BENCH_find.json)
-#   make benchsmoke — one-iteration find benchmark (CI sanity check)
+#   make benchsmoke — one-iteration find benchmark + obs overhead gate
+#   make cover   — coverage floors for internal/core and internal/obs
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench benchsmoke
+.PHONY: check build vet test race fuzz bench benchsmoke cover
 
 check: build vet test race
 
@@ -23,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/...
+	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/obs/...
 
 # Each target runs for FUZZTIME; Go's fuzzer accepts one -fuzz pattern per
 # package invocation, so the targets run in sequence.
@@ -37,6 +38,26 @@ bench:
 	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32
 
 # One timed iteration of the find fixpoint benchmark: catches bit-rot in
-# the benchmark itself without the cost of a real measurement run.
+# the benchmark itself without the cost of a real measurement run. The
+# second command runs the disabled-observability overhead gate: the find
+# fixpoint with the no-op recorder must stay within 2% of running with no
+# recorder at all (the zero-cost-when-disabled contract, DESIGN.md §12).
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFindFixpoint$$' -benchtime=1x .
+	OBS_OVERHEAD=1 $(GO) test -run '^TestNopRecorderOverhead$$' .
+
+# Coverage floors. The thresholds sit a few points under the levels the
+# suite reaches at the time of writing (core 95%, obs 92%), so real
+# regressions fail while test-order jitter does not.
+cover:
+	@mkdir -p .cover
+	$(GO) test -coverprofile=.cover/core.out ./internal/core/
+	$(GO) test -coverprofile=.cover/obs.out ./internal/obs/
+	@for spec in core:90 obs:88; do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) tool cover -func=.cover/$$pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "internal/$$pkg coverage: $$pct% (floor $$floor%)"; \
+		if [ "$$(echo "$$pct $$floor" | awk '{ print ($$1 >= $$2) }')" != 1 ]; then \
+			echo "coverage regression in internal/$$pkg: $$pct% < $$floor%"; exit 1; \
+		fi; \
+	done

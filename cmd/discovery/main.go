@@ -18,6 +18,7 @@ import (
 
 	"discovery/internal/core"
 	"discovery/internal/modernize"
+	"discovery/internal/obs"
 	"discovery/internal/report"
 	"discovery/internal/starbench"
 	"discovery/internal/trace"
@@ -37,6 +38,10 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the view-verdict solve cache (escape hatch; every solve runs)")
 		cacheStats = flag.Bool("cache-stats", false, "print view cache hit/miss/skip counts to stderr")
 		check      = flag.Bool("check", false, "verify DDG structural invariants after tracing and after simplification")
+		obsOn      = flag.Bool("obs", false, "record phase spans and metrics; print the phase tree to stderr")
+		obsOut     = flag.String("obs-out", "", "write the observability JSON document (spans + metrics) to this file (implies -obs)")
+		metrics    = flag.Bool("metrics", false, "print metrics in Prometheus text format to stderr (implies -obs)")
+		pprofOut   = flag.String("pprof", "", "capture profiles around the analysis into PREFIX.cpu.pprof and PREFIX.heap.pprof")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -76,9 +81,37 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Observability is opt-in: with all three flags unset the recorder is
+	// the no-op singleton and every output stays byte-identical to a build
+	// without the obs layer.
+	rec := obs.Recorder(obs.Nop)
+	var collector *obs.Collector
+	if *obsOn || *obsOut != "" || *metrics {
+		collector = obs.NewCollector()
+		rec = collector
+	}
+	var prof *obs.Profiler
+	if *pprofOut != "" {
+		p, err := obs.StartProfile(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling failed: %v\n", err)
+			os.Exit(1)
+		}
+		prof = p
+	}
+
+	// One umbrella span covers the whole analysis, so the exported tree has
+	// a single root whose duration accounts for (nearly all of) the
+	// process's wall time: trace and find nest under it.
+	var analyzeSpan obs.SpanID
+	if rec.Enabled() {
+		analyzeSpan = rec.StartSpan("analyze", 0,
+			obs.Str("bench", b.Name), obs.Str("version", string(v)))
+	}
+
 	built := b.Build(v, b.Analysis)
 	start := time.Now()
-	tr, err := trace.Run(built.Prog)
+	tr, err := trace.RunObserved(built.Prog, rec, analyzeSpan)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracing failed: %v\n", err)
 		os.Exit(1)
@@ -93,8 +126,12 @@ func main() {
 	res := core.Find(tr.Graph, core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
-		DisableCache: *noCache,
+		DisableCache: *noCache, Obs: rec, ObsParent: analyzeSpan,
 	})
+	if rec.Enabled() {
+		rec.EndSpan(analyzeSpan,
+			obs.Int("patterns", int64(len(res.Patterns))))
+	}
 	if *check && res.Graph != nil && res.Graph != tr.Graph {
 		if err := res.Graph.CheckInvariants(); err != nil {
 			fmt.Fprintf(os.Stderr, "simplified DDG failed invariant checking: %v\n", err)
@@ -138,7 +175,10 @@ func main() {
 	case "html":
 		fmt.Print(report.HTML(built.Prog, res))
 	case "json":
-		data, err := report.JSON(res)
+		// -cache-stats makes the JSON "cache" block explicit even when the
+		// run recorded no cache activity (e.g. under -no-cache), so asking
+		// for the stats always yields them, zeroed rather than absent.
+		data, err := report.JSONWith(res, report.JSONOptions{IncludeCacheStats: *cacheStats})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
 			os.Exit(1)
@@ -147,5 +187,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(1)
+	}
+
+	if prof != nil {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s, %s\n", prof.CPUPath(), prof.HeapPath())
+	}
+	if collector != nil {
+		if *obsOn {
+			fmt.Fprint(os.Stderr, report.PhaseTree(collector, 0))
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, report.PrometheusMetrics(collector))
+		}
+		if *obsOut != "" {
+			data, err := report.ObservabilityJSON(collector)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs export failed: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "obs export failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
+		}
 	}
 }

@@ -8,7 +8,7 @@
 //	experiments -run figure7 -factors 1,2,4,8
 //
 // Available experiments: table1, table2, table3, accuracy, figure7,
-// figure8, phases, simplify, ablation, all. "bench" (not part of all)
+// figure8, phases, phasetable, simplify, ablation, all. "bench" (not part of all)
 // measures tracing throughput and the pattern-finding fixpoint (cold vs
 // warm view cache), writing BENCH_trace.json and BENCH_find.json:
 //
@@ -24,6 +24,8 @@ import (
 
 	"discovery/internal/core"
 	"discovery/internal/experiments"
+	"discovery/internal/obs"
+	"discovery/internal/report"
 )
 
 func main() {
@@ -38,8 +40,31 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_trace.json", "output file for trace bench results")
 		findReps   = flag.Int("find-reps", 10, "repetitions per find bench configuration")
 		findOut    = flag.String("find-out", "BENCH_find.json", "output file for find bench results")
+		obsOn      = flag.Bool("obs", false, "record phase spans and metrics across all runs; print the phase tree to stderr")
+		obsOut     = flag.String("obs-out", "", "write the observability JSON document (spans + metrics) to this file (implies -obs)")
+		metrics    = flag.Bool("metrics", false, "print metrics in Prometheus text format to stderr (implies -obs)")
+		pprofOut   = flag.String("pprof", "", "capture profiles around the experiments into PREFIX.cpu.pprof and PREFIX.heap.pprof")
 	)
 	flag.Parse()
+
+	// One collector spans every selected experiment; with the flags unset
+	// the recorder stays the no-op singleton and outputs are byte-identical
+	// to a build without the obs layer.
+	rec := obs.Recorder(obs.Nop)
+	var collector *obs.Collector
+	if *obsOn || *obsOut != "" || *metrics {
+		collector = obs.NewCollector()
+		rec = collector
+	}
+	var prof *obs.Profiler
+	if *pprofOut != "" {
+		p, err := obs.StartProfile(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling failed: %v\n", err)
+			os.Exit(1)
+		}
+		prof = p
+	}
 
 	// opts layers the budget flags over the experiments' defaults; with the
 	// flags unset the outputs are byte-identical to an unbudgeted build.
@@ -48,6 +73,7 @@ func main() {
 		o.Budget = *budget
 		o.SolverBudget = *solverBudg
 		o.SolverStepLimit = *solverStep
+		o.Obs = rec
 		return o
 	}
 
@@ -116,6 +142,14 @@ func main() {
 			fmt.Println(res.Text())
 			return nil
 		},
+		"phasetable": func() error {
+			res, err := experiments.RunPhaseTable(opts())
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Text())
+			return nil
+		},
 		"ablation": func() error {
 			rows, err := experiments.RunAblations()
 			if err != nil {
@@ -157,7 +191,7 @@ func main() {
 	}
 
 	order := []string{"table1", "table2", "table3", "accuracy", "figure7",
-		"figure8", "phases", "simplify", "ablation"}
+		"figure8", "phases", "phasetable", "simplify", "ablation"}
 
 	names := []string{*run}
 	if *run == "all" {
@@ -174,6 +208,34 @@ func main() {
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+
+	if prof != nil {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s, %s\n", prof.CPUPath(), prof.HeapPath())
+	}
+	if collector != nil {
+		if *obsOn {
+			fmt.Fprint(os.Stderr, report.PhaseTree(collector, 0))
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, report.PrometheusMetrics(collector))
+		}
+		if *obsOut != "" {
+			data, err := report.ObservabilityJSON(collector)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs export failed: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "obs export failed: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"discovery/internal/analysis"
 	"discovery/internal/ddg"
+	"discovery/internal/obs"
 	"discovery/internal/patterns"
 )
 
@@ -53,6 +54,18 @@ type Options struct {
 	// set (stencils and tree reductions, from the paper's future work).
 	// Off by default so Table 3 behaviour is the baseline.
 	Extensions bool
+
+	// Obs receives this run's phase spans and metrics (see internal/obs):
+	// a "find" root span, one span per phase per iteration, one per
+	// matched sub-DDG, one per solver run, and the unified metric rollup
+	// that mirrors SolverStats/CacheStats. Nil — the default — resolves
+	// to the zero-cost no-op recorder, keeping the hot path free of
+	// observability work and the output byte-identical to an
+	// uninstrumented build.
+	Obs obs.Recorder
+	// ObsParent, with Obs set, parents the run's root span under an
+	// enclosing span (e.g. the CLI's whole-analysis span).
+	ObsParent obs.SpanID
 
 	// DisableCache turns off the view–verdict cache (the -no-cache escape
 	// hatch): every solve runs even when an identical view was already
@@ -209,11 +222,25 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		defer cancel()
 	}
 	res = &Result{}
-	// Last-resort boundary for panics between the phase guards.
+	// Last-resort boundary for panics between the phase guards. Registered
+	// before the root span's deferred end, so on such a panic the span
+	// tree still closes (deferred calls run in reverse order) and only
+	// then is the panic recorded.
 	defer func() {
 		if r := recover(); r != nil {
 			res.Failures = append(res.Failures, analysis.Recovered(analysis.StageMatch, r))
 		}
+	}()
+	rec := obs.OrNop(opts.Obs)
+	root := rec.StartSpan("find", opts.ObsParent)
+	var cache *ViewCache
+	defer func() {
+		emitFindMetrics(rec, res, cache)
+		rec.EndSpan(root,
+			obs.Int("iterations", int64(res.Iterations)),
+			obs.Int("matches", int64(len(res.Matches))),
+			obs.Int("patterns", int64(len(res.Patterns))),
+			obs.Str("degraded", boolStr(res.Degraded())))
 	}()
 	if g == nil {
 		res.Failures = append(res.Failures, analysis.Errorf(
@@ -226,9 +253,12 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	start := time.Now()
 	gs := g
 	if !opts.DisableSimplify {
-		if !guard(res, "simplify", func() { gs = Simplify(g) }) {
+		sp := rec.StartSpan("simplify", root, obs.Int("nodes", int64(g.NumNodes())))
+		ok := guard(res, "simplify", func() { gs = Simplify(g) })
+		if !ok {
 			gs = g // fall back to matching the unsimplified graph
 		}
+		endPhase(rec, sp, ok, obs.Int("simplified", int64(gs.NumNodes())))
 	}
 	res.Graph = gs
 	res.SimplifiedNodes = gs.NumNodes()
@@ -238,15 +268,20 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	// across runs; otherwise a run-private one still serves the group-count
 	// gate and deduplicates any identical views within this run. prepare
 	// resets a carried cache whose fingerprint does not match this run.
-	var cache *ViewCache
 	if !opts.DisableCache {
 		cache = opts.Cache
 		if cache == nil {
 			cache = NewViewCache()
 		}
-		if !guard(res, "cache", func() { cache.prepare(cacheFingerprint(gs, opts)) }) {
+		sp := rec.StartSpan("cache-prepare", root)
+		ok := guard(res, "cache", func() { cache.prepare(cacheFingerprint(gs, opts)) })
+		if !ok {
 			cache = nil
 		}
+		snap := cache.Snapshot()
+		endPhase(rec, sp, ok,
+			obs.Int("entries", int64(snap.Entries)),
+			obs.Int("resets", int64(snap.Resets)))
 	}
 
 	// Phase: decompose (the decomposed sub-DDGs are compacted lazily when
@@ -271,15 +306,20 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	}
 	if opts.DisableDecompose {
 		addPool(&SubDDG{Nodes: gs.Nodes()})
-	} else if !guard(res, "decompose", func() {
-		for _, s := range Decompose(gs) {
-			addPool(s)
+	} else {
+		sp := rec.StartSpan("decompose", root)
+		ok := guard(res, "decompose", func() {
+			for _, s := range Decompose(gs) {
+				addPool(s)
+			}
+		})
+		if !ok && len(pool) == 0 {
+			// Decomposition died before producing anything; match the whole
+			// graph as one sub-DDG, the same degraded-but-sound view the
+			// DisableDecompose ablation uses.
+			addPool(&SubDDG{Nodes: gs.Nodes()})
 		}
-	}) && len(pool) == 0 {
-		// Decomposition died before producing anything; match the whole
-		// graph as one sub-DDG, the same degraded-but-sound view the
-		// DisableDecompose ablation uses.
-		addPool(&SubDDG{Nodes: gs.Nodes()})
+		endPhase(rec, sp, ok, obs.Int("pool", int64(len(pool))))
 	}
 	active := append([]*SubDDG(nil), pool...)
 	res.Phases.Decompose = time.Since(start)
@@ -290,13 +330,16 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 			break
 		}
 		res.Iterations = iter
+		iterSpan := rec.StartSpan("iteration", root, obs.Int("i", int64(iter)))
 
 		// Phase: match (parallel across active sub-DDGs). Worker panics are
 		// contained per sub-DDG inside runMatchPhase; this guard covers the
 		// phase's own bookkeeping.
 		start = time.Now()
 		var matched []*SubDDG
-		guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, cache) })
+		sp := rec.StartSpan("match", iterSpan, obs.Int("active", int64(len(active))))
+		ok := guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, cache, rec, sp) })
+		endPhase(rec, sp, ok, obs.Int("matched", int64(len(matched))))
 		for _, s := range matched {
 			for _, p := range s.Matched {
 				res.Matches = append(res.Matches, Match{Pattern: p, Sub: s, Iteration: iter})
@@ -305,6 +348,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		res.Phases.Match += time.Since(start)
 
 		if opts.DisableIterate {
+			rec.EndSpan(iterSpan)
 			break
 		}
 
@@ -317,7 +361,8 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		// smaller instances that merging would discard anyway, and does so
 		// combinatorially, so matched sub-DDGs are skipped.
 		start = time.Now()
-		guard(res, "subtract", func() {
+		sp = rec.StartSpan("subtract", iterSpan)
+		ok = guard(res, "subtract", func() {
 			for _, g1 := range pool {
 				if len(g1.Matched) > 0 {
 					continue
@@ -340,12 +385,14 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 				}
 			}
 		})
+		endPhase(rec, sp, ok, obs.Int("fresh", int64(len(fresh))))
 		res.Phases.Subtract += time.Since(start)
 
 		// Phase: fuse adjacent pool sub-DDGs with compatible matches (a
 		// map flowing into any pattern).
 		start = time.Now()
-		guard(res, "fuse", func() {
+		sp = rec.StartSpan("fuse", iterSpan)
+		ok = guard(res, "fuse", func() {
 			isNew := make(map[*SubDDG]bool, len(matched))
 			for _, s := range matched {
 				isNew[s] = true
@@ -376,8 +423,10 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 				}
 			}
 		})
+		endPhase(rec, sp, ok, obs.Int("fresh", int64(len(fresh))))
 		res.Phases.Fuse += time.Since(start)
 
+		rec.EndSpan(iterSpan)
 		active = fresh
 	}
 	res.PoolSize = len(pool)
@@ -386,15 +435,65 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	// (paper §9 future work; see patterns.MatchPipeline).
 	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
-		guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, cache) })
+		sp := rec.StartSpan("pipelines", root, obs.Int("pool", int64(len(pool))))
+		ok := guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, cache, rec, sp) })
+		endPhase(rec, sp, ok)
 		res.Phases.Match += time.Since(start)
 	}
 
 	// Phase: merge — discard patterns subsumed by larger ones.
 	start = time.Now()
-	guard(res, "merge", func() { res.Patterns = merge(res.Matches) })
+	sp := rec.StartSpan("merge", root, obs.Int("matches", int64(len(res.Matches))))
+	ok := guard(res, "merge", func() { res.Patterns = merge(res.Matches) })
+	endPhase(rec, sp, ok, obs.Int("patterns", int64(len(res.Patterns))))
 	res.Phases.Merge = time.Since(start)
 	return res
+}
+
+// endPhase closes a phase span, adding the conventional failure marker
+// when the guarded phase panicked (guard reported false). Runs after
+// guard returns, so a phase span always closes — also for a phase that
+// died — which is what keeps the exported tree well-formed on degraded
+// runs.
+func endPhase(rec obs.Recorder, sp obs.SpanID, ok bool, attrs ...obs.Attr) {
+	if !ok {
+		attrs = append(attrs, obs.Failed("panic contained"))
+	}
+	rec.EndSpan(sp, attrs...)
+}
+
+// boolStr avoids strconv for a two-valued attribute.
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// emitFindMetrics publishes the run's unified metric rollup: the gauges
+// describing the final state and the per-kind counters mirroring
+// Result.SolverStats (the obs view of the same numbers the Result carries
+// for backward compatibility). Runs in FindCtx's deferred epilogue so the
+// metrics recorded before a contained failure still surface.
+func emitFindMetrics(rec obs.Recorder, res *Result, cache *ViewCache) {
+	if !rec.Enabled() {
+		return
+	}
+	rec.Gauge(obs.MetricIterations, float64(res.Iterations))
+	rec.Gauge(obs.MetricPoolSize, float64(res.PoolSize))
+	rec.Gauge(obs.MetricPatterns, float64(len(res.Patterns)))
+	rec.Count(obs.MetricMatches, int64(len(res.Matches)))
+	if cache != nil {
+		rec.Gauge(obs.MetricCacheEntries, float64(cache.Snapshot().Entries))
+	}
+	for kind, ks := range res.SolverStats {
+		k := kind.String()
+		rec.Count(obs.L(obs.MetricSolverRuns, "kind", k), int64(ks.Runs))
+		rec.Count(obs.L(obs.MetricSolverTimeouts, "kind", k), int64(ks.Timeouts))
+		rec.Count(obs.L(obs.MetricCacheHits, "kind", k), int64(ks.CacheHits))
+		rec.Count(obs.L(obs.MetricCacheMisses, "kind", k), int64(ks.CacheMisses))
+		rec.Count(obs.L(obs.MetricCacheSkips, "kind", k), int64(ks.CacheSkips))
+	}
 }
 
 // findTestHook, when non-nil, runs at the entry of every guarded phase
@@ -437,7 +536,7 @@ func interrupted(ctx context.Context, res *Result) bool {
 // detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
 // paper's patterns leave stateful stages unmatched, which is exactly where
 // pipelines hide (its excluded benchmarks bodytrack and h264dec).
-func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *ViewCache) {
+func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *ViewCache, rec obs.Recorder, span obs.SpanID) {
 	var stages []*SubDDG
 	for _, s := range pool {
 		if s.Loop != 0 && len(s.Matched) == 0 {
@@ -465,7 +564,7 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 	}
 	// Local budget collecting this pass's cache counters; merged into
 	// res.SolverStats at the end (MatchPipeline itself runs no solver).
-	pb := &patterns.Budget{}
+	pb := &patterns.Budget{Obs: rec, Span: span}
 	defer func() { rollupStats(res, pb) }()
 	for _, a := range stages {
 		if interrupted(ctx, res) {
@@ -514,12 +613,15 @@ const hashSeedPipelinePair = 0x6b8d2f4a1c3e5077
 
 // budgetFor builds a fresh solver budget carrying the run's bounds. Each
 // matchSub call gets its own so per-sub-DDG "budget exceeded" outcomes stay
-// distinguishable; diagnostics are merged upward afterwards.
-func budgetFor(ctx context.Context, opts Options) *patterns.Budget {
+// distinguishable; diagnostics are merged upward afterwards. rec and span
+// route the budget's solver-run spans under the sub-DDG's match span.
+func budgetFor(ctx context.Context, opts Options, rec obs.Recorder, span obs.SpanID) *patterns.Budget {
 	return &patterns.Budget{
 		Ctx:          ctx,
 		SolveTimeout: opts.SolverBudget,
 		StepLimit:    opts.SolverStepLimit,
+		Obs:          rec,
+		Span:         span,
 	}
 }
 
@@ -528,7 +630,7 @@ func budgetFor(ctx context.Context, opts Options) *patterns.Budget {
 // done the feed stops — workers finish their in-flight sub-DDG and exit —
 // and the unmatched remainder is reported via res.Interrupted rather than
 // silently dropped.
-func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *ViewCache) []*SubDDG {
+func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *ViewCache, rec obs.Recorder, span obs.SpanID) []*SubDDG {
 	workers := opts.workers()
 	if workers > len(active) {
 		workers = len(active)
@@ -566,7 +668,15 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 		go func(w int) {
 			defer wg.Done()
 			for s := range work {
-				b := budgetFor(ctx, opts)
+				// One span per sub-DDG matched (solver-run spans nest under
+				// it via the budget). The Collector is goroutine-safe, so
+				// workers share rec directly.
+				var subSpan obs.SpanID
+				if rec.Enabled() {
+					subSpan = rec.StartSpan("match-sub", span,
+						obs.Int("nodes", int64(s.Nodes.Len())))
+				}
+				b := budgetFor(ctx, opts, rec, subSpan)
 				found, skip, fail := matchSubSafe(gs, s, opts, b, cache)
 				s.Matched = found
 				if fail != nil {
@@ -577,6 +687,19 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 				}
 				if b.Exceeded {
 					timedOut[w]++
+				}
+				if rec.Enabled() {
+					attrs := []obs.Attr{obs.Int("matched", int64(len(found)))}
+					if skip {
+						attrs = append(attrs, obs.Str("skipped", "true"))
+					}
+					if b.Exceeded {
+						attrs = append(attrs, obs.Str("undecided", "true"))
+					}
+					if fail != nil {
+						attrs = append(attrs, obs.Failed(fail.Error()))
+					}
+					rec.EndSpan(subSpan, attrs...)
 				}
 				budgets[w].Merge(b)
 			}
@@ -691,6 +814,9 @@ func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget, cache 
 	if !ok {
 		n = view().NumGroups()
 		cache.storeGroupCount(vhash, n)
+		if b.Obs != nil && b.Obs.Enabled() {
+			b.Obs.Observe(obs.MetricViewGroups, float64(n))
+		}
 	}
 	if n > opts.maxViewGroups() {
 		return nil, true

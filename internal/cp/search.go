@@ -2,9 +2,11 @@ package cp
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"discovery/internal/analysis"
+	"discovery/internal/obs"
 )
 
 // Stats reports search effort.
@@ -125,6 +127,13 @@ type Solver struct {
 	// Objective, if set, is maximized: search restarts pruning solutions
 	// not strictly better (branch-and-bound).
 	Objective *IntVar
+	// Obs, when non-nil and enabled, receives one span per solve (under
+	// SpanParent) carrying the run's verdict and effort counters. The
+	// solver emits nothing per search node, so observability costs one
+	// span per Solve/SolveAll call.
+	Obs obs.Recorder
+	// SpanParent parents the solve span (typically the sub-DDG match span).
+	SpanParent obs.SpanID
 
 	stats    Stats
 	deadline time.Time
@@ -153,6 +162,13 @@ func (sv *Solver) SolveAll(cb func(Solution) bool) {
 func (sv *Solver) solveInternal(cb func(Solution) bool) {
 	start := time.Now()
 	sv.stats = Stats{}
+	// The solve span. Its deferred end is registered before the recover
+	// boundary below, so on a contained panic the recover (which records
+	// Stats.Err) runs first and the span still closes, marked failed.
+	if sv.Obs != nil && sv.Obs.Enabled() {
+		span := sv.Obs.StartSpan("solve", sv.SpanParent)
+		defer func() { sv.Obs.EndSpan(span, sv.spanAttrs()...) }()
+	}
 	// Containment boundary: a buggy propagator (or a malformed model) must
 	// cost one solver run, not the process. The recovered panic is reported
 	// through Stats.Err so callers can attach it to their diagnostics.
@@ -189,6 +205,32 @@ func (sv *Solver) solveInternal(cb func(Solution) bool) {
 		sv.dfs(root, branch, cb, &bound)
 	}
 	sv.stats.Elapsed = time.Since(start)
+}
+
+// spanAttrs summarizes the finished run for its solve span: the verdict
+// ("sat", "unsat", or "undecided" for a resource-limited run) and the
+// effort counters, plus a failure marker when the run panicked.
+func (sv *Solver) spanAttrs() []obs.Attr {
+	verdict := "unsat"
+	switch {
+	case sv.stats.Solutions > 0:
+		verdict = "sat"
+	case sv.stats.Limited():
+		verdict = "undecided"
+	}
+	attrs := []obs.Attr{
+		obs.Str("verdict", verdict),
+		obs.Int("nodes", sv.stats.Nodes),
+		obs.Int("propagations", sv.stats.Propagations),
+		obs.Int("solutions", sv.stats.Solutions),
+	}
+	if sv.stats.Limited() {
+		attrs = append(attrs, obs.Str("limited", strconv.FormatBool(true)))
+	}
+	if sv.stats.Err != nil {
+		attrs = append(attrs, obs.Failed(sv.stats.Err.Error()))
+	}
+	return attrs
 }
 
 // stopNow checks the solver's resource bounds, recording which one fired.

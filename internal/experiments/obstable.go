@@ -1,0 +1,134 @@
+package experiments
+
+// Per-benchmark phase-time table sourced from observability spans. Unlike
+// RunPhases (which aggregates the paper's §6.2 fractions from the
+// finder's own Phases counters), this table re-runs each benchmark with a
+// live obs.Collector and reads the span tree, so the numbers shown are
+// exactly what `discovery -obs` reports — one source of truth for "where
+// did the time go".
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"discovery/internal/core"
+	"discovery/internal/obs"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+)
+
+// PhaseRow is one benchmark version's phase split, in span wall time.
+type PhaseRow struct {
+	Bench   string
+	Version starbench.Version
+	// Trace is the "trace" span's wall time; Phases maps each child phase
+	// of the "find" span (simplify, decompose, match, ...) to the summed
+	// wall time of its spans (iterations repeat match/subtract/fuse).
+	Trace  time.Duration
+	Phases map[string]time.Duration
+	// Total is the root "find" span's wall time plus Trace.
+	Total time.Duration
+}
+
+// PhaseTableResult is the per-benchmark phase-time table.
+type PhaseTableResult struct {
+	Rows []PhaseRow
+}
+
+// phaseColumns is the display order; phases not listed (cache-prepare,
+// pipelines) fold into "other" to keep the table narrow.
+var phaseColumns = []string{"simplify", "decompose", "match", "subtract", "fuse", "merge"}
+
+// RunPhaseTable traces and analyzes every Starbench benchmark in both
+// versions, each under its own collector, and tabulates the span times.
+func RunPhaseTable(opts core.Options) (*PhaseTableResult, error) {
+	res := &PhaseTableResult{}
+	for _, b := range starbench.All() {
+		for _, v := range starbench.Versions() {
+			row, err := phaseRow(b, v, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func phaseRow(b *starbench.Benchmark, v starbench.Version, opts core.Options) (PhaseRow, error) {
+	c := obs.NewCollector()
+	built := b.Build(v, b.Analysis)
+	tr, err := trace.RunObserved(built.Prog, c, 0)
+	if err != nil {
+		return PhaseRow{}, fmt.Errorf("experiments: tracing %s/%s: %w", b.Name, v, err)
+	}
+	opts.Obs = c
+	core.Find(tr.Graph, opts)
+
+	row := PhaseRow{Bench: b.Name, Version: v, Phases: map[string]time.Duration{}}
+	for _, root := range obs.Tree(c) {
+		switch root.Span.Name {
+		case "trace":
+			row.Trace = root.Span.Wall
+			row.Total += root.Span.Wall
+		case "find":
+			row.Total += root.Span.Wall
+			accumulatePhases(root, row.Phases)
+		}
+	}
+	return row, nil
+}
+
+// accumulatePhases sums the find span's phase children by name, one level
+// of "iteration" spans unwrapped so repeated match/subtract/fuse phases
+// aggregate across iterations.
+func accumulatePhases(find *obs.TreeNode, into map[string]time.Duration) {
+	for _, child := range find.Children {
+		if child.Span.Name == "iteration" {
+			for _, phase := range child.Children {
+				into[phase.Span.Name] += phase.Span.Wall
+			}
+			continue
+		}
+		into[child.Span.Name] += child.Span.Wall
+	}
+}
+
+// Text renders the table.
+func (r *PhaseTableResult) Text() string {
+	var sb strings.Builder
+	sb.WriteString("Per-benchmark phase times (from observability spans)\n\n")
+	fmt.Fprintf(&sb, "%-14s %-8s %9s", "benchmark", "version", "trace")
+	for _, p := range phaseColumns {
+		fmt.Fprintf(&sb, " %9s", p)
+	}
+	fmt.Fprintf(&sb, " %9s %9s\n", "other", "total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %-8s %9s", row.Bench, row.Version, fmtMS(row.Trace))
+		listed := map[string]bool{}
+		for _, p := range phaseColumns {
+			listed[p] = true
+			fmt.Fprintf(&sb, " %9s", fmtMS(row.Phases[p]))
+		}
+		var other time.Duration
+		names := make([]string, 0, len(row.Phases))
+		for name := range row.Phases {
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic accumulation order
+		for _, name := range names {
+			if !listed[name] {
+				other += row.Phases[name]
+			}
+		}
+		fmt.Fprintf(&sb, " %9s %9s\n", fmtMS(other), fmtMS(row.Total))
+	}
+	return sb.String()
+}
+
+// fmtMS renders a duration in fractional milliseconds.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPU is unavailable on this platform; span CPU times read as
+// zero and the wall-clock numbers remain exact.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,223 @@
+package obs
+
+// The metrics registry: counters, gauges, and histograms with fixed
+// log-scale buckets, keyed by name (optionally with labels, see L). This
+// is the unified metric model that absorbs the pipeline's previously
+// scattered counters — SolverStats, KindStats, CacheStats — behind the
+// Recorder interface: the finder still keeps its Result fields for
+// backward compatibility, but every number also lands here, in one
+// exportable namespace.
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram bucket layout. Every histogram shares one fixed log-scale
+// layout: bucket i covers (2^(i+histMinExp-1), 2^(i+histMinExp)], so the
+// upper bounds run 2^-20 … 2^20 (≈1µs…≈12min for second-valued latencies,
+// 1…1M for count-valued sizes), with one overflow bucket above. A fixed
+// layout keeps Observe branch-free (a log2 and a clamp), makes bucket
+// counts of any two histograms comparable, and sidesteps per-metric
+// configuration plumbing.
+const (
+	histMinExp     = -20
+	histMaxExp     = 20
+	histNumBounds  = histMaxExp - histMinExp + 1 // finite upper bounds
+	histNumBuckets = histNumBounds + 1           // + overflow (+Inf)
+)
+
+// HistogramBounds returns the shared finite bucket upper bounds in
+// ascending order (the implicit final bucket is +Inf).
+func HistogramBounds() []float64 {
+	bounds := make([]float64, histNumBounds)
+	for i := range bounds {
+		bounds[i] = math.Ldexp(1, histMinExp+i)
+	}
+	return bounds
+}
+
+// histBucket maps a sample to its bucket index.
+func histBucket(v float64) int {
+	if v <= 0 {
+		return 0 // non-positive samples land in the smallest bucket
+	}
+	// Upper bounds are inclusive: v = 2^e belongs to the bucket whose
+	// bound is 2^e, so take ceil(log2(v)).
+	e := int(math.Ceil(math.Log2(v)))
+	switch {
+	case e < histMinExp:
+		return 0
+	case e > histMaxExp:
+		return histNumBuckets - 1
+	default:
+		return e - histMinExp
+	}
+}
+
+// histogram is one histogram's state. Guarded by the registry lock.
+type histogram struct {
+	counts [histNumBuckets]uint64
+	sum    float64
+	total  uint64
+}
+
+// HistogramSnapshot is an exported copy of one histogram's state.
+type HistogramSnapshot struct {
+	// Counts holds per-bucket sample counts (not cumulative); the last
+	// entry is the overflow bucket. len(Counts) == len(HistogramBounds())+1.
+	Counts []uint64
+	// Sum is the sum of all observed samples, Total their count.
+	Sum   float64
+	Total uint64
+}
+
+// Registry accumulates named metrics. Safe for concurrent use. The zero
+// value is not usable; Collector creates one, and NewRegistry exists for
+// direct use in tests.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+	}
+}
+
+// Count adds delta to the named counter.
+func (r *Registry) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets the named gauge to v (last write wins).
+func (r *Registry) Gauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram.
+func (r *Registry) Observe(name string, v float64) {
+	b := histBucket(v)
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.counts[b]++
+	h.sum += v
+	h.total++
+	r.mu.Unlock()
+}
+
+// Counters returns a copy of all counters.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of all gauges.
+func (r *Registry) Gauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Histograms returns a snapshot of all histograms.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = HistogramSnapshot{
+			Counts: append([]uint64(nil), h.counts[:]...),
+			Sum:    h.sum,
+			Total:  h.total,
+		}
+	}
+	return out
+}
+
+// L renders a labeled metric name, "name{k1=\"v1\",k2=\"v2\"}", with the
+// label keys sorted so the same label set always yields the same registry
+// key. Values are escaped per the Prometheus text format (backslash,
+// double quote, newline).
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// splitName splits a (possibly labeled) registry key into the metric
+// family name and the rendered label block ("" when unlabeled).
+func splitName(key string) (family, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}

@@ -1,0 +1,28 @@
+package obs
+
+// Canonical metric names emitted by the pipeline. Centralized so the
+// emitting layers (tracer, finder, budget, cache) and the consumers
+// (report exporters, tests, dashboards) agree on one namespace. Labeled
+// variants are built with L, e.g. L(MetricSolverRuns, "kind", kind).
+const (
+	// Histograms.
+	MetricSolveSeconds     = "discovery_solve_seconds"      // per solver-run latency
+	MetricViewGroups       = "discovery_view_groups"        // group count per built view
+	MetricTraceThreadNodes = "discovery_trace_thread_nodes" // traced nodes per VM thread
+
+	// Counters (labeled with kind where noted).
+	MetricSolverRuns     = "discovery_solver_runs_total"     // kind
+	MetricSolverTimeouts = "discovery_solver_timeouts_total" // kind
+	MetricCacheHits      = "discovery_cache_hits_total"      // kind
+	MetricCacheMisses    = "discovery_cache_misses_total"    // kind
+	MetricCacheSkips     = "discovery_cache_skips_total"     // kind
+	MetricTraceNodes     = "discovery_trace_nodes_total"
+	MetricMatches        = "discovery_matches_total"
+
+	// Gauges.
+	MetricTraceThroughput = "discovery_trace_nodes_per_second"
+	MetricPoolSize        = "discovery_pool_size"
+	MetricCacheEntries    = "discovery_cache_entries"
+	MetricIterations      = "discovery_find_iterations"
+	MetricPatterns        = "discovery_patterns_total"
+)

@@ -1,0 +1,73 @@
+package obs
+
+// Profiling hooks: runtime/pprof CPU and heap capture bracketing an
+// analysis run. The CLIs start a Profiler around trace+Find when -pprof
+// is given; runtime/trace region mirroring lives in Collector (spans map
+// 1:1 to regions whenever the process runs under `go test -trace` or an
+// explicit trace.Start).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures a CPU profile for its lifetime and a heap profile at
+// Stop. Zero value is inert; use StartProfile.
+type Profiler struct {
+	cpuPath, heapPath string
+	cpuFile           *os.File
+}
+
+// StartProfile begins CPU profiling into prefix.cpu.pprof; Stop finishes
+// it and writes the heap profile to prefix.heap.pprof.
+func StartProfile(prefix string) (*Profiler, error) {
+	p := &Profiler{
+		cpuPath:  prefix + ".cpu.pprof",
+		heapPath: prefix + ".heap.pprof",
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating CPU profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(p.cpuPath)
+		return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+	}
+	p.cpuFile = f
+	return p, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile (after a GC, so
+// it reflects live memory). Safe to call once; returns the first error.
+func (p *Profiler) Stop() error {
+	if p == nil || p.cpuFile == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.cpuFile.Close()
+	p.cpuFile = nil
+
+	runtime.GC()
+	hf, herr := os.Create(p.heapPath)
+	if herr != nil {
+		if err == nil {
+			err = fmt.Errorf("obs: creating heap profile: %w", herr)
+		}
+		return err
+	}
+	if werr := pprof.WriteHeapProfile(hf); werr != nil && err == nil {
+		err = fmt.Errorf("obs: writing heap profile: %w", werr)
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CPUPath and HeapPath name the profile files (useful for "wrote ..."
+// messages).
+func (p *Profiler) CPUPath() string  { return p.cpuPath }
+func (p *Profiler) HeapPath() string { return p.heapPath }

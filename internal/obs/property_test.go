@@ -1,0 +1,215 @@
+package obs
+
+// Property-based tests over randomized span workloads and histogram
+// inputs, run with several goroutines sharing one Recorder so `go test
+// -race ./internal/obs` exercises the Collector's synchronization (the
+// Makefile race target includes this package).
+//
+// Properties checked:
+//   - span trees are well-formed: every started span appears exactly
+//     once in the forest, every ended span has non-negative duration,
+//     children nest inside their parents (start within the parent's
+//     window; fully contained when ended before the parent), and no span
+//     ends twice;
+//   - histogram bucket counts sum to the observation total, and the sum
+//     matches the observed samples.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+const propGoroutines = 8
+
+// randomSpanWorkload drives one goroutine's share of a workload: a
+// random tree of spans, opened and closed stack-wise (as instrumented
+// code does), with random attrs and occasional failures and metric
+// emissions. Returns the number of spans it started.
+func randomSpanWorkload(rec Recorder, rng *rand.Rand, depthBudget int) int {
+	type frame struct{ id SpanID }
+	var stack []frame
+	started := 0
+	ops := 50 + rng.Intn(150)
+	for i := 0; i < ops; i++ {
+		switch {
+		case len(stack) == 0 || (rng.Intn(3) != 0 && len(stack) < depthBudget):
+			parent := SpanID(0)
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1].id
+			}
+			var attrs []Attr
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, Int("n", int64(rng.Intn(1000))))
+			}
+			id := rec.StartSpan("work", parent, attrs...)
+			stack = append(stack, frame{id})
+			started++
+			if rng.Intn(4) == 0 {
+				rec.Count("prop_ops_total", 1)
+				rec.Observe("prop_sizes", float64(rng.Intn(4096)))
+			}
+		default:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if rng.Intn(8) == 0 {
+				rec.EndSpan(top.id, Failed("random failure"))
+			} else {
+				rec.EndSpan(top.id)
+			}
+		}
+		if rng.Intn(16) == 0 {
+			time.Sleep(time.Microsecond) // shuffle interleavings a little
+		}
+	}
+	for len(stack) > 0 { // close everything stack-wise
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rec.EndSpan(top.id)
+	}
+	return started
+}
+
+func TestPropertySpanTreesWellFormed(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		c := NewCollector()
+		var wg sync.WaitGroup
+		total := make([]int, propGoroutines)
+		for g := 0; g < propGoroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000*trial + g)))
+				total[g] = randomSpanWorkload(c, rng, 6)
+			}(g)
+		}
+		wg.Wait()
+
+		want := 0
+		for _, n := range total {
+			want += n
+		}
+		spans := c.Spans()
+		if len(spans) != want {
+			t.Fatalf("trial %d: %d spans recorded, %d started", trial, len(spans), want)
+		}
+
+		byID := map[SpanID]Span{}
+		for _, s := range spans {
+			if _, dup := byID[s.ID]; dup {
+				t.Fatalf("trial %d: duplicate span id %d", trial, s.ID)
+			}
+			byID[s.ID] = s
+		}
+		inTree := 0
+		var walk func(n *TreeNode, parent SpanID)
+		walk = func(n *TreeNode, parent SpanID) {
+			inTree++
+			s := n.Span
+			if s.Parent != parent {
+				t.Fatalf("trial %d: span %d under parent %d, recorded parent %d",
+					trial, s.ID, parent, s.Parent)
+			}
+			if !s.Ended {
+				t.Fatalf("trial %d: span %d never ended", trial, s.ID)
+			}
+			if s.Wall < 0 || s.CPU < 0 {
+				t.Fatalf("trial %d: span %d negative duration wall=%v cpu=%v",
+					trial, s.ID, s.Wall, s.CPU)
+			}
+			for _, child := range n.Children {
+				cs := child.Span
+				// Children nest inside their parents: started within the
+				// parent's window, and (ended stack-wise before the
+				// parent) finished by the parent's end.
+				if cs.Start.Before(s.Start) {
+					t.Fatalf("trial %d: child %d starts %v before parent %d",
+						trial, cs.ID, s.Start.Sub(cs.Start), s.ID)
+				}
+				if cs.Start.Add(cs.Wall).After(s.Start.Add(s.Wall)) {
+					t.Fatalf("trial %d: child %d ends after parent %d", trial, cs.ID, s.ID)
+				}
+				walk(child, s.ID)
+			}
+		}
+		for _, root := range Tree(c) {
+			walk(root, root.Span.Parent)
+		}
+		if inTree != len(spans) {
+			t.Fatalf("trial %d: tree holds %d spans, recorded %d", trial, inTree, len(spans))
+		}
+	}
+}
+
+func TestPropertyHistogramTotals(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		c := NewCollector()
+		var wg sync.WaitGroup
+		sums := make([]float64, propGoroutines)
+		counts := make([]uint64, propGoroutines)
+		for g := 0; g < propGoroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(7000*trial + g)))
+				n := 200 + rng.Intn(800)
+				for i := 0; i < n; i++ {
+					// Mix magnitudes across the whole bucket range,
+					// including clamped extremes.
+					v := rng.Float64() * float64(uint64(1)<<uint(rng.Intn(40)))
+					if rng.Intn(50) == 0 {
+						v = 0
+					}
+					if rng.Intn(50) == 0 {
+						v = 1e30
+					}
+					c.Observe("h", v)
+					sums[g] += v
+					counts[g]++
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		var wantSum float64
+		var wantCount uint64
+		for g := range sums {
+			wantSum += sums[g]
+			wantCount += counts[g]
+		}
+		h := c.Metrics().Histograms()["h"]
+		if h.Total != wantCount {
+			t.Fatalf("trial %d: total %d, want %d", trial, h.Total, wantCount)
+		}
+		var bucketSum uint64
+		for _, n := range h.Counts {
+			bucketSum += n
+		}
+		if bucketSum != h.Total {
+			t.Fatalf("trial %d: bucket counts sum to %d, total %d", trial, bucketSum, h.Total)
+		}
+		if diff := h.Sum - wantSum; diff > 1e-6*wantSum || diff < -1e-6*wantSum {
+			t.Fatalf("trial %d: sum %v, want %v", trial, h.Sum, wantSum)
+		}
+	}
+}
+
+func TestPropertyCountersUnderContention(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const perG = 1000
+	for g := 0; g < propGoroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Count("contended_total", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Metrics().Counters()["contended_total"]; got != propGoroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, propGoroutines*perG)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"discovery/internal/analysis"
 	"discovery/internal/cp"
+	"discovery/internal/obs"
 )
 
 // KindStats rolls up constraint-solver effort across the runs attributed
@@ -97,6 +98,13 @@ type Budget struct {
 	// StepLimit bounds each run's nodes+propagations deterministically;
 	// zero means no limit.
 	StepLimit int64
+	// Obs, when non-nil and enabled, receives one span per solver run
+	// (parented under Span) and a solve-latency histogram sample. Nil —
+	// the default — keeps the solve path free of observability work.
+	Obs obs.Recorder
+	// Span parents the solver-run spans, typically the span of the match
+	// phase or sub-DDG whose matchers this budget arms.
+	Span obs.SpanID
 
 	// Exceeded reports that at least one solver run under this budget was
 	// resource-limited: a nil match outcome is "budget exceeded", not
@@ -138,6 +146,8 @@ func (b *Budget) arm(sv *cp.Solver) {
 	}
 	sv.Timeout = t
 	sv.StepLimit = b.StepLimit
+	sv.Obs = b.Obs
+	sv.SpanParent = b.Span
 }
 
 // record books one finished run's stats under kind.
@@ -169,6 +179,9 @@ func (b *Budget) record(kind Kind, st cp.Stats) {
 			ae = analysis.Wrap(analysis.StageMatch, analysis.Internal, st.Err, "solver run failed")
 		}
 		b.Errs = append(b.Errs, ae)
+	}
+	if b.Obs != nil && b.Obs.Enabled() {
+		b.Obs.Observe(obs.MetricSolveSeconds, st.Elapsed.Seconds())
 	}
 }
 

@@ -142,9 +142,24 @@ type SummaryJSON struct {
 	Diagnostics     DiagnosticsJSON `json:"diagnostics"`
 }
 
+// JSONOptions adjusts what JSONWith includes beyond the defaults.
+type JSONOptions struct {
+	// IncludeCacheStats forces the diagnostics "cache" block even when the
+	// run recorded no cache activity, as an explicit zeroed block. Without
+	// it a consumer asking for cache stats on a cache-disabled run saw the
+	// field silently vanish — indistinguishable from an old producer that
+	// never emitted it.
+	IncludeCacheStats bool
+}
+
 // JSON exports a finder result as an indented JSON document, diagnostics
 // included (always, even when clean — consumers branch on "degraded").
 func JSON(res *core.Result) ([]byte, error) {
+	return JSONWith(res, JSONOptions{})
+}
+
+// JSONWith is JSON with explicit options.
+func JSONWith(res *core.Result, opts JSONOptions) ([]byte, error) {
 	out := SummaryJSON{
 		OriginalNodes:   res.OriginalNodes,
 		SimplifiedNodes: res.SimplifiedNodes,
@@ -188,7 +203,7 @@ func JSON(res *core.Result) ([]byte, error) {
 			}
 		}
 	}
-	if hits, misses, skips := res.CacheStats(); hits+misses+skips > 0 {
+	if hits, misses, skips := res.CacheStats(); hits+misses+skips > 0 || opts.IncludeCacheStats {
 		out.Diagnostics.Cache = &CacheJSON{Hits: hits, Misses: misses, Skips: skips}
 	}
 	return json.MarshalIndent(out, "", "  ")

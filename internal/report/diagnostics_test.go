@@ -155,3 +155,55 @@ func TestKindStatsElapsedMS(t *testing.T) {
 		t.Errorf("elapsed_ms = %d, want 1500", ms)
 	}
 }
+
+// TestJSONCacheBlockExplicit: a consumer passing IncludeCacheStats gets
+// the "cache" block even when the run recorded no cache activity (cache
+// disabled), as explicit zeros — absent only in the default export, where
+// omitting it keeps old outputs byte-identical.
+func TestJSONCacheBlockExplicit(t *testing.T) {
+	res := tracedSumProgram(t, core.Options{Workers: 1, DisableCache: true})
+	if h, m, s := res.CacheStats(); h+m+s != 0 {
+		t.Fatalf("cache-disabled run recorded cache activity: %d/%d/%d", h, m, s)
+	}
+
+	data, err := JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"cache"`) {
+		t.Errorf("default export emits a cache block for a cache-less run:\n%s", data)
+	}
+
+	data, err = JSONWith(res, JSONOptions{IncludeCacheStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SummaryJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Diagnostics.Cache == nil {
+		t.Fatal("IncludeCacheStats did not emit the cache block")
+	}
+	if *got.Diagnostics.Cache != (CacheJSON{}) {
+		t.Errorf("cache block = %+v, want explicit zeros", *got.Diagnostics.Cache)
+	}
+
+	// With the cache on, both exports agree and carry the real counts.
+	res = tracedSumProgram(t, core.Options{Workers: 1})
+	hits, misses, skips := res.CacheStats()
+	if hits+misses+skips == 0 {
+		t.Fatal("cache-enabled run recorded no cache activity")
+	}
+	data, err = JSONWith(res, JSONOptions{IncludeCacheStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := CacheJSON{Hits: hits, Misses: misses, Skips: skips}
+	if got.Diagnostics.Cache == nil || *got.Diagnostics.Cache != want {
+		t.Errorf("cache block = %+v, want %+v", got.Diagnostics.Cache, want)
+	}
+}

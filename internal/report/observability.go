@@ -1,0 +1,33 @@
+package report
+
+// Observability exports. The report package is the single place callers
+// render analysis output, so the obs collector's three export formats —
+// the human-readable phase tree, the JSON document, and the Prometheus
+// text format — are surfaced here next to the result renderers. The
+// functions are thin by design: the formats live in internal/obs and are
+// tested there; report owns only the presentation entry points the CLIs
+// call.
+
+import (
+	"discovery/internal/obs"
+)
+
+// PhaseTree renders the collector's span forest as an indented tree, one
+// line per phase with wall/CPU time and attributes. maxChildren caps the
+// children rendered per node (0 = default, negative = unlimited); the cap
+// keeps solve-heavy match phases readable.
+func PhaseTree(c *obs.Collector, maxChildren int) string {
+	return obs.RenderTree(c, obs.RenderOptions{MaxChildren: maxChildren})
+}
+
+// PrometheusMetrics renders the collector's metrics in the Prometheus
+// text exposition format.
+func PrometheusMetrics(c *obs.Collector) string {
+	return obs.Prometheus(c.Metrics())
+}
+
+// ObservabilityJSON exports the collector — spans and metrics — as one
+// indented JSON document.
+func ObservabilityJSON(c *obs.Collector) ([]byte, error) {
+	return obs.JSON(c)
+}

@@ -1,0 +1,104 @@
+package trace
+
+// RunObserved tests: the observed run produces the same graph as Run,
+// emits the trace/execute/finalize span triple with per-thread metrics,
+// and degrades identically (disabled recorder → plain Run; failed run →
+// closed spans marked failed).
+
+import (
+	"strings"
+	"testing"
+
+	"discovery/internal/mir"
+	"discovery/internal/obs"
+)
+
+func TestRunObservedMatchesRun(t *testing.T) {
+	plain, err := Run(seqReduction(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCollector()
+	observed, err := RunObserved(seqReduction(8), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Graph.NumNodes() != plain.Graph.NumNodes() || observed.Ops != plain.Ops {
+		t.Fatalf("observed run diverged: %d nodes / %d ops, want %d / %d",
+			observed.Graph.NumNodes(), observed.Ops, plain.Graph.NumNodes(), plain.Ops)
+	}
+
+	spans := map[string]obs.Span{}
+	for _, s := range c.Spans() {
+		spans[s.Name] = s
+	}
+	for _, name := range []string{"trace", "execute", "finalize"} {
+		s, ok := spans[name]
+		if !ok {
+			t.Fatalf("missing %q span; have %v", name, spans)
+		}
+		if !s.Ended || s.Failed {
+			t.Errorf("%q span ended=%v failed=%v, want a clean closed span", name, s.Ended, s.Failed)
+		}
+	}
+	if spans["execute"].Parent != spans["trace"].ID || spans["finalize"].Parent != spans["trace"].ID {
+		t.Error("execute/finalize not parented under the trace span")
+	}
+	if got, _ := spans["trace"].Attr("nodes"); got == "" || got == "0" {
+		t.Errorf("trace span nodes attr = %q", got)
+	}
+
+	reg := c.Metrics()
+	if got := reg.Counters()[obs.MetricTraceNodes]; got != int64(plain.Graph.NumNodes()) {
+		t.Errorf("%s = %d, want %d", obs.MetricTraceNodes, got, plain.Graph.NumNodes())
+	}
+	h := reg.Histograms()[obs.MetricTraceThreadNodes]
+	if h.Total == 0 {
+		t.Error("per-thread node histogram empty")
+	}
+}
+
+func TestRunObservedDisabledDelegates(t *testing.T) {
+	// Nil and Nop recorders both take the plain-Run path.
+	for _, rec := range []obs.Recorder{nil, obs.Nop} {
+		res, err := RunObserved(seqReduction(4), rec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Graph.NumNodes() == 0 {
+			t.Error("empty graph from disabled observed run")
+		}
+	}
+}
+
+func TestRunObservedFailureMarksSpans(t *testing.T) {
+	// An invalid program fails inside the VM run; the root span must still
+	// close, marked failed.
+	p := mir.NewProgram("bad")
+	f, b := p.NewFunc("main", "bad.c")
+	b.Store(mir.Idx(mir.G("nosuch"), mir.C(0)), mir.F(1)) // undeclared global
+	b.Finish(f)
+	c := obs.NewCollector()
+	if _, err := RunObserved(p, c, 0); err == nil {
+		t.Fatal("invalid program traced successfully")
+	}
+	var root *obs.Span
+	for _, s := range c.Spans() {
+		if s.Name == "trace" {
+			s := s
+			root = &s
+		}
+		if !s.Ended {
+			t.Errorf("span %q left open after failed run", s.Name)
+		}
+	}
+	if root == nil {
+		t.Fatal("no trace span recorded")
+	}
+	if !root.Failed {
+		t.Error("trace span not marked failed")
+	}
+	if msg, _ := root.Attr(obs.AttrFailed); msg == "" || !strings.Contains(msg, "bad") {
+		t.Errorf("failure attr = %q, want the run error", msg)
+	}
+}
