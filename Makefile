@@ -10,7 +10,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench benchsmoke cover
+.PHONY: check build vet test race fuzz bench findbench benchsmoke cover
 
 check: build vet test race
 
@@ -33,17 +33,28 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzVM$$' -fuzztime $(FUZZTIME) ./internal/vm
 	$(GO) test -run '^$$' -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/cp
 	$(GO) test -run '^$$' -fuzz '^FuzzFinalize$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzPrescreen$$' -fuzztime $(FUZZTIME) ./internal/patterns
 
 bench:
 	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32
 
+# The find benchmark alone, in its own process at the machine's native
+# GOMAXPROCS: the trace bench needs 4 threads for its speedup table, but
+# its heap and the forced oversubscription only add variance to the find
+# fixpoint timings (this regenerates BENCH_find.json).
+findbench:
+	$(GO) run ./cmd/experiments -run findbench -find-reps 41
+
 # One timed iteration of the find fixpoint benchmark: catches bit-rot in
 # the benchmark itself without the cost of a real measurement run. The
-# second command runs the disabled-observability overhead gate: the find
-# fixpoint with the no-op recorder must stay within 2% of running with no
-# recorder at all (the zero-cost-when-disabled contract, DESIGN.md §12).
+# second command checks that the prescreen skip-rate counter is exported
+# under its canonical name (internal/obs/names.go). The third runs the
+# disabled-observability overhead gate: the find fixpoint with the no-op
+# recorder must stay within 2% of running with no recorder at all (the
+# zero-cost-when-disabled contract, DESIGN.md §12).
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFindFixpoint$$' -benchtime=1x .
+	$(GO) test -run '^TestPrescreenSkipRateExported$$' -count=1 .
 	OBS_OVERHEAD=1 $(GO) test -run '^TestNopRecorderOverhead$$' .
 
 # Coverage floors. The thresholds sit a few points under the levels the

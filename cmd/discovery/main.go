@@ -37,6 +37,9 @@ func main() {
 		solverStep = flag.Int64("solver-steps", 0, "deterministic per-solve step limit, nodes+propagations (0 = none)")
 		noCache    = flag.Bool("no-cache", false, "disable the view-verdict solve cache (escape hatch; every solve runs)")
 		cacheStats = flag.Bool("cache-stats", false, "print view cache hit/miss/skip counts to stderr")
+		noPrescr   = flag.Bool("no-prescreen", false, "disable the structural prescreen (escape hatch; every matcher runs)")
+		prescrStat = flag.Bool("prescreen-stats", false, "print prescreen check/skip counts to stderr")
+		restarts   = flag.Int64("solver-restarts", 0, "Luby restart slice in solver steps, with nogood recording (0 = plain DFS)")
 		check      = flag.Bool("check", false, "verify DDG structural invariants after tracing and after simplification")
 		obsOn      = flag.Bool("obs", false, "record phase spans and metrics; print the phase tree to stderr")
 		obsOut     = flag.String("obs-out", "", "write the observability JSON document (spans + metrics) to this file (implies -obs)")
@@ -126,7 +129,8 @@ func main() {
 	res := core.Find(tr.Graph, core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
-		DisableCache: *noCache, Obs: rec, ObsParent: analyzeSpan,
+		DisableCache: *noCache, DisablePrescreen: *noPrescr,
+		SolverRestartSlice: *restarts, Obs: rec, ObsParent: analyzeSpan,
 	})
 	if rec.Enabled() {
 		rec.EndSpan(analyzeSpan,
@@ -147,6 +151,13 @@ func main() {
 		line := report.CacheStats(res)
 		if line == "" {
 			line = "view cache: disabled"
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if *prescrStat {
+		line := report.PrescreenStats(res)
+		if line == "" {
+			line = "prescreen: disabled"
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
@@ -178,7 +189,11 @@ func main() {
 		// -cache-stats makes the JSON "cache" block explicit even when the
 		// run recorded no cache activity (e.g. under -no-cache), so asking
 		// for the stats always yields them, zeroed rather than absent.
-		data, err := report.JSONWith(res, report.JSONOptions{IncludeCacheStats: *cacheStats})
+		// -prescreen-stats does the same for the "prescreen" block.
+		data, err := report.JSONWith(res, report.JSONOptions{
+			IncludeCacheStats:     *cacheStats,
+			IncludePrescreenStats: *prescrStat,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
 			os.Exit(1)

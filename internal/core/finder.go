@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discovery/internal/analysis"
@@ -49,6 +50,14 @@ type Options struct {
 	// reproducible, which makes degraded results testable. 0 means no
 	// limit.
 	SolverStepLimit int64
+	// SolverRestartSlice, when positive, arms Luby-scheduled solver
+	// restarts with nogood recording (see cp.Solver.RestartSlice): each
+	// solver run restarts after luby(i)×slice search steps, replaying its
+	// refuted prefixes as clauses. Restarts can change which solution an
+	// enumeration reaches first, so the option is part of the cache
+	// fingerprint and defaults to off (0), keeping default output
+	// byte-identical to the plain depth-first search.
+	SolverRestartSlice int64
 
 	// Extensions enables the pattern kinds beyond the paper's evaluated
 	// set (stencils and tree reductions, from the paper's future work).
@@ -66,6 +75,14 @@ type Options struct {
 	// ObsParent, with Obs set, parents the run's root span under an
 	// enclosing span (e.g. the CLI's whole-analysis span).
 	ObsParent obs.SpanID
+
+	// DisablePrescreen turns off the structural prescreen (the
+	// -no-prescreen escape hatch): every (sub-DDG × kind) solve consults
+	// only the cache and then runs its matcher, as before the fast path
+	// existed. The prescreen is sound (it prunes only solves the matcher
+	// would reject before reaching the solver), so this switch exists for
+	// differential testing and triage, not correctness.
+	DisablePrescreen bool
 
 	// DisableCache turns off the view–verdict cache (the -no-cache escape
 	// hatch): every solve runs even when an identical view was already
@@ -162,6 +179,11 @@ type Result struct {
 	// expired before the fixpoint completed; the remaining iterations,
 	// sub-DDGs, and extension passes were abandoned.
 	Interrupted bool
+	// PrescreenChecks counts the structural censuses computed (one per
+	// non-fused sub-DDG that passed the size gate, when the prescreen is
+	// enabled). The per-kind solves they answered are in
+	// SolverStats[kind].Prescreened; PrescreenStats sums both sides.
+	PrescreenChecks int
 	// SolverStats rolls up constraint-solver effort per pattern kind
 	// (runs, timeouts, nodes, failures, propagations, solutions, elapsed).
 	SolverStats map[patterns.Kind]patterns.KindStats
@@ -193,6 +215,16 @@ func (r *Result) CacheStats() (hits, misses, skips int) {
 		skips += ks.CacheSkips
 	}
 	return hits, misses, skips
+}
+
+// PrescreenStats sums the structural-prescreen activity across all pattern
+// kinds: censuses computed and per-kind solves they answered without a
+// matcher run (cold prunes and warm prescreened-verdict hits alike).
+func (r *Result) PrescreenStats() (checks, skips int) {
+	for _, ks := range r.SolverStats {
+		skips += ks.Prescreened
+	}
+	return r.PrescreenChecks, skips
 }
 
 // Find runs the iterative pattern finder on a traced DDG.
@@ -486,6 +518,9 @@ func emitFindMetrics(rec obs.Recorder, res *Result, cache *ViewCache) {
 	if cache != nil {
 		rec.Gauge(obs.MetricCacheEntries, float64(cache.Snapshot().Entries))
 	}
+	if res.PrescreenChecks > 0 {
+		rec.Count(obs.MetricPrescreenChecks, int64(res.PrescreenChecks))
+	}
 	for kind, ks := range res.SolverStats {
 		k := kind.String()
 		rec.Count(obs.L(obs.MetricSolverRuns, "kind", k), int64(ks.Runs))
@@ -493,6 +528,15 @@ func emitFindMetrics(rec obs.Recorder, res *Result, cache *ViewCache) {
 		rec.Count(obs.L(obs.MetricCacheHits, "kind", k), int64(ks.CacheHits))
 		rec.Count(obs.L(obs.MetricCacheMisses, "kind", k), int64(ks.CacheMisses))
 		rec.Count(obs.L(obs.MetricCacheSkips, "kind", k), int64(ks.CacheSkips))
+		if ks.Prescreened > 0 {
+			rec.Count(obs.L(obs.MetricPrescreenSkips, "kind", k), int64(ks.Prescreened))
+		}
+		if ks.Restarts > 0 {
+			rec.Count(obs.L(obs.MetricSolverRestarts, "kind", k), ks.Restarts)
+		}
+		if ks.Nogoods > 0 {
+			rec.Count(obs.L(obs.MetricSolverNogoods, "kind", k), ks.Nogoods)
+		}
 	}
 }
 
@@ -612,106 +656,156 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 const hashSeedPipelinePair = 0x6b8d2f4a1c3e5077
 
 // budgetFor builds a fresh solver budget carrying the run's bounds. Each
-// matchSub call gets its own so per-sub-DDG "budget exceeded" outcomes stay
+// solve task gets its own so per-task "budget exceeded" outcomes stay
 // distinguishable; diagnostics are merged upward afterwards. rec and span
-// route the budget's solver-run spans under the sub-DDG's match span.
+// route the budget's solver-run spans under the task's match span.
 func budgetFor(ctx context.Context, opts Options, rec obs.Recorder, span obs.SpanID) *patterns.Budget {
 	return &patterns.Budget{
 		Ctx:          ctx,
 		SolveTimeout: opts.SolverBudget,
 		StepLimit:    opts.SolverStepLimit,
+		RestartSlice: opts.SolverRestartSlice,
 		Obs:          rec,
 		Span:         span,
 	}
 }
 
-// runMatchPhase matches every active sub-DDG against the pattern definitions,
-// in parallel, and returns the sub-DDGs with at least one match. When ctx is
-// done the feed stops — workers finish their in-flight sub-DDG and exit —
-// and the unmatched remainder is reported via res.Interrupted rather than
-// silently dropped.
+// Kind slots: the canonical per-sub-DDG solve order. Assembling a
+// sub-DDG's matches in slot order reproduces the sequential matcher's
+// append order exactly, whatever order the tasks actually ran in.
+const (
+	slotMap = iota
+	slotLinear
+	slotTiled
+	slotTree
+	numKindSlots
+)
+
+func slotKind(slot int) patterns.Kind {
+	switch slot {
+	case slotMap:
+		return patterns.KindMap
+	case slotLinear:
+		return patterns.KindLinearReduction
+	case slotTiled:
+		return patterns.KindTiledReduction
+	default:
+		return patterns.KindTreeReduction
+	}
+}
+
+// subState is the shared per-sub-DDG state of the match scheduler. Its
+// tasks may run on different workers concurrently: the gate/prescreen prep
+// and the view build are once-guarded, per-kind results land in disjoint
+// slots, and the last task to finish (pending reaching zero) assembles
+// s.Matched and books the per-sub counters exactly once.
+type subState struct {
+	s     *SubDDG
+	vhash ddg.Hash128
+	fused bool
+
+	pending  atomic.Int32
+	exceeded atomic.Bool // any task's budget was resource-limited
+
+	prepOnce sync.Once
+	skip     bool                // oversized-view gate verdict
+	pre      *patterns.Prescreen // nil when disabled or skipped
+
+	viewOnce sync.Once
+	view     *patterns.View
+
+	slots      [numKindSlots]*patterns.Pattern
+	fusedFound []*patterns.Pattern
+}
+
+// matchTask is one unit of match work: one pattern kind on one sub-DDG
+// (or the whole compound matching of a fused sub-DDG, slot < 0).
+type matchTask struct {
+	st   *subState
+	slot int
+	// Priority key: decided-verdict tasks first (class 0 — they resolve
+	// with one cache lookup), then by view size ascending, then by pool
+	// and slot order for determinism.
+	class, nodes, subIdx int
+}
+
+// matchPhase carries the match scheduler's shared state: the sorted task
+// queue drained through an atomic cursor, and the per-worker accumulators
+// merged deterministically after the barrier.
+type matchPhase struct {
+	ctx     context.Context
+	gs      *ddg.Graph
+	opts    Options
+	cache   *ViewCache
+	rec     obs.Recorder
+	span    obs.SpanID
+	compact bool
+
+	tasks  []matchTask
+	cursor atomic.Int64
+
+	skips     []int
+	timedOut  []int
+	preChecks []int
+	budgets   []*patterns.Budget
+	fails     [][]*analysis.Error
+}
+
+// matchTaskHook, when non-nil, runs at the entry of every solve task with
+// the task's pattern kind, on the worker goroutine. Tests install it
+// through export_test.go to observe task-level concurrency.
+var matchTaskHook func(kind patterns.Kind)
+
+// runMatchPhase matches every active sub-DDG against the pattern
+// definitions and returns the sub-DDGs with at least one match. The unit
+// of parallel work is a (sub-DDG × kind) solve task, drained from a shared
+// priority queue — likely cache hits and small views first — so one
+// pathological kind occupies one worker, not a whole sub-DDG's worth of
+// others behind it. When ctx is done workers stop claiming tasks and the
+// unmatched remainder is reported via res.Interrupted rather than silently
+// dropped.
 func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *ViewCache, rec obs.Recorder, span obs.SpanID) []*SubDDG {
+	mp := &matchPhase{
+		ctx:     ctx,
+		gs:      gs,
+		opts:    opts,
+		cache:   cache,
+		rec:     rec,
+		span:    span,
+		compact: !opts.DisableCompact,
+	}
+	mp.buildTasks(active)
 	workers := opts.workers()
-	if workers > len(active) {
-		workers = len(active)
+	if workers > len(mp.tasks) {
+		workers = len(mp.tasks)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	mp.skips = make([]int, workers)
+	mp.timedOut = make([]int, workers)
+	mp.preChecks = make([]int, workers)
+	mp.budgets = make([]*patterns.Budget, workers)
+	mp.fails = make([][]*analysis.Error, workers)
 	var wg sync.WaitGroup
-	// Fed lazily so cancellation can stop the phase between sub-DDGs: an
-	// up-front pre-filled buffer would commit every view to matching even
-	// after the budget expired.
-	work := make(chan *SubDDG)
-	go func() {
-		defer close(work)
-		for _, s := range active {
-			select {
-			case work <- s:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	// Each sub-DDG is claimed by exactly one worker, so writing s.Matched
-	// needs no lock; skip/timeout counts and solver stats are accumulated
-	// per worker and merged after the barrier, in worker order, so the
-	// rollup is deterministic for a fixed assignment of subs to workers
-	// (and the counters are commutative, so any assignment sums the same).
-	skips := make([]int, workers)
-	timedOut := make([]int, workers)
-	budgets := make([]*patterns.Budget, workers)
-	fails := make([][]*analysis.Error, workers)
 	for w := 0; w < workers; w++ {
-		budgets[w] = &patterns.Budget{}
+		mp.budgets[w] = &patterns.Budget{}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for s := range work {
-				// One span per sub-DDG matched (solver-run spans nest under
-				// it via the budget). The Collector is goroutine-safe, so
-				// workers share rec directly.
-				var subSpan obs.SpanID
-				if rec.Enabled() {
-					subSpan = rec.StartSpan("match-sub", span,
-						obs.Int("nodes", int64(s.Nodes.Len())))
-				}
-				b := budgetFor(ctx, opts, rec, subSpan)
-				found, skip, fail := matchSubSafe(gs, s, opts, b, cache)
-				s.Matched = found
-				if fail != nil {
-					fails[w] = append(fails[w], fail)
-				}
-				if skip {
-					skips[w]++
-				}
-				if b.Exceeded {
-					timedOut[w]++
-				}
-				if rec.Enabled() {
-					attrs := []obs.Attr{obs.Int("matched", int64(len(found)))}
-					if skip {
-						attrs = append(attrs, obs.Str("skipped", "true"))
-					}
-					if b.Exceeded {
-						attrs = append(attrs, obs.Str("undecided", "true"))
-					}
-					if fail != nil {
-						attrs = append(attrs, obs.Failed(fail.Error()))
-					}
-					rec.EndSpan(subSpan, attrs...)
-				}
-				budgets[w].Merge(b)
-			}
+			mp.worker(w)
 		}(w)
 	}
 	wg.Wait()
+	// Per-worker accumulators merge in worker order; the counters are
+	// commutative, so any task-to-worker assignment sums the same.
 	rollup := &patterns.Budget{}
 	for w := 0; w < workers; w++ {
-		res.SkippedViews += skips[w]
-		res.TimedOutViews += timedOut[w]
-		res.Failures = append(res.Failures, fails[w]...)
-		rollup.Merge(budgets[w])
+		res.SkippedViews += mp.skips[w]
+		res.TimedOutViews += mp.timedOut[w]
+		res.PrescreenChecks += mp.preChecks[w]
+		res.Failures = append(res.Failures, mp.fails[w]...)
+		rollup.Merge(mp.budgets[w])
 	}
 	// Panics contained inside individual solver runs (cp.Stats.Err) ride
 	// along on the merged budgets.
@@ -726,6 +820,326 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 		}
 	}
 	return matched
+}
+
+// buildTasks splits the active sub-DDGs into solve tasks and sorts them by
+// priority. View hashes are computed here, on the main goroutine, so the
+// sub-DDG memos are written before any worker reads them.
+func (mp *matchPhase) buildTasks(active []*SubDDG) {
+	for i, s := range active {
+		st := &subState{s: s}
+		var slots []int
+		switch {
+		case s.FusedA != nil:
+			// Compound matching combines the constituents' patterns; it is
+			// one cheap task with no view, gate, or cache interaction.
+			st.fused = true
+			slots = []int{-1}
+		case s.Assoc:
+			// The combining-tree follow-up (extensions, only when linear and
+			// tiled both miss) is not a schedulable task: it runs inline when
+			// the sub-DDG's last prerequisite task completes.
+			slots = []int{slotLinear, slotTiled}
+		default:
+			slots = []int{slotMap, slotLinear, slotTiled}
+		}
+		if !st.fused {
+			st.vhash = s.ViewHash(mp.compact)
+		}
+		st.pending.Store(int32(len(slots)))
+		nodes := s.Nodes.Len()
+		for _, slot := range slots {
+			t := matchTask{st: st, slot: slot, class: 1, nodes: nodes, subIdx: i}
+			if slot >= 0 && mp.cache.decided(st.vhash, slotKind(slot)) {
+				t.class = 0
+			}
+			mp.tasks = append(mp.tasks, t)
+		}
+	}
+	sort.SliceStable(mp.tasks, func(i, j int) bool {
+		a, b := mp.tasks[i], mp.tasks[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		if a.nodes != b.nodes {
+			return a.nodes < b.nodes
+		}
+		if a.subIdx != b.subIdx {
+			return a.subIdx < b.subIdx
+		}
+		return a.slot < b.slot
+	})
+}
+
+// worker drains the task queue until it is empty or the context is done.
+func (mp *matchPhase) worker(w int) {
+	for {
+		i := mp.cursor.Add(1) - 1
+		if i >= int64(len(mp.tasks)) {
+			return
+		}
+		if mp.ctx.Err() != nil {
+			return
+		}
+		mp.runTask(w, mp.tasks[i])
+	}
+}
+
+// runTask executes one solve task: span, per-task budget, the recover
+// boundary, result slotting, and — when it was the sub-DDG's last pending
+// task — the sub-DDG's completion.
+func (mp *matchPhase) runTask(w int, t matchTask) {
+	st := t.st
+	if matchTaskHook != nil && !st.fused {
+		matchTaskHook(slotKind(t.slot))
+	}
+	rec := mp.rec
+	var span obs.SpanID
+	if rec.Enabled() {
+		kind := "fused"
+		if !st.fused {
+			kind = slotKind(t.slot).String()
+		}
+		span = rec.StartSpan("match-task", mp.span,
+			obs.Int("nodes", int64(st.s.Nodes.Len())),
+			obs.Str("kind", kind))
+	}
+	b := budgetFor(mp.ctx, mp.opts, rec, span)
+	var p *patterns.Pattern
+	fail := mp.safeTask(w, st, t.slot, b, &p)
+	if fail != nil {
+		mp.fails[w] = append(mp.fails[w], fail)
+	}
+	if !st.fused && t.slot >= 0 && p != nil {
+		st.slots[t.slot] = p
+	}
+	if b.Exceeded {
+		st.exceeded.Store(true)
+	}
+	if rec.Enabled() {
+		matched := 0
+		if p != nil {
+			matched = 1
+		}
+		if st.fused {
+			matched = len(st.fusedFound)
+		}
+		attrs := []obs.Attr{obs.Int("matched", int64(matched))}
+		if st.skip {
+			attrs = append(attrs, obs.Str("skipped", "true"))
+		}
+		if b.Exceeded {
+			attrs = append(attrs, obs.Str("undecided", "true"))
+		}
+		if fail != nil {
+			attrs = append(attrs, obs.Failed(fail.Error()))
+		}
+		rec.EndSpan(span, attrs...)
+	}
+	mp.budgets[w].Merge(b)
+	if st.pending.Add(-1) == 0 {
+		mp.finishSub(w, st)
+	}
+}
+
+// safeTask is the per-task recover boundary: a panic while solving one
+// (sub-DDG × kind) costs that task's result, not the phase — and not even
+// the sub-DDG's other kinds.
+func (mp *matchPhase) safeTask(w int, st *subState, slot int, b *patterns.Budget, out **patterns.Pattern) (fail *analysis.Error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ae := analysis.Recovered(analysis.StageMatch, r)
+			*out = nil
+			fail = analysis.Wrap(ae.Stage, ae.Kind, ae,
+				"matching a sub-DDG of %d nodes failed", st.s.Nodes.Len())
+		}
+	}()
+	if st.fused {
+		st.fusedFound = mp.matchFused(st.s)
+		return nil
+	}
+	mp.prep(w, st)
+	if st.skip {
+		return nil
+	}
+	*out = mp.matchKind(st, slotKind(slot), b)
+	return nil
+}
+
+// prep runs the sub-DDG's once-per-sub work on the first task to arrive:
+// the oversized-view gate and the structural prescreen census.
+func (mp *matchPhase) prep(w int, st *subState) {
+	st.prepOnce.Do(func() {
+		max := mp.opts.maxViewGroups()
+		// Groups never outnumber nodes, so only a view bigger than the gate
+		// in node count can exceed it in group count — small views pass
+		// without being built or counted.
+		if st.s.Nodes.Len() > max {
+			n, ok := mp.cache.groupCount(st.vhash)
+			if !ok {
+				n = mp.viewOf(st).NumGroups()
+			}
+			if n > max {
+				st.skip = true
+				return
+			}
+		}
+		if !mp.opts.DisablePrescreen {
+			rec := mp.rec
+			if rec.Enabled() {
+				t0 := time.Now()
+				st.pre = patterns.PrescreenSub(mp.gs, st.s.Nodes, st.s.viewLoop(mp.compact))
+				rec.Observe(obs.MetricPrescreenSeconds, time.Since(t0).Seconds())
+			} else {
+				st.pre = patterns.PrescreenSub(mp.gs, st.s.Nodes, st.s.viewLoop(mp.compact))
+			}
+			mp.preChecks[w]++
+		}
+	})
+}
+
+// viewOf builds (once) and returns the sub-DDG's matching view, recording
+// its group count in the cache and the size histogram.
+func (mp *matchPhase) viewOf(st *subState) *patterns.View {
+	st.viewOnce.Do(func() {
+		st.view = st.s.CachedView(mp.gs, mp.compact)
+		n := st.view.NumGroups()
+		mp.cache.storeGroupCount(st.vhash, n)
+		if mp.rec.Enabled() {
+			mp.rec.Observe(obs.MetricViewGroups, float64(n))
+		}
+	})
+	return st.view
+}
+
+// matchKind runs one kind's solve through the cache and the prescreen.
+// Verdicts are stored post-verification, so a hit's pattern needs no
+// re-check. A prescreen prune books the same cache interactions a matcher
+// run would have (a miss, then a stored negative verdict), so the cache
+// accounting is identical with the prescreen on or off.
+func (mp *matchPhase) matchKind(st *subState, kind patterns.Kind, b *patterns.Budget) *patterns.Pattern {
+	cache := mp.cache
+	switch status, pat := cache.lookup(st.vhash, kind, b.Score()); status {
+	case cacheHit:
+		b.RecordCacheHit(kind)
+		return pat
+	case cacheHitPrescreened:
+		b.RecordCacheHit(kind)
+		b.RecordPrescreened(kind)
+		return nil
+	case cacheSkip:
+		b.RecordCacheSkip(kind)
+		b.MarkExceeded()
+		return nil
+	}
+	if cache != nil {
+		b.RecordCacheMiss(kind)
+	}
+	if st.pre.CannotMatch(kind) {
+		// Fast path: the census proved this kind's matcher returns nil, at
+		// O(view) cost instead of a matcher (and possibly solver) run.
+		b.RecordPrescreened(kind)
+		cache.storePrescreened(st.vhash, kind)
+		return nil
+	}
+	before := b.KindTimeouts(kind)
+	p := mp.runMatcher(st, kind, b)
+	if p != nil && mp.opts.VerifyMatches {
+		if err := patterns.Verify(mp.gs, p); err != nil {
+			p = nil
+		}
+	}
+	// A nil from a resource-limited solve is "undecided", not "none".
+	limited := b.KindTimeouts(kind) > before
+	cache.store(st.vhash, kind, p, p == nil && limited, b.Score())
+	return p
+}
+
+// runMatcher dispatches to the kind's matcher over the (lazily built) view.
+func (mp *matchPhase) runMatcher(st *subState, kind patterns.Kind, b *patterns.Budget) *patterns.Pattern {
+	v := mp.viewOf(st)
+	switch kind {
+	case patterns.KindMap:
+		m := patterns.MatchMap(v)
+		if mp.opts.Extensions && m != nil {
+			if stn := patterns.MatchStencil(mp.gs, m); stn != nil {
+				m = stn // report the more specific refinement
+			}
+		}
+		return m
+	case patterns.KindLinearReduction:
+		return patterns.MatchLinearReduction(v, b)
+	case patterns.KindTiledReduction:
+		return patterns.MatchTiledReduction(v, b)
+	default:
+		return patterns.MatchTreeReduction(v)
+	}
+}
+
+// finishSub runs when a sub-DDG's last task completes: the tree-reduction
+// follow-up where it applies, the deterministic assembly of s.Matched in
+// slot order, and the once-per-sub skip/timeout accounting.
+func (mp *matchPhase) finishSub(w int, st *subState) {
+	if st.fused {
+		st.s.Matched = st.fusedFound
+		return
+	}
+	if st.skip {
+		mp.skips[w]++
+		return
+	}
+	if st.s.Assoc && mp.opts.Extensions &&
+		st.slots[slotLinear] == nil && st.slots[slotTiled] == nil {
+		// The combining-tree generalization, only where the paper's
+		// specific variants did not apply. Runs as an inline task on the
+		// completing worker: pending is already zero, so this nested
+		// runTask cannot re-trigger finishSub.
+		mp.runTask(w, matchTask{st: st, slot: slotTree})
+	}
+	var found []*patterns.Pattern
+	for _, p := range st.slots {
+		if p != nil {
+			found = append(found, p)
+		}
+	}
+	st.s.Matched = found
+	if st.exceeded.Load() {
+		mp.timedOut[w]++
+	}
+}
+
+// matchFused combines the patterns already matched on a fused sub-DDG's
+// constituents. Not view solves — the inputs are pattern lists, not a view
+// — so neither the cache nor the prescreen applies.
+func (mp *matchPhase) matchFused(s *SubDDG) []*patterns.Pattern {
+	var found []*patterns.Pattern
+	keep := func(p *patterns.Pattern) {
+		if p == nil {
+			return
+		}
+		if mp.opts.VerifyMatches {
+			if err := patterns.Verify(mp.gs, p); err != nil {
+				return
+			}
+		}
+		found = append(found, p)
+	}
+	for _, pa := range s.FusedA.Matched {
+		if !pa.Kind.IsMapKind() {
+			continue
+		}
+		for _, pb := range s.FusedB.Matched {
+			switch {
+			case pb.Kind.IsMapKind():
+				keep(patterns.MatchFusedMap(mp.gs, pa, pb))
+			case pb.Kind == patterns.KindLinearReduction:
+				keep(patterns.MatchLinearMapReduction(mp.gs, pa, pb))
+			case pb.Kind == patterns.KindTiledReduction:
+				keep(patterns.MatchTiledMapReduction(mp.gs, pa, pb))
+			}
+		}
+	}
+	return found
 }
 
 // rollupStats folds a budget's per-kind solver effort and cache counters

@@ -46,6 +46,10 @@ type ViewCache struct {
 	groups  map[ddg.Hash128]int
 	entries map[cacheKey]cacheEntry
 
+	// prescreened counts the stored entries whose verdict came from the
+	// structural prescreen rather than a matcher run.
+	prescreened int
+
 	resets int
 }
 
@@ -60,6 +64,12 @@ const (
 	verdictNone cacheVerdict = iota + 1
 	verdictPattern
 	verdictUndecided
+	// verdictPrescreened is a "no pattern" verdict decided by the
+	// structural prescreen rather than a matcher run: the census proved
+	// the view cannot match the kind. It behaves as a decided negative on
+	// lookup, distinguished only so the skip-rate accounting can tell
+	// prescreen answers from solver answers.
+	verdictPrescreened
 )
 
 type cacheEntry struct {
@@ -80,6 +90,10 @@ const (
 	// as large; the solve is pointless, but the outcome is still
 	// "undecided", not "no pattern".
 	cacheSkip
+	// cacheHitPrescreened: a decided "no pattern" verdict produced by the
+	// structural prescreen was returned. Callers treat it as a hit and
+	// additionally book it as prescreen-answered.
+	cacheHitPrescreened
 )
 
 // NewViewCache returns an empty cache, ready to be passed as Options.Cache
@@ -107,6 +121,7 @@ func (c *ViewCache) prepare(fp ddg.Hash128) {
 	c.fpSet = true
 	c.groups = nil
 	c.entries = nil
+	c.prescreened = 0
 }
 
 // groupCount returns the cached group count of the view, if known.
@@ -133,6 +148,20 @@ func (c *ViewCache) storeGroupCount(view ddg.Hash128, n int) {
 	c.groups[view] = n
 }
 
+// decided reports whether a decided verdict (pattern, none, or
+// prescreened) is stored for (view, kind). The match scheduler uses it to
+// order likely cache hits first; it records nothing and proves nothing —
+// a false answer only costs priority, never correctness.
+func (c *ViewCache) decided(view ddg.Hash128, kind patterns.Kind) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[cacheKey{view, kind}]
+	return ok && e.verdict != verdictUndecided
+}
+
 // lookup consults the cache for the view's verdict under kind. score is
 // the current budget's effort allowance, used to decide whether an
 // undecided entry is worth retrying (cacheMiss) or not (cacheSkip).
@@ -151,6 +180,9 @@ func (c *ViewCache) lookup(view ddg.Hash128, kind patterns.Kind, score patterns.
 			return cacheMiss, nil // a larger budget might decide it
 		}
 		return cacheSkip, nil
+	}
+	if e.verdict == verdictPrescreened {
+		return cacheHitPrescreened, nil
 	}
 	return cacheHit, e.pat
 }
@@ -178,11 +210,33 @@ func (c *ViewCache) store(view ddg.Hash128, kind patterns.Kind, pat *patterns.Pa
 	c.entries[cacheKey{view, kind}] = e
 }
 
+// storePrescreened records a prescreen-decided "no pattern" verdict: the
+// structural census proved the view cannot match kind, so no matcher ran
+// and none ever needs to for this (view, kind) under this fingerprint.
+func (c *ViewCache) storePrescreened(view ddg.Hash128, kind patterns.Kind) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[cacheKey]cacheEntry{}
+	}
+	key := cacheKey{view, kind}
+	if old, ok := c.entries[key]; !ok || old.verdict != verdictPrescreened {
+		c.prescreened++
+	}
+	c.entries[key] = cacheEntry{verdict: verdictPrescreened}
+}
+
 // CacheSnapshot describes a cache's current contents.
 type CacheSnapshot struct {
 	// Entries is the number of stored verdicts; GroupCounts the number of
 	// cached view sizes.
 	Entries, GroupCounts int
+	// Prescreened is the number of stored verdicts decided by the
+	// structural prescreen (a subset of Entries).
+	Prescreened int
 	// Resets counts fingerprint-mismatch invalidations since creation.
 	Resets int
 }
@@ -197,6 +251,7 @@ func (c *ViewCache) Snapshot() CacheSnapshot {
 	return CacheSnapshot{
 		Entries:     len(c.entries),
 		GroupCounts: len(c.groups),
+		Prescreened: c.prescreened,
 		Resets:      c.resets,
 	}
 }
@@ -228,5 +283,10 @@ func cacheFingerprint(gs *ddg.Graph, opts Options) ddg.Hash128 {
 	}
 	h.Word(flags)
 	h.Word(uint64(opts.maxViewGroups()))
+	// Restarts can change which solution an enumeration finds first (and
+	// hence the stored pattern), so verdicts from different restart
+	// configurations must not be shared. The prescreen needs no word here:
+	// its verdicts agree with matcher verdicts by construction.
+	h.Word(uint64(opts.SolverRestartSlice))
 	return h.Sum()
 }

@@ -62,6 +62,31 @@ func (m *Model) Add(p Propagator) {
 	}
 }
 
+// mark returns a checkpoint of the model's propagator count, for use with
+// retract. The restart search uses the pair to scope learned nogood
+// clauses to one solve.
+func (m *Model) mark() int { return len(m.props) }
+
+// retract removes every propagator added after the mark checkpoint,
+// including its watcher subscriptions. Spaces created before the retract
+// must not be used afterwards.
+func (m *Model) retract(mark int) {
+	if len(m.props) <= mark {
+		return
+	}
+	m.props = m.props[:mark]
+	for id, ws := range m.watchers {
+		k := 0
+		for _, idx := range ws {
+			if idx < mark {
+				ws[k] = idx
+				k++
+			}
+		}
+		m.watchers[id] = ws[:k]
+	}
+}
+
 // Propagator prunes variable domains. Propagate returns false on failure
 // (an empty domain or detected inconsistency). Propagators must be
 // idempotent and monotone.

@@ -1,0 +1,100 @@
+package cp
+
+// Restart search with nogood recording. When Solver.RestartSlice is
+// positive, the depth-first search runs in Luby-scheduled slices of the
+// step counter (nodes + propagations): attempt i explores at most
+// luby(i)×RestartSlice steps, then abandons the tree and restarts from the
+// root. What the abandoned attempt learned is kept as nogood clauses: for
+// every decision level on the current path, each value already fully
+// explored at that level — together with the decision prefix above it —
+// is a refuted assignment, and a clause forbidding it is added to the
+// model before the next attempt (the standard recipe from restart-based
+// CP/SAT solvers). The clauses unit-propagate, so the next attempt prunes
+// the explored region instead of re-searching it.
+//
+// Restarts change which solution an enumeration encounters first, so the
+// feature is strictly opt-in (RestartSlice = 0 keeps the plain DFS) and
+// callers that cache verdicts must key on it (see core's cache
+// fingerprint).
+
+// maxNogoodsPerSolve caps the clauses recorded across all restarts of one
+// solve; learning is cheap but each clause adds a propagator to the model,
+// and the matchers' models are small enough that a few hundred clauses
+// cover any useful prefix set.
+const maxNogoodsPerSolve = 256
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... — the universal schedule whose slices
+// grow just fast enough to stay within a constant factor of any optimal
+// restart strategy.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// decision is one frame of the current search path: the branching
+// variable, the value order tried at this level, and the index of the
+// value currently being explored (values below idx are fully explored).
+type decision struct {
+	v    *IntVar
+	vals []int
+	idx  int
+}
+
+// nogoodClause forbids one complete partial assignment: NOT (vars[0]=vals[0]
+// ∧ … ∧ vars[k]=vals[k]). It unit-propagates — when every literal but one
+// holds, the remaining value is removed — and fails the space when all hold.
+type nogoodClause struct {
+	vars []*IntVar
+	vals []int
+}
+
+func (p *nogoodClause) Vars() []*IntVar { return p.vars }
+
+func (p *nogoodClause) Propagate(s *Space) bool {
+	free := -1
+	for i, v := range p.vars {
+		if !s.Assigned(v) {
+			if free >= 0 {
+				return true // two or more free literals: nothing to infer
+			}
+			free = i
+			continue
+		}
+		if s.Value(v) != p.vals[i] {
+			return true // a literal is already false: clause satisfied
+		}
+	}
+	if free < 0 {
+		return false // every literal holds: the assignment is refuted
+	}
+	return s.Remove(p.vars[free], p.vals[free])
+}
+
+// recordNogoods converts the abandoned attempt's decision path into
+// clauses (see the package comment above) and clears the path.
+func (sv *Solver) recordNogoods() {
+	prefixV := make([]*IntVar, 0, len(sv.trail))
+	prefixX := make([]int, 0, len(sv.trail))
+	for _, d := range sv.trail {
+		for j := 0; j < d.idx && sv.stats.Nogoods < maxNogoodsPerSolve; j++ {
+			vars := make([]*IntVar, len(prefixV)+1)
+			vals := make([]int, len(prefixX)+1)
+			copy(vars, prefixV)
+			copy(vals, prefixX)
+			vars[len(prefixV)] = d.v
+			vals[len(prefixX)] = d.vals[j]
+			sv.Model.Add(&nogoodClause{vars: vars, vals: vals})
+			sv.stats.Nogoods++
+		}
+		prefixV = append(prefixV, d.v)
+		prefixX = append(prefixX, d.vals[d.idx])
+	}
+	sv.trail = sv.trail[:0]
+}

@@ -1,0 +1,162 @@
+package cp
+
+// Restart + nogood tests. The feature contract: RestartSlice never changes
+// satisfiability — a solution exists with restarts iff one exists without
+// — and SolveAll still enumerates the complete solution set exactly once
+// (nogoods prune re-exploration, not solutions). Determinism: the slice is
+// counted in steps, so two identical runs restart at identical points.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// queensModel builds the n-queens model: enough search to force restarts
+// under a small slice.
+func queensModel(n int) (*Model, []*IntVar) {
+	m := NewModel()
+	q := make([]*IntVar, n)
+	for i := range q {
+		q[i] = m.NewIntVar(fmt.Sprintf("q%d", i), 0, n-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Ne(q[i], q[j])
+			// Diagonals via a difference variable: d = q_i - q_j, d ∉ {±(j-i)}.
+			d := m.NewIntVar(fmt.Sprintf("d%d_%d", i, j), -(n - 1), n-1)
+			m.Linear([]int{1, -1, -1}, []*IntVar{q[i], q[j], d}, LinEq, 0)
+			m.NeC(d, j-i)
+			m.NeC(d, -(j - i))
+		}
+	}
+	return m, q
+}
+
+// solutionSet enumerates all solutions as sorted strings.
+func solutionSet(sv *Solver, vars []*IntVar) []string {
+	var sols []string
+	sv.SolveAll(func(sol Solution) bool {
+		s := ""
+		for _, v := range vars {
+			s += fmt.Sprintf("%d,", sol.Value(v))
+		}
+		sols = append(sols, s)
+		return true
+	})
+	sort.Strings(sols)
+	return sols
+}
+
+func TestRestartsPreserveSolutionSet(t *testing.T) {
+	for _, slice := range []int64{1, 7, 50} {
+		mPlain, qPlain := queensModel(6)
+		plain := solutionSet(&Solver{Model: mPlain}, qPlain)
+		if len(plain) != 4 { // 6-queens has 4 solutions
+			t.Fatalf("plain DFS found %d solutions, want 4", len(plain))
+		}
+		mR, qR := queensModel(6)
+		sv := &Solver{Model: mR, RestartSlice: slice}
+		restarted := solutionSet(sv, qR)
+		if fmt.Sprint(restarted) != fmt.Sprint(plain) {
+			t.Errorf("slice=%d: solution set diverges:\nplain:     %v\nrestarted: %v",
+				slice, plain, restarted)
+		}
+		if slice == 1 && sv.Stats().Restarts == 0 {
+			t.Errorf("slice=1 on 6-queens triggered no restarts")
+		}
+	}
+}
+
+func TestRestartsPreserveUnsat(t *testing.T) {
+	m, _ := queensModel(3) // 3-queens is unsatisfiable
+	sv := &Solver{Model: m, RestartSlice: 1}
+	if sol := sv.Solve(); sol != nil {
+		t.Fatalf("restarted solve found a solution to 3-queens: %v", sol)
+	}
+	m2, _ := queensModel(3)
+	if sol := (&Solver{Model: m2}).Solve(); sol != nil {
+		t.Fatalf("plain solve found a solution to 3-queens: %v", sol)
+	}
+}
+
+func TestRestartsDeterministic(t *testing.T) {
+	run := func() (Stats, string) {
+		m, q := queensModel(6)
+		sv := &Solver{Model: m, RestartSlice: 5}
+		sols := solutionSet(sv, q)
+		return sv.Stats(), fmt.Sprint(sols)
+	}
+	s1, sols1 := run()
+	s2, sols2 := run()
+	if sols1 != sols2 {
+		t.Errorf("solution order diverged across identical runs")
+	}
+	if s1.Restarts != s2.Restarts || s1.Nogoods != s2.Nogoods ||
+		s1.Nodes != s2.Nodes || s1.Propagations != s2.Propagations {
+		t.Errorf("stats diverged across identical runs:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Restarts == 0 || s1.Nogoods == 0 {
+		t.Errorf("expected restarts and nogoods on 6-queens with slice 5, got %+v", s1)
+	}
+}
+
+func TestRestartsRetractNogoodsFromModel(t *testing.T) {
+	// Learned clauses are scoped to one solve: after it, the model must be
+	// back to its declared propagator set, so a later solve on the same
+	// model is not constrained by stale nogoods.
+	m, q := queensModel(6)
+	before := len(m.props)
+	sv := &Solver{Model: m, RestartSlice: 1}
+	first := solutionSet(sv, q)
+	if len(m.props) != before {
+		t.Fatalf("solve left %d extra propagator(s) in the model", len(m.props)-before)
+	}
+	again := solutionSet(&Solver{Model: m}, q)
+	if fmt.Sprint(first) != fmt.Sprint(again) {
+		t.Errorf("model polluted by a previous restarted solve:\nfirst: %v\nagain: %v", first, again)
+	}
+}
+
+func TestRestartsRespectStepLimit(t *testing.T) {
+	// A real resource limit dominates the restart schedule: the solve must
+	// still abort with LimitHit, not loop restarting forever.
+	m, _ := queensModel(8)
+	sv := &Solver{Model: m, RestartSlice: 3, StepLimit: 40}
+	sv.SolveAll(func(Solution) bool { return true })
+	if !sv.Stats().LimitHit {
+		t.Errorf("step limit not reported under restarts: %+v", sv.Stats())
+	}
+	if total := sv.Stats().Nodes + sv.Stats().Propagations; total > 200 {
+		t.Errorf("solve ran %d steps past a limit of 40", total)
+	}
+}
+
+func TestNogoodClausePropagation(t *testing.T) {
+	// Forbid (x=1 ∧ y=2) directly and check the unit-propagation step:
+	// assigning x=1 must remove 2 from y.
+	m := NewModel()
+	x := m.NewIntVar("x", 0, 2)
+	y := m.NewIntVar("y", 0, 2)
+	m.Add(&nogoodClause{vars: []*IntVar{x, y}, vals: []int{1, 2}})
+	count := 0
+	(&Solver{Model: m}).SolveAll(func(sol Solution) bool {
+		if sol.Value(x) == 1 && sol.Value(y) == 2 {
+			t.Errorf("forbidden assignment enumerated")
+		}
+		count++
+		return true
+	})
+	if count != 8 { // 9 assignments minus the forbidden one
+		t.Errorf("solutions = %d, want 8", count)
+	}
+}

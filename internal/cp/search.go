@@ -23,6 +23,11 @@ type Stats struct {
 	// LimitHit reports that the step limit (nodes + propagations) was
 	// exhausted.
 	LimitHit bool
+	// Restarts counts Luby-scheduled restarts taken (see
+	// Solver.RestartSlice); Nogoods counts the refuted-prefix clauses
+	// recorded across them. Both are zero when restarts are not armed.
+	Restarts int64
+	Nogoods  int64
 	// Err records a panic recovered during the run — a solver or propagator
 	// bug contained at the Solve boundary, as a match-stage
 	// *analysis.Error. The counters above remain valid for the partial
@@ -46,6 +51,8 @@ func (s *Stats) Add(other Stats) {
 	s.TimedOut = s.TimedOut || other.TimedOut
 	s.Cancelled = s.Cancelled || other.Cancelled
 	s.LimitHit = s.LimitHit || other.LimitHit
+	s.Restarts += other.Restarts
+	s.Nogoods += other.Nogoods
 	if s.Err == nil {
 		s.Err = other.Err
 	}
@@ -124,6 +131,14 @@ type Solver struct {
 	// no limit. Unlike Timeout it is reproducible across machines, which
 	// the degraded-result tests rely on.
 	StepLimit int64
+	// RestartSlice, when positive, arms Luby-scheduled restarts with
+	// nogood recording (see restart.go): attempt i runs for
+	// luby(i)×RestartSlice steps, then restarts from the root after
+	// recording its explored prefixes as clauses. Zero — the default —
+	// keeps the plain depth-first search. Restarts are deterministic (the
+	// slice is counted in steps, not wall time) but can change which
+	// solution an enumeration reaches first.
+	RestartSlice int64
 	// Objective, if set, is maximized: search restarts pruning solutions
 	// not strictly better (branch-and-bound).
 	Objective *IntVar
@@ -137,6 +152,13 @@ type Solver struct {
 
 	stats    Stats
 	deadline time.Time
+
+	// Restart state (see restart.go): the current decision path, the step
+	// count at which the current slice expires, and the flag distinguishing
+	// a slice expiry from a real resource limit.
+	trail      []decision
+	sliceEnd   int64
+	restartNow bool
 }
 
 // Stats returns effort counters from the last Solve/SolveAll call.
@@ -198,11 +220,31 @@ func (sv *Solver) solveInternal(cb func(Solution) bool) {
 	if branch == nil {
 		branch = &FirstFail{}
 	}
-	root := sv.Model.newSpace()
-	root.scheduleAll()
 	bound := -1 << 62
-	if !root.failed && root.propagate(&sv.stats) {
-		sv.dfs(root, branch, cb, &bound)
+	restarts := sv.RestartSlice > 0
+	sv.sliceEnd = 0
+	sv.trail = sv.trail[:0]
+	if restarts {
+		// Learned nogoods live only for this solve: retract them from the
+		// model on the way out so the model can be solved again cleanly.
+		mark := sv.Model.mark()
+		defer sv.Model.retract(mark)
+	}
+	for attempt := int64(1); ; attempt++ {
+		if restarts {
+			sv.sliceEnd = sv.stats.Nodes + sv.stats.Propagations + luby(attempt)*sv.RestartSlice
+		}
+		sv.restartNow = false
+		root := sv.Model.newSpace()
+		root.scheduleAll()
+		if !root.failed && root.propagate(&sv.stats) {
+			sv.dfs(root, branch, cb, &bound)
+		}
+		if !sv.restartNow {
+			break // exhausted, solved, aborted by the callback, or limited
+		}
+		sv.stats.Restarts++
+		sv.recordNogoods()
 	}
 	sv.stats.Elapsed = time.Since(start)
 }
@@ -223,6 +265,11 @@ func (sv *Solver) spanAttrs() []obs.Attr {
 		obs.Int("nodes", sv.stats.Nodes),
 		obs.Int("propagations", sv.stats.Propagations),
 		obs.Int("solutions", sv.stats.Solutions),
+	}
+	if sv.stats.Restarts > 0 {
+		attrs = append(attrs,
+			obs.Int("restarts", sv.stats.Restarts),
+			obs.Int("nogoods", sv.stats.Nogoods))
 	}
 	if sv.stats.Limited() {
 		attrs = append(attrs, obs.Str("limited", strconv.FormatBool(true)))
@@ -250,6 +297,12 @@ func (sv *Solver) stopNow() bool {
 			sv.stats.Cancelled = true
 			return true
 		}
+	}
+	// The restart slice is checked after the real limits, so a slice expiry
+	// never masks a genuine resource bound.
+	if sv.sliceEnd > 0 && sv.stats.Nodes+sv.stats.Propagations > sv.sliceEnd {
+		sv.restartNow = true
+		return true
 	}
 	return false
 }
@@ -293,7 +346,20 @@ func (sv *Solver) dfs(s *Space, branch BranchOrder, cb func(Solution) bool, boun
 		}
 		return cb(sol)
 	}
-	for _, val := range branch.ValueOrder(s, v) {
+	// Track the decision path for nogood extraction: values below idx at
+	// each level are fully explored when the search is abandoned. On an
+	// abort the trail is left intact for recordNogoods; on a normal return
+	// this level's frame is popped.
+	order := branch.ValueOrder(s, v)
+	tracking := sv.sliceEnd > 0
+	lvl := len(sv.trail)
+	if tracking {
+		sv.trail = append(sv.trail, decision{v: v, vals: order})
+	}
+	for i, val := range order {
+		if tracking {
+			sv.trail[lvl].idx = i
+		}
 		child := s.clone()
 		if !child.Assign(v, val) || !child.propagate(&sv.stats) {
 			sv.stats.Failures++
@@ -302,6 +368,9 @@ func (sv *Solver) dfs(s *Space, branch BranchOrder, cb func(Solution) bool, boun
 		if !sv.dfs(child, branch, cb, bound) {
 			return false
 		}
+	}
+	if tracking {
+		sv.trail = sv.trail[:lvl]
 	}
 	return true
 }

@@ -13,24 +13,42 @@ import (
 	"discovery/internal/trace"
 )
 
-// Pattern-finding fixpoint benchmark: cold (fresh view cache per run)
-// versus warm (one cache shared across runs of the same trace), on
-// Starbench workloads. Re-analysis of an unchanged trace is the common
-// case in experiment sweeps and repeated evaluations; the warm rows show
-// what the content-addressed solve cache buys there (BENCH_find.json).
+// Pattern-finding fixpoint benchmark on Starbench workloads, three modes
+// per workload:
+//
+//   - cold-noprescreen: fresh view cache, structural prescreen disabled —
+//     the slow path alone, every doomed solve pays full matcher cost.
+//   - cold: fresh view cache, prescreen on (the default configuration).
+//     cold-noprescreen vs cold is what the prescreen fast path buys a
+//     first-time analysis.
+//   - warm: one cache shared across runs of the same trace. cold vs warm
+//     is what the content-addressed solve cache buys re-analysis.
+//
+// Row schema matches tracebench: median_ns + robust_cv summaries plus the
+// raw per-repetition times (reps_ns), with a warning on rows whose
+// repetitions violate the paper's 10% robust-CV stability criterion.
 
-// FindBenchRow is one (workload, cache mode) measurement.
+// FindBenchRow is one (workload, mode) measurement.
 type FindBenchRow struct {
 	Bench    string  `json:"bench"`
 	Version  string  `json:"version"`
-	Mode     string  `json:"mode"` // "cold" or "warm"
+	Mode     string  `json:"mode"` // "cold-noprescreen", "cold", or "warm"
 	MedianNS int64   `json:"median_ns"`
 	MatchNS  int64   `json:"match_ns"` // match-phase share of the last run
 	RobustCV float64 `json:"robust_cv"`
-	Nodes    int     `json:"ddg_nodes"`
-	Patterns int     `json:"patterns"`
-	Hits     int     `json:"cache_hits"`
-	Misses   int     `json:"cache_misses"`
+	// RepsNS are the raw per-repetition wall times, in run order.
+	RepsNS []int64 `json:"reps_ns"`
+	// Warning is set when the repetitions fail the 10% robust-CV
+	// stability criterion (stats.Measurement.Stable).
+	Warning  string `json:"warning,omitempty"`
+	Nodes    int    `json:"ddg_nodes"`
+	Patterns int    `json:"patterns"`
+	Hits     int    `json:"cache_hits"`
+	Misses   int    `json:"cache_misses"`
+	// PrescreenChecks/PrescreenSkips describe the fast path's activity in
+	// this mode (zero under cold-noprescreen).
+	PrescreenChecks int `json:"prescreen_checks"`
+	PrescreenSkips  int `json:"prescreen_skips"`
 }
 
 // FindBenchResult is the full benchmark outcome.
@@ -38,6 +56,9 @@ type FindBenchResult struct {
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Repetitions int            `json:"repetitions"`
 	Rows        []FindBenchRow `json:"rows"`
+	// PrescreenSpeedup maps each workload to its cold-noprescreen/cold
+	// median ratio: what the structural prescreen buys a cold analysis.
+	PrescreenSpeedup map[string]float64 `json:"prescreen_speedup"`
 	// MaxWarmSpeedup is the best cold/warm median ratio across the
 	// workloads (the acceptance criterion: >= 1.5 on at least one).
 	MaxWarmSpeedup float64 `json:"max_warm_speedup"`
@@ -48,14 +69,15 @@ type FindBenchResult struct {
 var findBenchWorkloads = []string{"streamcluster", "kmeans", "rot-cc"}
 
 // RunFindBench measures the pattern-finding fixpoint (median of reps runs)
-// on each workload, cold and warm.
+// on each workload in each mode.
 func RunFindBench(reps int) (*FindBenchResult, error) {
 	if reps < 1 {
 		reps = 10
 	}
 	out := &FindBenchResult{
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Repetitions: reps,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Repetitions:      reps,
+		PrescreenSpeedup: map[string]float64{},
 	}
 	for _, name := range findBenchWorkloads {
 		b := starbench.ByName(name)
@@ -68,44 +90,62 @@ func RunFindBench(reps int) (*FindBenchResult, error) {
 			return nil, fmt.Errorf("findbench %s: tracing failed: %w", name, err)
 		}
 		var coldPatterns int
-		for _, mode := range []string{"cold", "warm"} {
+		medians := map[string]time.Duration{}
+		for _, mode := range []string{"cold-noprescreen", "cold", "warm"} {
 			opts := Opts()
-			if mode == "warm" {
+			switch mode {
+			case "cold-noprescreen":
+				opts.DisablePrescreen = true
+			case "warm":
 				// One shared cache, primed by a run outside the measurement.
 				opts.Cache = core.NewViewCache()
 				core.Find(tr.Graph, opts)
 			}
 			var res *core.Result
+			core.Find(tr.Graph, opts) // unmeasured warmup rep (pages code, sizes the heap)
+			runtime.GC()              // don't charge a prior mode's garbage to this one
 			m := stats.Measure(reps, func() {
 				res = core.Find(tr.Graph, opts)
 			})
 			if len(res.Failures) > 0 {
 				return nil, fmt.Errorf("findbench %s/%s: degraded run: %v", name, mode, res.Failures[0])
 			}
-			if mode == "cold" {
+			if mode == "cold-noprescreen" {
 				coldPatterns = len(res.Patterns)
 			} else if len(res.Patterns) != coldPatterns {
-				return nil, fmt.Errorf("findbench %s: warm run found %d patterns, cold %d",
-					name, len(res.Patterns), coldPatterns)
+				return nil, fmt.Errorf("findbench %s: %s run found %d patterns, cold-noprescreen %d",
+					name, mode, len(res.Patterns), coldPatterns)
 			}
 			hits, misses, _ := res.CacheStats()
-			out.Rows = append(out.Rows, FindBenchRow{
-				Bench:    name,
-				Version:  string(starbench.Pthreads),
-				Mode:     mode,
-				MedianNS: int64(m.Median),
-				MatchNS:  int64(res.Phases.Match),
-				RobustCV: m.RobustCV,
-				Nodes:    tr.Graph.NumNodes(),
-				Patterns: len(res.Patterns),
-				Hits:     hits,
-				Misses:   misses,
-			})
+			checks, skips := res.PrescreenStats()
+			row := FindBenchRow{
+				Bench:           name,
+				Version:         string(starbench.Pthreads),
+				Mode:            mode,
+				MedianNS:        int64(m.Median),
+				MatchNS:         int64(res.Phases.Match),
+				RobustCV:        m.RobustCV,
+				Nodes:           tr.Graph.NumNodes(),
+				Patterns:        len(res.Patterns),
+				Hits:            hits,
+				Misses:          misses,
+				PrescreenChecks: checks,
+				PrescreenSkips:  skips,
+			}
+			for _, d := range m.Samples {
+				row.RepsNS = append(row.RepsNS, int64(d))
+			}
+			if !m.Stable() {
+				row.Warning = fmt.Sprintf("high variance: robust CV %.1f%% exceeds the 10%% stability bound", m.RobustCV*100)
+			}
+			out.Rows = append(out.Rows, row)
+			medians[mode] = m.Median
 		}
-		cold := out.Rows[len(out.Rows)-2]
-		warm := out.Rows[len(out.Rows)-1]
-		if warm.MedianNS > 0 {
-			if s := float64(cold.MedianNS) / float64(warm.MedianNS); s > out.MaxWarmSpeedup {
+		if cold := medians["cold"]; cold > 0 {
+			out.PrescreenSpeedup[name] = float64(medians["cold-noprescreen"]) / float64(cold)
+		}
+		if warm := medians["warm"]; warm > 0 {
+			if s := float64(medians["cold"]) / float64(warm); s > out.MaxWarmSpeedup {
 				out.MaxWarmSpeedup = s
 			}
 		}
@@ -121,14 +161,23 @@ func (r *FindBenchResult) JSON() ([]byte, error) {
 // Text renders a human-readable table.
 func (r *FindBenchResult) Text() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Find fixpoint, cold vs warm view cache: %d reps, GOMAXPROCS=%d\n",
+	fmt.Fprintf(&sb, "Find fixpoint, prescreen off/on and warm view cache: %d reps, GOMAXPROCS=%d\n",
 		r.Repetitions, r.GOMAXPROCS)
-	fmt.Fprintf(&sb, "%-14s %6s %12s %12s %8s %9s %7s %7s\n",
-		"bench", "mode", "median", "match", "rcv", "patterns", "hits", "misses")
+	fmt.Fprintf(&sb, "%-14s %17s %12s %12s %8s %9s %7s %7s %7s\n",
+		"bench", "mode", "median", "match", "rcv", "patterns", "hits", "misses", "skips")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%-14s %6s %12v %12v %7.1f%% %9d %7d %7d\n",
+		fmt.Fprintf(&sb, "%-14s %17s %12v %12v %7.1f%% %9d %7d %7d %7d",
 			row.Bench, row.Mode, time.Duration(row.MedianNS), time.Duration(row.MatchNS),
-			row.RobustCV*100, row.Patterns, row.Hits, row.Misses)
+			row.RobustCV*100, row.Patterns, row.Hits, row.Misses, row.PrescreenSkips)
+		if row.Warning != "" {
+			sb.WriteString("  ! " + row.Warning)
+		}
+		sb.WriteString("\n")
+	}
+	for _, name := range findBenchWorkloads {
+		if s, ok := r.PrescreenSpeedup[name]; ok {
+			fmt.Fprintf(&sb, "prescreen cold speedup on %s: %.2fx\n", name, s)
+		}
 	}
 	fmt.Fprintf(&sb, "best warm speedup: %.2fx\n", r.MaxWarmSpeedup)
 	return sb.String()

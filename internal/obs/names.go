@@ -9,15 +9,20 @@ const (
 	MetricSolveSeconds     = "discovery_solve_seconds"      // per solver-run latency
 	MetricViewGroups       = "discovery_view_groups"        // group count per built view
 	MetricTraceThreadNodes = "discovery_trace_thread_nodes" // traced nodes per VM thread
+	MetricPrescreenSeconds = "discovery_prescreen_seconds"  // per-sub-DDG census latency
 
 	// Counters (labeled with kind where noted).
-	MetricSolverRuns     = "discovery_solver_runs_total"     // kind
-	MetricSolverTimeouts = "discovery_solver_timeouts_total" // kind
-	MetricCacheHits      = "discovery_cache_hits_total"      // kind
-	MetricCacheMisses    = "discovery_cache_misses_total"    // kind
-	MetricCacheSkips     = "discovery_cache_skips_total"     // kind
-	MetricTraceNodes     = "discovery_trace_nodes_total"
-	MetricMatches        = "discovery_matches_total"
+	MetricSolverRuns      = "discovery_solver_runs_total"     // kind
+	MetricSolverTimeouts  = "discovery_solver_timeouts_total" // kind
+	MetricSolverRestarts  = "discovery_solver_restarts_total" // kind
+	MetricSolverNogoods   = "discovery_solver_nogoods_total"  // kind
+	MetricCacheHits       = "discovery_cache_hits_total"      // kind
+	MetricCacheMisses     = "discovery_cache_misses_total"    // kind
+	MetricCacheSkips      = "discovery_cache_skips_total"     // kind
+	MetricPrescreenSkips  = "discovery_prescreen_skips_total" // kind; solves answered by the census
+	MetricPrescreenChecks = "discovery_prescreen_checks_total"
+	MetricTraceNodes      = "discovery_trace_nodes_total"
+	MetricMatches         = "discovery_matches_total"
 
 	// Gauges.
 	MetricTraceThroughput = "discovery_trace_nodes_per_second"

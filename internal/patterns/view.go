@@ -2,6 +2,7 @@ package patterns
 
 import (
 	"sort"
+	"sync"
 
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
@@ -29,21 +30,25 @@ type View struct {
 
 	hash ddg.Hash128 // content hash: ViewKey(Ambient, loop)
 
-	sub *ddg.SubView // lazy overlay of Ambient over G
+	sub     *ddg.SubView // lazy overlay of Ambient over G
+	subOnce sync.Once
 
-	// Lazily built group structure (ensure).
-	built  bool
-	arcs   [][]int // group adjacency (original arcs between groups), sorted
-	indeg  []int   // distinct-group in-degree per group
-	extIn  []bool  // group receives an arc from outside the sub-DDG
-	extOut []bool  // group sends an arc outside the sub-DDG
+	// Lazily built group structure (ensure). Guarded by ensOnce: matchers
+	// for different kinds may share one view across workers.
+	ensOnce sync.Once
+	arcs    [][]int // group adjacency (original arcs between groups), sorted
+	indeg   []int   // distinct-group in-degree per group
+	extIn   []bool  // group receives an arc from outside the sub-DDG
+	extOut  []bool  // group sends an arc outside the sub-DDG
 
 	// Lazily computed labels, per group ("" = not yet computed; group
-	// labels are never empty since groups are non-empty).
+	// labels are never empty since groups are non-empty). mu guards the
+	// label/op-set memos and the reachability closure.
+	mu     sync.Mutex
 	labels []string
 	opsets []string
 
-	reach [][]bool // group-level reachability closure (lazy)
+	reach [][]bool // group-level reachability closure (lazy, under mu)
 }
 
 // hashSeedView tags view hashes (see ViewKey).
@@ -121,9 +126,9 @@ func (v *View) Hash() ddg.Hash128 { return v.hash }
 // Sub returns the zero-copy overlay of the view's ambient set, building it
 // on first use.
 func (v *View) Sub() *ddg.SubView {
-	if v.sub == nil {
+	v.subOnce.Do(func() {
 		v.sub = v.G.Overlay(v.Ambient)
-	}
+	})
 	return v.sub
 }
 
@@ -132,10 +137,10 @@ func (v *View) Sub() *ddg.SubView {
 // member node is found through its position in the sorted ambient set, so
 // the scratch state is O(|ambient|), never O(|graph|).
 func (v *View) ensure() {
-	if v.built {
-		return
-	}
-	v.built = true
+	v.ensOnce.Do(v.build)
+}
+
+func (v *View) build() {
 	sub := v.Sub()
 	n := len(v.Groups)
 	v.arcs = make([][]int, n)
@@ -210,6 +215,8 @@ func (v *View) ExtOut(i int) bool {
 // Label returns the operation-multiset label of group i (relaxed 1c),
 // computed on first use per group.
 func (v *View) Label(i int) string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.labels == nil {
 		v.labels = make([]string, len(v.Groups))
 	}
@@ -222,6 +229,8 @@ func (v *View) Label(i int) string {
 // OpSet returns the operation-set label of group i (conditional variants),
 // computed on first use per group.
 func (v *View) OpSet(i int) string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.opsets == nil {
 		v.opsets = make([]string, len(v.Groups))
 	}
@@ -242,10 +251,13 @@ func (v *View) HasArc(i, j int) bool {
 // i != j implied; Reaches(i,i) is true only on a cycle, which cannot occur
 // in a DAG view).
 func (v *View) Reaches(i, j int) bool {
+	v.mu.Lock()
 	if v.reach == nil {
 		v.computeReach()
 	}
-	return v.reach[i][j]
+	r := v.reach[i][j]
+	v.mu.Unlock()
+	return r
 }
 
 func (v *View) computeReach() {

@@ -48,8 +48,21 @@ func Diagnostics(res *core.Result) string {
 	if line := CacheStats(res); line != "" {
 		sb.WriteString("  " + line + "\n")
 	}
+	if line := PrescreenStats(res); line != "" {
+		sb.WriteString("  " + line + "\n")
+	}
 	sb.WriteString(solverEffort(res))
 	return sb.String()
+}
+
+// PrescreenStats renders a one-line structural-prescreen summary ("" when
+// the run ran no prescreen checks, e.g. under -no-prescreen).
+func PrescreenStats(res *core.Result) string {
+	checks, skips := res.PrescreenStats()
+	if checks == 0 {
+		return ""
+	}
+	return fmt.Sprintf("prescreen: %d check(s), %d solve(s) skipped", checks, skips)
 }
 
 // CacheStats renders a one-line view-cache summary ("" when the run
@@ -76,9 +89,13 @@ func solverEffort(res *core.Result) string {
 	sb.WriteString("solver effort per pattern kind:\n")
 	for _, k := range kinds {
 		ks := res.SolverStats[k]
-		fmt.Fprintf(&sb, "  %-22s %d run(s), %d timed out; %d nodes, %d propagations, %d solutions in %v\n",
+		fmt.Fprintf(&sb, "  %-22s %d run(s), %d timed out; %d nodes, %d propagations, %d solutions in %v",
 			k, ks.Runs, ks.Timeouts, ks.Nodes, ks.Propagations, ks.Solutions,
 			ks.Elapsed.Round(time.Millisecond))
+		if ks.Restarts > 0 || ks.Nogoods > 0 {
+			fmt.Fprintf(&sb, "; %d restart(s), %d nogood(s)", ks.Restarts, ks.Nogoods)
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }
@@ -102,12 +119,23 @@ type KindStatsJSON struct {
 	CacheHits    int   `json:"cache_hits,omitempty"`
 	CacheMisses  int   `json:"cache_misses,omitempty"`
 	CacheSkips   int   `json:"cache_skips,omitempty"`
+	// Restarts/Nogoods stay zero unless solver restarts are enabled
+	// (-solver-restarts), so default outputs are unchanged.
+	Restarts int64 `json:"restarts,omitempty"`
+	Nogoods  int64 `json:"nogoods,omitempty"`
 }
 
 // CacheJSON is the view-cache rollup across all pattern kinds.
 type CacheJSON struct {
 	Hits   int `json:"hits"`
 	Misses int `json:"misses"`
+	Skips  int `json:"skips"`
+}
+
+// PrescreenJSON is the structural-prescreen rollup: census runs and the
+// solves they answered without a matcher run.
+type PrescreenJSON struct {
+	Checks int `json:"checks"`
 	Skips  int `json:"skips"`
 }
 
@@ -129,6 +157,10 @@ type DiagnosticsJSON struct {
 	Failures      []FailureJSON            `json:"failures,omitempty"`
 	Solver        map[string]KindStatsJSON `json:"solver,omitempty"`
 	Cache         *CacheJSON               `json:"cache,omitempty"`
+	// Prescreen is emitted only on request (IncludePrescreenStats): the
+	// prescreen answers solves on every default run, so an unconditional
+	// block would churn every existing consumer's output.
+	Prescreen *PrescreenJSON `json:"prescreen,omitempty"`
 }
 
 // SummaryJSON is the machine-readable counterpart of Summary.
@@ -150,6 +182,10 @@ type JSONOptions struct {
 	// field silently vanish — indistinguishable from an old producer that
 	// never emitted it.
 	IncludeCacheStats bool
+	// IncludePrescreenStats adds the diagnostics "prescreen" block
+	// (checks and skipped solves). Off by default to keep existing
+	// outputs byte-identical.
+	IncludePrescreenStats bool
 }
 
 // JSON exports a finder result as an indented JSON document, diagnostics
@@ -200,11 +236,17 @@ func JSONWith(res *core.Result, opts JSONOptions) ([]byte, error) {
 				CacheHits:   ks.CacheHits,
 				CacheMisses: ks.CacheMisses,
 				CacheSkips:  ks.CacheSkips,
+				Restarts:    ks.Restarts,
+				Nogoods:     ks.Nogoods,
 			}
 		}
 	}
 	if hits, misses, skips := res.CacheStats(); hits+misses+skips > 0 || opts.IncludeCacheStats {
 		out.Diagnostics.Cache = &CacheJSON{Hits: hits, Misses: misses, Skips: skips}
+	}
+	if opts.IncludePrescreenStats {
+		checks, skips := res.PrescreenStats()
+		out.Diagnostics.Prescreen = &PrescreenJSON{Checks: checks, Skips: skips}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -1,0 +1,55 @@
+package report
+
+// End-to-end visibility of the solver restart counters: a Find run with
+// SolverRestartSlice armed must surface restart and nogood counts in the
+// JSON export and the Prometheus metrics, and the prescreen block must
+// appear when asked for. (Defaults keep both at zero/absent — the golden
+// corpus pins that.)
+
+import (
+	"strings"
+	"testing"
+
+	"discovery/internal/core"
+	"discovery/internal/obs"
+	"discovery/internal/starbench"
+)
+
+func TestRestartCountersSurface(t *testing.T) {
+	b := starbench.ByName("ray-rot")
+	col := obs.NewCollector()
+	// A one-step slice forces a restart on any solve with real search; the
+	// ray-rot tiled solves search hundreds of steps.
+	ev, err := starbench.Evaluate(b, starbench.Pthreads, core.Options{
+		SolverRestartSlice: 1, Obs: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ev.Finder
+	var restarts, nogoods int64
+	for _, ks := range res.SolverStats {
+		restarts += ks.Restarts
+		nogoods += ks.Nogoods
+	}
+	if restarts == 0 || nogoods == 0 {
+		t.Fatalf("slice=1 run recorded %d restart(s), %d nogood(s); want both positive", restarts, nogoods)
+	}
+
+	data, err := JSONWith(res, JSONOptions{IncludePrescreenStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"restarts":`, `"nogoods":`, `"prescreen":`, `"checks":`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("JSON export missing %s:\n%s", field, data)
+		}
+	}
+
+	metrics := PrometheusMetrics(col)
+	for _, name := range []string{obs.MetricSolverRestarts, obs.MetricSolverNogoods} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("metric %q missing from the Prometheus export", name)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type Measurement struct {
 	Median      time.Duration
 	RobustCV    float64
 	Repetitions int
+	// Samples holds the individual repetition times in run order, so
+	// benchmark artifacts can carry the raw distribution alongside the
+	// summary (and readers can recompute any statistic later).
+	Samples []time.Duration
 }
 
 // String formats the measurement.
@@ -83,14 +87,18 @@ func Measure(repetitions int, fn func()) Measurement {
 		repetitions = 1
 	}
 	samples := make([]float64, repetitions)
+	raw := make([]time.Duration, repetitions)
 	for i := range samples {
 		start := time.Now()
 		fn()
-		samples[i] = float64(time.Since(start))
+		d := time.Since(start)
+		samples[i] = float64(d)
+		raw[i] = d
 	}
 	return Measurement{
 		Median:      time.Duration(Median(samples)),
 		RobustCV:    RobustCV(samples),
 		Repetitions: repetitions,
+		Samples:     raw,
 	}
 }
