@@ -6,11 +6,12 @@
 #   make bench   — trace + find benchmarks (BENCH_trace.json, BENCH_find.json)
 #   make benchsmoke — one-iteration find benchmark + obs overhead gate
 #   make cover   — coverage floors for internal/core and internal/obs
+#   make serversmoke — end-to-end daemon check: cold run, warm store hit
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench findbench benchsmoke cover
+.PHONY: check build vet test race fuzz bench findbench benchsmoke cover serversmoke
 
 check: build vet test race
 
@@ -24,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/...
 
 # Each target runs for FUZZTIME; Go's fuzzer accepts one -fuzz pattern per
 # package invocation, so the targets run in sequence.
@@ -56,6 +57,11 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFindFixpoint$$' -benchtime=1x .
 	$(GO) test -run '^TestPrescreenSkipRateExported$$' -count=1 .
 	OBS_OVERHEAD=1 $(GO) test -run '^TestNopRecorderOverhead$$' .
+
+# Build and drive the real daemon binary: cold run computes and stores,
+# the identical resubmission must be a store hit with zero solver runs.
+serversmoke:
+	sh scripts/serversmoke.sh
 
 # Coverage floors. The thresholds sit a few points under the levels the
 # suite reaches at the time of writing (core 95%, obs 92%), so real

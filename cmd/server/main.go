@@ -1,0 +1,92 @@
+// Command server runs the pattern-discovery daemon: an HTTP/JSON service
+// that analyzes registered Starbench workloads on demand, batching
+// concurrent requests through a bounded admission queue over one shared
+// view–verdict cache, and memoizing finished reports in a result store so
+// resubmissions are answered without re-tracing or re-solving.
+//
+// Usage:
+//
+//	server -addr :8080 -store disk -store-dir /var/lib/discovery
+//	curl -s localhost:8080/analyze -d '{"bench":"md5","version":"pthreads"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"discovery/internal/server"
+	"discovery/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeKind  = flag.String("store", "memory", "result store backend: memory, disk, or none")
+		storeDir   = flag.String("store-dir", "discovery-store", "directory for -store disk")
+		inflight   = flag.Int("max-inflight", 2, "concurrent analysis workers")
+		queueDepth = flag.Int("queue", 16, "admission queue depth beyond the workers (full queue => 503)")
+		defBudget  = flag.Duration("default-budget", 60*time.Second, "per-request budget when the request sets none")
+		maxBudget  = flag.Duration("max-budget", 5*time.Minute, "ceiling on requested budgets")
+		cacheGens  = flag.Int("cache-gens", 16, "coexisting ViewCache generations (distinct graph+options fingerprints)")
+	)
+	flag.Parse()
+
+	var st store.Store
+	switch *storeKind {
+	case "memory":
+		st = store.NewMemory()
+	case "disk":
+		d, err := store.NewDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening store: %v\n", err)
+			os.Exit(1)
+		}
+		st = d
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store backend %q (memory, disk, or none)\n", *storeKind)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		MaxInFlight:      *inflight,
+		QueueDepth:       *queueDepth,
+		DefaultBudget:    *defBudget,
+		MaxBudget:        *maxBudget,
+		CacheGenerations: *cacheGens,
+		Store:            st,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "discovery server listening on %s (store=%s, workers=%d, queue=%d)\n",
+		*addr, *storeKind, *inflight, *queueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "serving: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "shutting down")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	srv.Close()
+	if st != nil {
+		st.Close()
+	}
+}

@@ -61,23 +61,30 @@ func TestCacheEquivalenceOnRandomPrograms(t *testing.T) {
 	}
 }
 
-func TestSharedCacheResetsAcrossGraphs(t *testing.T) {
-	// One cache fed two different traces must self-invalidate between them
-	// and still produce the uncached results on both.
+func TestSharedCacheAcrossGraphs(t *testing.T) {
+	// One cache fed two different traces keeps a warm generation per graph
+	// fingerprint: the interleaved runs still produce the uncached results,
+	// and — the cross-run invalidation fix — returning to the first graph
+	// hits its surviving generation instead of re-solving from scratch.
 	cache := NewViewCache()
-	for _, seed := range []uint64{131, 132, 131} {
+	for i, seed := range []uint64{131, 132, 131} {
 		tr, err := trace.Run(genProgram(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
 		off := Options{Workers: 2, DisableCache: true}
 		want := resultSig(Find(tr.Graph, off))
-		got := resultSig(Find(tr.Graph, Options{Workers: 2, Cache: cache}))
-		if got != want {
+		res := Find(tr.Graph, Options{Workers: 2, Cache: cache})
+		if got := resultSig(res); got != want {
 			t.Errorf("seed %d with shared cache diverges:\nwant %s\ngot  %s", seed, want, got)
 		}
+		if i == 2 {
+			if _, misses, _ := res.CacheStats(); misses != 0 {
+				t.Errorf("returning to seed 131 must be fully warm, got %d miss(es)", misses)
+			}
+		}
 	}
-	if s := cache.Snapshot(); s.Resets != 2 {
-		t.Errorf("want 2 fingerprint resets (131→132→131), got %d", s.Resets)
+	if s := cache.Snapshot(); s.Generations != 2 || s.Resets != 0 {
+		t.Errorf("want 2 coexisting generations and no evictions, got %+v", s)
 	}
 }

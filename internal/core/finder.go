@@ -90,8 +90,10 @@ type Options struct {
 	DisableCache bool
 	// Cache, when non-nil, is consulted and populated in place of the
 	// run-private cache, letting repeated runs over the same trace share
-	// verdicts (see ViewCache). It self-invalidates when the graph or a
-	// match-relevant option differs from the run it was filled by.
+	// verdicts (see ViewCache). Safe to share between concurrent FindCtx
+	// runs: each run binds to the generation of its own run fingerprint
+	// (graph + match-relevant options), so runs over different graphs
+	// neither see nor evict each other's entries.
 	Cache *ViewCache
 
 	// Ablation switches.
@@ -266,6 +268,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	rec := obs.OrNop(opts.Obs)
 	root := rec.StartSpan("find", opts.ObsParent)
 	var cache *ViewCache
+	var rcache *runCache
 	defer func() {
 		emitFindMetrics(rec, res, cache)
 		rec.EndSpan(root,
@@ -297,22 +300,24 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	res.Phases.Simplify = time.Since(start)
 
 	// The view–verdict cache. A caller-supplied cache carries verdicts
-	// across runs; otherwise a run-private one still serves the group-count
-	// gate and deduplicates any identical views within this run. prepare
-	// resets a carried cache whose fingerprint does not match this run.
+	// across runs — sequential or concurrent; otherwise a run-private one
+	// still serves the group-count gate and deduplicates any identical
+	// views within this run. acquire binds this run to the generation of
+	// its fingerprint, so a shared cache's other tenants are invisible.
 	if !opts.DisableCache {
 		cache = opts.Cache
 		if cache == nil {
 			cache = NewViewCache()
 		}
 		sp := rec.StartSpan("cache-prepare", root)
-		ok := guard(res, "cache", func() { cache.prepare(cacheFingerprint(gs, opts)) })
+		ok := guard(res, "cache", func() { rcache = cache.acquire(cacheFingerprint(gs, opts)) })
 		if !ok {
-			cache = nil
+			cache, rcache = nil, nil
 		}
 		snap := cache.Snapshot()
 		endPhase(rec, sp, ok,
 			obs.Int("entries", int64(snap.Entries)),
+			obs.Int("generations", int64(snap.Generations)),
 			obs.Int("resets", int64(snap.Resets)))
 	}
 
@@ -370,7 +375,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		start = time.Now()
 		var matched []*SubDDG
 		sp := rec.StartSpan("match", iterSpan, obs.Int("active", int64(len(active))))
-		ok := guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, cache, rec, sp) })
+		ok := guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, rcache, rec, sp) })
 		endPhase(rec, sp, ok, obs.Int("matched", int64(len(matched))))
 		for _, s := range matched {
 			for _, p := range s.Matched {
@@ -468,7 +473,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
 		sp := rec.StartSpan("pipelines", root, obs.Int("pool", int64(len(pool))))
-		ok := guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, cache, rec, sp) })
+		ok := guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, rcache, rec, sp) })
 		endPhase(rec, sp, ok)
 		res.Phases.Match += time.Since(start)
 	}
@@ -549,7 +554,7 @@ var findTestHook func(phase string)
 // is recorded on res.Failures as a structured match-stage error naming the
 // phase; whatever the phase wrote before dying is kept, and guard reports
 // false so the caller can fall back. Phases run on the calling goroutine —
-// worker-goroutine panics are contained separately (matchSubSafe), since a
+// worker-goroutine panics are contained separately (safeTask), since a
 // recover only catches panics on its own stack.
 func guard(res *Result, phase string, fn func()) (ok bool) {
 	defer func() {
@@ -580,7 +585,7 @@ func interrupted(ctx context.Context, res *Result) bool {
 // detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
 // paper's patterns leave stateful stages unmatched, which is exactly where
 // pipelines hide (its excluded benchmarks bodytrack and h264dec).
-func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *ViewCache, rec obs.Recorder, span obs.SpanID) {
+func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *runCache, rec obs.Recorder, span obs.SpanID) {
 	var stages []*SubDDG
 	for _, s := range pool {
 		if s.Loop != 0 && len(s.Matched) == 0 {
@@ -736,7 +741,7 @@ type matchPhase struct {
 	ctx     context.Context
 	gs      *ddg.Graph
 	opts    Options
-	cache   *ViewCache
+	cache   *runCache
 	rec     obs.Recorder
 	span    obs.SpanID
 	compact bool
@@ -764,7 +769,7 @@ var matchTaskHook func(kind patterns.Kind)
 // others behind it. When ctx is done workers stop claiming tasks and the
 // unmatched remainder is reported via res.Interrupted rather than silently
 // dropped.
-func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *ViewCache, rec obs.Recorder, span obs.SpanID) []*SubDDG {
+func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *runCache, rec obs.Recorder, span obs.SpanID) []*SubDDG {
 	mp := &matchPhase{
 		ctx:     ctx,
 		gs:      gs,
@@ -1156,151 +1161,6 @@ func rollupStats(res *Result, b *patterns.Budget) {
 		cur.Add(*ks)
 		res.SolverStats[kind] = cur
 	}
-}
-
-// matchSubSafe is matchSub inside a recover boundary: a panic while
-// matching one sub-DDG costs that sub-DDG's matches, not the phase. Each
-// worker goroutine has its own stack, so the containment must live here,
-// per claimed sub-DDG, rather than in the phase guard on the main
-// goroutine.
-func matchSubSafe(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget, cache *ViewCache) (found []*patterns.Pattern, skipped bool, fail *analysis.Error) {
-	defer func() {
-		if r := recover(); r != nil {
-			ae := analysis.Recovered(analysis.StageMatch, r)
-			found, skipped = nil, false
-			fail = analysis.Wrap(ae.Stage, ae.Kind, ae,
-				"matching a sub-DDG of %d nodes failed", s.Nodes.Len())
-		}
-	}()
-	found, skipped = matchSub(gs, s, opts, b, cache)
-	return found, skipped, nil
-}
-
-// matchSub matches one sub-DDG against the applicable definitions, running
-// the constraint solver under b. Every solve is consulted against the view
-// cache first: a decided verdict (pattern or none) answers without running
-// the matcher — a warm hit without building the view at all — while an
-// undecided one is retried only when b allows more effort than the attempt
-// that failed, and otherwise reported as exceeded, exactly as the uncached
-// solve would have been.
-func matchSub(gs *ddg.Graph, s *SubDDG, opts Options, b *patterns.Budget, cache *ViewCache) (found []*patterns.Pattern, skipped bool) {
-	keep := func(p *patterns.Pattern) {
-		if p == nil {
-			return
-		}
-		if opts.VerifyMatches {
-			if err := patterns.Verify(gs, p); err != nil {
-				return
-			}
-		}
-		found = append(found, p)
-	}
-
-	if s.FusedA != nil {
-		// Compound matching combines the constituents' patterns. Not view
-		// solves — the inputs are the constituents' pattern lists, not a
-		// view — so the cache does not apply.
-		for _, pa := range s.FusedA.Matched {
-			if !pa.Kind.IsMapKind() {
-				continue
-			}
-			for _, pb := range s.FusedB.Matched {
-				switch {
-				case pb.Kind.IsMapKind():
-					keep(patterns.MatchFusedMap(gs, pa, pb))
-				case pb.Kind == patterns.KindLinearReduction:
-					keep(patterns.MatchLinearMapReduction(gs, pa, pb))
-				case pb.Kind == patterns.KindTiledReduction:
-					keep(patterns.MatchTiledMapReduction(gs, pa, pb))
-				}
-			}
-		}
-		return found, false
-	}
-
-	compact := !opts.DisableCompact
-	vhash := s.ViewHash(compact)
-	view := func() *patterns.View { return s.CachedView(gs, compact) }
-
-	// Oversized-view gate, answered from the cache when warm so rejected
-	// views are never built.
-	n, ok := cache.groupCount(vhash)
-	if !ok {
-		n = view().NumGroups()
-		cache.storeGroupCount(vhash, n)
-		if b.Obs != nil && b.Obs.Enabled() {
-			b.Obs.Observe(obs.MetricViewGroups, float64(n))
-		}
-	}
-	if n > opts.maxViewGroups() {
-		return nil, true
-	}
-
-	// match runs one kind's matcher through the cache. Verdicts are stored
-	// post-verification, so a hit's pattern needs no re-check.
-	match := func(kind patterns.Kind, run func(v *patterns.View) *patterns.Pattern) {
-		switch status, pat := cache.lookup(vhash, kind, b.Score()); status {
-		case cacheHit:
-			b.RecordCacheHit(kind)
-			if pat != nil {
-				found = append(found, pat)
-			}
-			return
-		case cacheSkip:
-			b.RecordCacheSkip(kind)
-			b.MarkExceeded()
-			return
-		}
-		if cache != nil {
-			b.RecordCacheMiss(kind)
-		}
-		before := b.KindTimeouts(kind)
-		p := run(view())
-		if p != nil && opts.VerifyMatches {
-			if err := patterns.Verify(gs, p); err != nil {
-				p = nil
-			}
-		}
-		// A nil from a resource-limited solve is "undecided", not "none".
-		limited := b.KindTimeouts(kind) > before
-		cache.store(vhash, kind, p, p == nil && limited, b.Score())
-		if p != nil {
-			found = append(found, p)
-		}
-	}
-
-	if s.Assoc {
-		match(patterns.KindLinearReduction, func(v *patterns.View) *patterns.Pattern {
-			return patterns.MatchLinearReduction(v, b)
-		})
-		match(patterns.KindTiledReduction, func(v *patterns.View) *patterns.Pattern {
-			return patterns.MatchTiledReduction(v, b)
-		})
-		if opts.Extensions && len(found) == 0 {
-			// The combining-tree generalization, only where the paper's
-			// specific variants did not apply.
-			match(patterns.KindTreeReduction, func(v *patterns.View) *patterns.Pattern {
-				return patterns.MatchTreeReduction(v)
-			})
-		}
-		return found, false
-	}
-	match(patterns.KindMap, func(v *patterns.View) *patterns.Pattern {
-		m := patterns.MatchMap(v)
-		if opts.Extensions && m != nil {
-			if st := patterns.MatchStencil(gs, m); st != nil {
-				m = st // report the more specific refinement
-			}
-		}
-		return m
-	})
-	match(patterns.KindLinearReduction, func(v *patterns.View) *patterns.Pattern {
-		return patterns.MatchLinearReduction(v, b)
-	})
-	match(patterns.KindTiledReduction, func(v *patterns.View) *patterns.Pattern {
-		return patterns.MatchTiledReduction(v, b)
-	})
-	return found, false
 }
 
 func hasMapMatch(s *SubDDG) bool {

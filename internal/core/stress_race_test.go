@@ -1,0 +1,109 @@
+package core
+
+// Concurrency stress for the shared ViewCache: many FindCtx runs in
+// flight at once over one cache, mixing identical and differing graph
+// fingerprints. Run under `make race` (internal/core is in the race
+// target list), this exercises the three headline bugfixes at once —
+// the sync.Once-guarded Pattern.Nodes memo on cache-shared patterns,
+// per-fingerprint generations instead of the destructive global reset,
+// and first-write-wins decided verdicts when runs race the same solve.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"discovery/internal/ddg"
+	"discovery/internal/trace"
+)
+
+func TestConcurrentFindSharedViewCache(t *testing.T) {
+	// Three distinct programs — three distinct graph fingerprints — plus
+	// an options variation that forks a fourth fingerprint off the first
+	// graph. Baselines are computed cache-off, sequentially, up front.
+	seeds := []uint64{141, 142, 144} // distinct traced-graph fingerprints
+	type workload struct {
+		name  string
+		graph *ddg.Graph
+		opts  Options
+		want  string
+	}
+	var work []*workload
+	for _, seed := range seeds {
+		tr, err := trace.Run(genProgram(seed))
+		if err != nil {
+			t.Fatalf("trace seed %d: %v", seed, err)
+		}
+		work = append(work, &workload{
+			name:  fmt.Sprintf("seed%d", seed),
+			graph: tr.Graph,
+			opts:  Options{Workers: 2, VerifyMatches: true},
+		})
+	}
+	work = append(work, &workload{
+		name:  "seed141-extensions",
+		graph: work[0].graph,
+		opts:  Options{Workers: 2, VerifyMatches: true, Extensions: true},
+	})
+	for _, w := range work {
+		off := w.opts
+		off.DisableCache = true
+		w.want = resultSig(Find(w.graph, off))
+	}
+
+	cache := NewViewCache()
+	const goroutines = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Walk the workloads with a per-goroutine stride so cold,
+				// warm, and cross-fingerprint acquisitions all overlap.
+				w := work[(g+r)%len(work)]
+				opts := w.opts
+				opts.Cache = cache
+				res := FindCtx(context.Background(), w.graph, opts)
+				if got := resultSig(res); got != w.want {
+					errs <- fmt.Errorf("goroutine %d round %d: %s diverges under shared cache:\nwant %s\ngot  %s",
+						g, r, w.name, w.want, got)
+					return
+				}
+				if len(res.Failures) > 0 {
+					errs <- fmt.Errorf("goroutine %d round %d: %s recorded contained failures: %v",
+						g, r, w.name, res.Failures)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// All four fingerprints fit the default generation bound, so nothing
+	// was evicted and every generation stayed warm to the end.
+	if s := cache.Snapshot(); s.Generations != len(work) || s.Resets != 0 {
+		t.Errorf("want %d coexisting generations and no evictions, got %+v", len(work), s)
+	}
+
+	// A final run per workload must now be answered entirely from the
+	// cache: byte-identical results with zero misses.
+	for _, w := range work {
+		opts := w.opts
+		opts.Cache = cache
+		res := Find(w.graph, opts)
+		if got := resultSig(res); got != w.want {
+			t.Errorf("%s: post-stress warm run diverges:\nwant %s\ngot  %s", w.name, w.want, got)
+		}
+		if _, misses, _ := res.CacheStats(); misses != 0 {
+			t.Errorf("%s: post-stress warm run recorded %d cache miss(es)", w.name, misses)
+		}
+	}
+}

@@ -9,37 +9,76 @@ import (
 
 // ViewCache is a content-addressed map from view hash to per-kind match
 // verdicts, consulted before every sub-DDG solve. Repeated runs over the
-// same trace — re-evaluations, experiment sweeps, benchmark reps — present
-// identical views (the deterministic tracer guarantees identical node
-// ids), so a warm cache answers their solves without even building the
-// views.
+// same trace — re-evaluations, experiment sweeps, benchmark reps, and
+// identical submissions to the analysis server — present identical views
+// (the deterministic tracer guarantees identical node ids), so a warm
+// cache answers their solves without even building the views.
 //
-// Soundness rests on the cache key: a view's match outcome within one
-// graph is a pure function of (node set, grouping provenance), which is
-// exactly what patterns.ViewKey hashes, and the cache self-invalidates
-// (prepare) whenever the graph fingerprint or an option that alters match
-// outcomes differs from the previous run's. Verdicts are stored per
-// pattern kind, so provenances that share a grouping (an associative
-// component and a whole-graph sub-DDG over the same nodes) safely share
-// entries: they consult different kind slots or, where they overlap, ask
-// the same question of the same view.
+// Entries are partitioned into generations, one per run fingerprint
+// (graph content + the options that alter match outcomes, see
+// cacheFingerprint). A Find run binds to its fingerprint's generation at
+// startup and never sees another generation's entries, so runs over
+// different graphs sharing one cache neither pollute nor evict each
+// other's warm verdicts. The generation map is LRU-bounded: admitting a
+// fingerprint beyond the bound evicts the least-recently-acquired
+// generation, counted in Snapshot().Resets.
+//
+// Soundness rests on the cache key: within one generation a view's match
+// outcome is a pure function of (node set, grouping provenance), which is
+// exactly what patterns.ViewKey hashes. Verdicts are stored per pattern
+// kind, so provenances that share a grouping (an associative component
+// and a whole-graph sub-DDG over the same nodes) safely share entries:
+// they consult different kind slots or, where they overlap, ask the same
+// question of the same view.
 //
 // Three verdicts exist: "pattern" (with the matched pattern), "no
 // pattern", and "budget-undecided" — a solve cut short by its resource
 // limits. Undecided entries carry the budget score of the failed attempt
 // and are retried only when the current budget grew; otherwise the lookup
 // reports a skip and the caller marks the outcome exceeded, preserving
-// the degraded-result accounting of an uncached run.
+// the degraded-result accounting of an uncached run. Decided verdicts are
+// first-write-wins: once a (view, kind) slot holds a decided verdict,
+// later stores (a concurrent run racing on the same solve, or a prescreen
+// prune racing a matcher run) never replace it, so every run that looked
+// the entry up observed the same answer.
 //
-// A ViewCache is safe for concurrent use by the matching workers of one
-// Find run, and may be reused across sequential runs (that is its point).
-// Sharing one cache between concurrent Find runs is not supported: cached
-// patterns memoize lazily (Pattern.Nodes) on the consuming run's main
-// goroutine.
+// A ViewCache is safe for concurrent use, including sharing between
+// concurrent Find runs: the generation and entry maps are mutex-guarded,
+// cached patterns are immutable after store (their node-set memo is
+// sync.Once-guarded and precomputed before publication), and generations
+// isolate runs with different fingerprints from each other.
 type ViewCache struct {
-	mu    sync.RWMutex
-	fp    ddg.Hash128
-	fpSet bool
+	mu sync.RWMutex
+
+	// maxGens bounds len(gens); 0 means defaultMaxGenerations.
+	maxGens int
+
+	// tick is a logical clock advanced on every acquire; each generation
+	// remembers the tick of its last acquire, which is the LRU order.
+	tick uint64
+
+	gens map[ddg.Hash128]*cacheGen
+
+	// evictions counts generations dropped by the LRU bound (surfaced as
+	// Snapshot().Resets).
+	evictions int
+}
+
+// defaultMaxGenerations bounds how many run fingerprints a cache retains
+// entries for at once. Each generation costs memory proportional to its
+// run's sub-DDG pool, so the bound is the cache's footprint knob: large
+// enough that a serving mix of several distinct workloads stays warm,
+// small enough that an adversarial stream of unique graphs cannot grow
+// the cache without bound.
+const defaultMaxGenerations = 8
+
+// cacheGen holds one run fingerprint's entries. All fields are guarded by
+// the owning ViewCache's mutex. A generation evicted from the LRU map
+// stays valid for runs already bound to it; it is merely no longer
+// offered to future runs.
+type cacheGen struct {
+	fp      ddg.Hash128
+	lastUse uint64
 
 	// groups caches each view's group count, so the oversized-view gate is
 	// answered without building the view.
@@ -49,8 +88,6 @@ type ViewCache struct {
 	// prescreened counts the stored entries whose verdict came from the
 	// structural prescreen rather than a matcher run.
 	prescreened int
-
-	resets int
 }
 
 type cacheKey struct {
@@ -71,6 +108,10 @@ const (
 	// prescreen answers from solver answers.
 	verdictPrescreened
 )
+
+// decided reports whether the verdict is final (pattern, none, or
+// prescreened) as opposed to budget-undecided.
+func (v cacheVerdict) decided() bool { return v != 0 && v != verdictUndecided }
 
 type cacheEntry struct {
 	verdict cacheVerdict
@@ -96,82 +137,125 @@ const (
 	cacheHitPrescreened
 )
 
-// NewViewCache returns an empty cache, ready to be passed as Options.Cache
-// to share verdicts across Find runs over the same trace.
+// NewViewCache returns an empty cache with the default generation bound,
+// ready to be passed as Options.Cache to share verdicts across Find runs
+// — sequential or concurrent.
 func NewViewCache() *ViewCache {
 	return &ViewCache{}
 }
 
-// prepare pins the cache to a run fingerprint (graph content + the options
-// that alter match outcomes), resetting all entries when it differs from
-// the fingerprint the cached verdicts were produced under.
-func (c *ViewCache) prepare(fp ddg.Hash128) {
+// NewViewCacheSized is NewViewCache with an explicit bound on how many
+// run fingerprints retain entries at once (minimum 1). The analysis
+// server sizes this to its expected concurrent-tenant mix.
+func NewViewCacheSized(maxGenerations int) *ViewCache {
+	if maxGenerations < 1 {
+		maxGenerations = 1
+	}
+	return &ViewCache{maxGens: maxGenerations}
+}
+
+func (c *ViewCache) maxGenerations() int {
+	if c.maxGens > 0 {
+		return c.maxGens
+	}
+	return defaultMaxGenerations
+}
+
+// acquire binds a run to its fingerprint's generation, creating it (and
+// evicting the least-recently-acquired one beyond the bound) when absent.
+// The returned handle is what the finder consults and populates; distinct
+// fingerprints receive disjoint handles, which is the whole concurrency
+// story — tenant A's graph can no longer evict tenant B's warm verdicts
+// mid-run, and two runs over the same graph share one generation safely
+// under the cache mutex.
+func (c *ViewCache) acquire(fp ddg.Hash128) *runCache {
 	if c == nil {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.fpSet && c.fp == fp {
-		return
+	c.tick++
+	if g, ok := c.gens[fp]; ok {
+		g.lastUse = c.tick
+		return &runCache{c: c, g: g}
 	}
-	if c.fpSet {
-		c.resets++
+	if c.gens == nil {
+		c.gens = map[ddg.Hash128]*cacheGen{}
 	}
-	c.fp = fp
-	c.fpSet = true
-	c.groups = nil
-	c.entries = nil
-	c.prescreened = 0
+	for len(c.gens) >= c.maxGenerations() {
+		var oldest *cacheGen
+		for _, g := range c.gens {
+			if oldest == nil || g.lastUse < oldest.lastUse {
+				oldest = g
+			}
+		}
+		delete(c.gens, oldest.fp)
+		c.evictions++
+	}
+	g := &cacheGen{
+		fp:      fp,
+		lastUse: c.tick,
+		groups:  map[ddg.Hash128]int{},
+		entries: map[cacheKey]cacheEntry{},
+	}
+	c.gens[fp] = g
+	return &runCache{c: c, g: g}
+}
+
+// runCache is a ViewCache bound to one run's generation: every lookup and
+// store goes to that generation's maps, under the shared cache mutex. The
+// zero of its pointer type (nil) is a valid, always-missing cache, which
+// is what a disabled or failed cache setup degrades to.
+type runCache struct {
+	c *ViewCache
+	g *cacheGen
 }
 
 // groupCount returns the cached group count of the view, if known.
-func (c *ViewCache) groupCount(view ddg.Hash128) (int, bool) {
-	if c == nil {
+func (rc *runCache) groupCount(view ddg.Hash128) (int, bool) {
+	if rc == nil {
 		return 0, false
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n, ok := c.groups[view]
+	rc.c.mu.RLock()
+	defer rc.c.mu.RUnlock()
+	n, ok := rc.g.groups[view]
 	return n, ok
 }
 
 // storeGroupCount records the view's group count.
-func (c *ViewCache) storeGroupCount(view ddg.Hash128, n int) {
-	if c == nil {
+func (rc *runCache) storeGroupCount(view ddg.Hash128, n int) {
+	if rc == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.groups == nil {
-		c.groups = map[ddg.Hash128]int{}
-	}
-	c.groups[view] = n
+	rc.c.mu.Lock()
+	defer rc.c.mu.Unlock()
+	rc.g.groups[view] = n
 }
 
 // decided reports whether a decided verdict (pattern, none, or
 // prescreened) is stored for (view, kind). The match scheduler uses it to
 // order likely cache hits first; it records nothing and proves nothing —
 // a false answer only costs priority, never correctness.
-func (c *ViewCache) decided(view ddg.Hash128, kind patterns.Kind) bool {
-	if c == nil {
+func (rc *runCache) decided(view ddg.Hash128, kind patterns.Kind) bool {
+	if rc == nil {
 		return false
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[cacheKey{view, kind}]
-	return ok && e.verdict != verdictUndecided
+	rc.c.mu.RLock()
+	defer rc.c.mu.RUnlock()
+	e, ok := rc.g.entries[cacheKey{view, kind}]
+	return ok && e.verdict.decided()
 }
 
 // lookup consults the cache for the view's verdict under kind. score is
 // the current budget's effort allowance, used to decide whether an
 // undecided entry is worth retrying (cacheMiss) or not (cacheSkip).
-func (c *ViewCache) lookup(view ddg.Hash128, kind patterns.Kind, score patterns.BudgetScore) (lookupStatus, *patterns.Pattern) {
-	if c == nil {
+func (rc *runCache) lookup(view ddg.Hash128, kind patterns.Kind, score patterns.BudgetScore) (lookupStatus, *patterns.Pattern) {
+	if rc == nil {
 		return cacheMiss, nil
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[cacheKey{view, kind}]
+	rc.c.mu.RLock()
+	defer rc.c.mu.RUnlock()
+	e, ok := rc.g.entries[cacheKey{view, kind}]
 	if !ok {
 		return cacheMiss, nil
 	}
@@ -190,46 +274,70 @@ func (c *ViewCache) lookup(view ddg.Hash128, kind patterns.Kind, score patterns.
 // store records the verdict of a solve that ran: the verified pattern, "no
 // pattern" (pat nil, undecided false), or "budget-undecided" (pat nil,
 // undecided true) together with the budget score of the failed attempt.
-func (c *ViewCache) store(view ddg.Hash128, kind patterns.Kind, pat *patterns.Pattern, undecided bool, score patterns.BudgetScore) {
-	if c == nil {
+//
+// Decided verdicts are first-write-wins: when concurrent runs race the
+// same solve (both missed before either stored), the first stored answer
+// stands and the loser's — by determinism, identical — result is
+// discarded, so later readers can never observe a verdict flip. An
+// undecided result likewise never replaces a decided one: a budget-capped
+// retry racing a completed solve must not demote its answer.
+func (rc *runCache) store(view ddg.Hash128, kind patterns.Kind, pat *patterns.Pattern, undecided bool, score patterns.BudgetScore) {
+	if rc == nil {
 		return
 	}
 	e := cacheEntry{verdict: verdictNone, pat: pat}
 	switch {
 	case pat != nil:
 		e.verdict = verdictPattern
+		// Materialize the pattern's node-set memo before publication, so
+		// consumers of the shared entry start from an immutable pattern
+		// (the sync.Once guard makes even a cold memo safe; this keeps
+		// the common path contention-free).
+		pat.Nodes()
 	case undecided:
 		e.verdict = verdictUndecided
 		e.score = score
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.entries == nil {
-		c.entries = map[cacheKey]cacheEntry{}
+	rc.c.mu.Lock()
+	defer rc.c.mu.Unlock()
+	key := cacheKey{view, kind}
+	if old, ok := rc.g.entries[key]; ok && old.verdict.decided() {
+		return // first decided write wins
 	}
-	c.entries[cacheKey{view, kind}] = e
+	rc.g.entries[key] = e
 }
 
 // storePrescreened records a prescreen-decided "no pattern" verdict: the
 // structural census proved the view cannot match kind, so no matcher ran
 // and none ever needs to for this (view, kind) under this fingerprint.
-func (c *ViewCache) storePrescreened(view ddg.Hash128, kind patterns.Kind) {
-	if c == nil {
+// Like store, it never replaces a decided verdict: a concurrent matcher
+// run that already stored its (by prescreen soundness, nil) answer wins,
+// and in particular a stored pattern can never be silently demoted to a
+// negative by a racing prune.
+func (rc *runCache) storePrescreened(view ddg.Hash128, kind patterns.Kind) {
+	if rc == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.entries == nil {
-		c.entries = map[cacheKey]cacheEntry{}
-	}
+	rc.c.mu.Lock()
+	defer rc.c.mu.Unlock()
 	key := cacheKey{view, kind}
-	if old, ok := c.entries[key]; !ok || old.verdict != verdictPrescreened {
-		c.prescreened++
+	if old, ok := rc.g.entries[key]; ok && old.verdict.decided() {
+		return // first decided write wins
 	}
-	c.entries[key] = cacheEntry{verdict: verdictPrescreened}
+	rc.g.entries[key] = cacheEntry{verdict: verdictPrescreened}
+	rc.g.prescreened++
 }
 
-// CacheSnapshot describes a cache's current contents.
+// snapshot returns the ViewCache-wide snapshot (nil-safe on the handle).
+func (rc *runCache) snapshot() CacheSnapshot {
+	if rc == nil {
+		return CacheSnapshot{}
+	}
+	return rc.c.Snapshot()
+}
+
+// CacheSnapshot describes a cache's current contents, summed across its
+// retained generations.
 type CacheSnapshot struct {
 	// Entries is the number of stored verdicts; GroupCounts the number of
 	// cached view sizes.
@@ -237,23 +345,34 @@ type CacheSnapshot struct {
 	// Prescreened is the number of stored verdicts decided by the
 	// structural prescreen (a subset of Entries).
 	Prescreened int
-	// Resets counts fingerprint-mismatch invalidations since creation.
+	// Generations is the number of run fingerprints currently retaining
+	// entries (bounded by the cache's generation limit).
+	Generations int
+	// Resets counts generation evictions since creation: fingerprints
+	// whose entries were dropped because the LRU-bounded generation map
+	// was full. (Before generations existed this counted whole-cache
+	// fingerprint-mismatch invalidations; a mismatch now just selects a
+	// different generation, so only capacity evictions discard entries.)
 	Resets int
 }
 
-// Snapshot returns the cache's current size and reset count.
+// Snapshot returns the cache's current size and eviction count.
 func (c *ViewCache) Snapshot() CacheSnapshot {
 	if c == nil {
 		return CacheSnapshot{}
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return CacheSnapshot{
-		Entries:     len(c.entries),
-		GroupCounts: len(c.groups),
-		Prescreened: c.prescreened,
-		Resets:      c.resets,
+	s := CacheSnapshot{
+		Generations: len(c.gens),
+		Resets:      c.evictions,
 	}
+	for _, g := range c.gens {
+		s.Entries += len(g.entries)
+		s.GroupCounts += len(g.groups)
+		s.Prescreened += g.prescreened
+	}
+	return s
 }
 
 // hashSeedCacheFP tags run fingerprints (cacheFingerprint).

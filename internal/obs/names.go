@@ -30,4 +30,15 @@ const (
 	MetricCacheEntries    = "discovery_cache_entries"
 	MetricIterations      = "discovery_find_iterations"
 	MetricPatterns        = "discovery_patterns_total"
+
+	// Analysis-server (cmd/server) metrics. Counters unless noted; the
+	// requests counter is labeled with the terminal status of the request
+	// (ok, rejected, invalid, error, cancelled).
+	MetricServerRequests       = "discovery_server_requests_total" // status
+	MetricServerStoreHits      = "discovery_server_store_hits_total"
+	MetricServerStoreMisses    = "discovery_server_store_misses_total"
+	MetricServerRequestSeconds = "discovery_server_request_seconds" // histogram
+	MetricServerQueueSeconds   = "discovery_server_queue_seconds"   // histogram
+	MetricServerQueueDepth     = "discovery_server_queue_depth"     // gauge
+	MetricServerInFlight       = "discovery_server_in_flight"       // gauge
 )

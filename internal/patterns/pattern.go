@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
@@ -123,27 +124,33 @@ type Pattern struct {
 	// Op is the reduction operator for reduction kinds.
 	Op mir.Op
 
-	nodes ddg.Set
+	// nodesOnce guards the node-union memo. Patterns stored in a shared
+	// core.ViewCache are read by concurrent Find runs, so the memo must be
+	// computed exactly once regardless of which run asks first; a plain
+	// nil-check was a data race between two first callers.
+	nodesOnce sync.Once
+	nodes     ddg.Set
 }
 
-// Nodes returns (and caches) the union of all nodes in the pattern.
+// Nodes returns (and caches) the union of all nodes in the pattern. Safe
+// for concurrent use: after the first call completes the pattern is
+// effectively immutable, and concurrent first calls are serialized.
 func (p *Pattern) Nodes() ddg.Set {
-	if p.nodes != nil {
-		return p.nodes
-	}
-	var all []ddg.Set
-	all = append(all, p.Comps...)
-	for _, chain := range p.Partials {
-		all = append(all, chain...)
-	}
-	all = append(all, p.Final...)
-	if p.MapPart != nil {
-		all = append(all, p.MapPart.Nodes())
-	}
-	if p.RedPart != nil {
-		all = append(all, p.RedPart.Nodes())
-	}
-	p.nodes = ddg.UnionAll(all...)
+	p.nodesOnce.Do(func() {
+		var all []ddg.Set
+		all = append(all, p.Comps...)
+		for _, chain := range p.Partials {
+			all = append(all, chain...)
+		}
+		all = append(all, p.Final...)
+		if p.MapPart != nil {
+			all = append(all, p.MapPart.Nodes())
+		}
+		if p.RedPart != nil {
+			all = append(all, p.RedPart.Nodes())
+		}
+		p.nodes = ddg.UnionAll(all...)
+	})
 	return p.nodes
 }
 

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"discovery/internal/obs"
+)
+
+// job is one admitted request travelling through the batcher: the request,
+// the client's context (cancellation propagates into the finder), and the
+// channel the worker answers on.
+type job struct {
+	ctx      context.Context
+	req      *Request
+	enqueued time.Time
+	done     chan jobDone
+}
+
+// jobDone is the worker's answer: a response or an HTTP-mapped error.
+type jobDone struct {
+	resp *Response
+	err  *httpError
+}
+
+// submit offers a request to the batcher without blocking. A full queue —
+// every worker busy and the waiting room at capacity — is an admission
+// failure, answered 503 immediately so clients can back off and retry
+// instead of piling up open connections the daemon cannot serve.
+func (s *Server) submit(ctx context.Context, req *Request) (*Response, *httpError) {
+	j := &job{ctx: ctx, req: req, enqueued: time.Now(), done: make(chan jobDone, 1)}
+	select {
+	case s.queue <- j:
+		s.reg.Gauge(obs.MetricServerQueueDepth, float64(len(s.queue)))
+	default:
+		s.rejected.Add(1)
+		s.reg.Count(obs.L(obs.MetricServerRequests, "status", "rejected"), 1)
+		return nil, &httpError{code: 503, msg: "queue full, retry later"}
+	}
+	select {
+	case d := <-j.done:
+		return d.resp, d.err
+	case <-ctx.Done():
+		// The client went away. The worker still drains the job (the
+		// buffered done channel never blocks it) and its result still
+		// warms the cache and the store for the retry that follows.
+		return nil, &httpError{code: 499, msg: "client closed request"}
+	}
+}
+
+// worker is one of MaxInFlight analysis loops. Workers are the batch: at
+// most MaxInFlight requests run concurrently, each binding to the shared
+// ViewCache's generation for its fingerprint, while the queue holds the
+// overflow in admission order.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		wait := time.Since(j.enqueued)
+		s.reg.Observe(obs.MetricServerQueueSeconds, wait.Seconds())
+		s.reg.Gauge(obs.MetricServerQueueDepth, float64(len(s.queue)))
+		s.reg.Gauge(obs.MetricServerInFlight, float64(s.inflight.Add(1)))
+
+		if err := j.ctx.Err(); err != nil {
+			// The client vanished while the job queued; skip the work.
+			s.reg.Count(obs.L(obs.MetricServerRequests, "status", "cancelled"), 1)
+			j.done <- jobDone{err: &httpError{code: 499, msg: "client closed request"}}
+		} else {
+			resp, herr := s.process(j.ctx, j.req, wait)
+			if herr == nil {
+				s.served.Add(1)
+			}
+			j.done <- jobDone{resp: resp, err: herr}
+		}
+
+		s.reg.Gauge(obs.MetricServerInFlight, float64(s.inflight.Add(-1)))
+	}
+}

@@ -1,0 +1,33 @@
+package server
+
+import "discovery/internal/obs"
+
+// teeRecorder splits one instrumented run's emissions two ways: spans go
+// to the request's own collector (or the no-op recorder when the client
+// did not ask for a phase tree), while metrics always accumulate into the
+// daemon-wide registry. That keeps span trees per-request — concurrent
+// requests never interleave phases — while /metrics stays a cumulative
+// view over everything the daemon has ever run.
+type teeRecorder struct {
+	spans obs.Recorder
+	reg   *obs.Registry
+}
+
+// Enabled reports true: metrics always flow to the daemon registry, so
+// instrumented code must not skip emission. Span calls still become
+// no-ops when the request declined the phase tree.
+func (t *teeRecorder) Enabled() bool { return true }
+
+func (t *teeRecorder) StartSpan(name string, parent obs.SpanID, attrs ...obs.Attr) obs.SpanID {
+	return t.spans.StartSpan(name, parent, attrs...)
+}
+
+func (t *teeRecorder) EndSpan(id obs.SpanID, attrs ...obs.Attr) {
+	t.spans.EndSpan(id, attrs...)
+}
+
+func (t *teeRecorder) Count(name string, delta int64) { t.reg.Count(name, delta) }
+
+func (t *teeRecorder) Gauge(name string, v float64) { t.reg.Gauge(name, v) }
+
+func (t *teeRecorder) Observe(name string, v float64) { t.reg.Observe(name, v) }

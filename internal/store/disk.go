@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Disk is the on-disk Store backend: one JSON file per entry in a flat
+// directory, named after the key. Writes go through a temporary file and
+// an atomic rename, so a crash mid-put leaves either the old state or the
+// new entry, never a torn file; readers after a daemon restart see every
+// completed put. A process-local mutex serializes writers; reads are
+// lock-free beyond the filesystem's own guarantees (rename is atomic on
+// POSIX).
+type Disk struct {
+	dir string
+
+	mu     sync.Mutex
+	closed bool
+	seq    int // temp-file disambiguator under the lock
+}
+
+// NewDisk opens (creating if needed) an on-disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) (*Entry, bool, error) {
+	if !keyPattern.MatchString(key) {
+		return nil, false, nil // invalid keys are never stored
+	}
+	data, err := os.ReadFile(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false, fmt.Errorf("store: corrupt entry %s: %w", key, err)
+	}
+	return &e, true, nil
+}
+
+// Put implements Store (first write wins).
+func (d *Disk) Put(e *Entry) error {
+	if err := validate(e); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", e.Key, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: disk store is closed")
+	}
+	dst := d.path(e.Key)
+	if _, err := os.Stat(dst); err == nil {
+		return nil // first write wins
+	}
+	d.seq++
+	tmp := filepath.Join(d.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), d.seq))
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", e.Key, err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: committing %s: %w", e.Key, err)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() (int, error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("store: disk store is closed")
+	}
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: listing %s: %w", d.dir, err)
+	}
+	n := 0
+	for _, f := range names {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Close implements Store. The directory and its entries remain on disk;
+// a later NewDisk over the same directory serves them again.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}

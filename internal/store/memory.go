@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the in-memory Store backend: a mutex-guarded map. It is the
+// default for tests and for serving setups that accept losing the result
+// table on restart (the shared ViewCache re-warms it quickly).
+type Memory struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	closed  bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{entries: map[string]*Entry{}}
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) (*Entry, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, false, fmt.Errorf("store: memory store is closed")
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false, nil
+	}
+	// Entries are immutable by convention; hand out a shallow copy so a
+	// misbehaving caller cannot mutate the stored record in place.
+	cp := *e
+	return &cp, true, nil
+}
+
+// Put implements Store (first write wins).
+func (m *Memory) Put(e *Entry) error {
+	if err := validate(e); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: memory store is closed")
+	}
+	if _, ok := m.entries[e.Key]; ok {
+		return nil
+	}
+	cp := *e
+	m.entries[e.Key] = &cp
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return 0, fmt.Errorf("store: memory store is closed")
+	}
+	return len(m.entries), nil
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.entries = nil
+	return nil
+}

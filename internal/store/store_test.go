@@ -1,0 +1,189 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// backends instantiates each Store implementation against a fresh state.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"memory": NewMemory(),
+		"disk":   disk,
+	}
+}
+
+func entry(key string) *Entry {
+	return &Entry{
+		Key:       key,
+		GraphFP:   "aaaa",
+		OptionsFP: "bbbb",
+		Report:    []byte(`{"patterns":[]}`),
+		Patterns:  2,
+		ElapsedMS: 7,
+		CreatedAt: time.Unix(1700000000, 0).UTC(),
+	}
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if _, ok, err := s.Get("res-missing"); ok || err != nil {
+				t.Fatalf("missing key: ok=%v err=%v", ok, err)
+			}
+			want := entry(ResultKey("aaaa", "bbbb"))
+			if err := s.Put(want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(want.Key)
+			if err != nil || !ok {
+				t.Fatalf("get after put: ok=%v err=%v", ok, err)
+			}
+			if got.Key != want.Key || got.GraphFP != want.GraphFP ||
+				got.Patterns != want.Patterns || string(got.Report) != string(want.Report) {
+				t.Errorf("roundtrip mismatch:\nwant %+v\ngot  %+v", want, got)
+			}
+			if n, err := s.Len(); n != 1 || err != nil {
+				t.Errorf("Len: %d %v", n, err)
+			}
+		})
+	}
+}
+
+func TestStoreFirstWriteWins(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			first := entry("res-k")
+			if err := s.Put(first); err != nil {
+				t.Fatal(err)
+			}
+			second := entry("res-k")
+			second.Patterns = 99
+			if err := s.Put(second); err != nil {
+				t.Fatalf("duplicate put must be a silent no-op: %v", err)
+			}
+			got, _, _ := s.Get("res-k")
+			if got.Patterns != first.Patterns {
+				t.Errorf("duplicate put replaced the entry: %+v", got)
+			}
+			if n, _ := s.Len(); n != 1 {
+				t.Errorf("Len after duplicate put: %d", n)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsInvalidKeys(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for _, key := range []string{"", "a/b", "../etc/passwd", "a b", string(make([]byte, 300))} {
+				if err := s.Put(entry(key)); err == nil {
+					t.Errorf("key %q must be rejected", key)
+				}
+			}
+			if _, ok, err := s.Get("../escape"); ok || err != nil {
+				t.Errorf("invalid key Get: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func TestStoreIndexEntries(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			idx := &Entry{Key: RequestKey("c0ffee"), Target: ResultKey("aaaa", "bbbb")}
+			if err := s.Put(idx); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(idx.Key)
+			if err != nil || !ok || got.Target != idx.Target {
+				t.Fatalf("index roundtrip: ok=%v err=%v got=%+v", ok, err, got)
+			}
+		})
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry("res-persist")
+	if err := d.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(entry("res-after-close")); err == nil {
+		t.Error("put on a closed store must fail")
+	}
+
+	re, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok, err := re.Get("res-persist")
+	if err != nil || !ok {
+		t.Fatalf("reopened store lost the entry: ok=%v err=%v", ok, err)
+	}
+	if string(got.Report) != string(want.Report) || !got.CreatedAt.Equal(want.CreatedAt) {
+		t.Errorf("reopened entry mismatch: %+v", got)
+	}
+	if n, _ := re.Len(); n != 1 {
+		t.Errorf("reopened Len: %d", n)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			const goroutines = 8
+			const keys = 20
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < keys; i++ {
+						key := fmt.Sprintf("res-%d", i)
+						e := entry(key)
+						e.Patterns = i // all writers agree on the value per key
+						if err := s.Put(e); err != nil {
+							errs <- err
+							return
+						}
+						got, ok, err := s.Get(key)
+						if err != nil || !ok || got.Patterns != i {
+							errs <- fmt.Errorf("goroutine %d key %s: ok=%v err=%v got=%+v", g, key, ok, err, got)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if n, _ := s.Len(); n != keys {
+				t.Errorf("Len after concurrent puts: %d want %d", n, keys)
+			}
+		})
+	}
+}
