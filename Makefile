@@ -7,11 +7,12 @@
 #   make benchsmoke — one-iteration find benchmark + obs overhead gate
 #   make cover   — coverage floors for internal/core and internal/obs
 #   make serversmoke — end-to-end daemon check: cold run, warm store hit
+#   make chaos   — fault-injection suite + chaos smoke against the binary
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench findbench benchsmoke cover serversmoke
+.PHONY: check build vet test race fuzz bench findbench benchsmoke cover serversmoke chaos
 
 check: build vet test race
 
@@ -25,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/...
+	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/fault/...
 
 # Each target runs for FUZZTIME; Go's fuzzer accepts one -fuzz pattern per
 # package invocation, so the targets run in sequence.
@@ -62,6 +63,15 @@ benchsmoke:
 # the identical resubmission must be a store hit with zero solver runs.
 serversmoke:
 	sh scripts/serversmoke.sh
+
+# The chaos harness: resilience and fault-injection unit suites under the
+# race detector, the scripted-plan chaos tests over the serving stack,
+# then the smoke script driving the real binary through a crash-recovery
+# restart and a scripted store outage.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/store/
+	$(GO) test -race -count=1 -run Chaos ./internal/server/
+	sh scripts/chaossmoke.sh
 
 # Coverage floors. The thresholds sit a few points under the levels the
 # suite reaches at the time of writing (core 95%, obs 92%), so real

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"discovery/internal/fault"
 	"discovery/internal/server"
 	"discovery/internal/store"
 )
@@ -35,6 +36,18 @@ func main() {
 		defBudget  = flag.Duration("default-budget", 60*time.Second, "per-request budget when the request sets none")
 		maxBudget  = flag.Duration("max-budget", 5*time.Minute, "ceiling on requested budgets")
 		cacheGens  = flag.Int("cache-gens", 16, "coexisting ViewCache generations (distinct graph+options fingerprints)")
+
+		// Resilience: retry/breaker/fallback around the store, admission
+		// brownout, and the deterministic fault-injection seam.
+		noResilience  = flag.Bool("no-resilience", false, "use the store bare: no retry, breaker, or memory fallback")
+		storeRetries  = flag.Int("store-retries", 3, "total tries per store operation")
+		storeRetryMin = flag.Duration("store-retry-base", 10*time.Millisecond, "backoff before the first store retry (doubles, capped)")
+		brkThreshold  = flag.Int("breaker-threshold", 5, "consecutive store failures that trip the circuit breaker")
+		brkCooldown   = flag.Duration("breaker-cooldown", 15*time.Second, "how long a tripped breaker fails fast before probing")
+		noBrownout    = flag.Bool("no-brownout", false, "disable admission brownout (pressure-clamped budgets)")
+		brownoutAt    = flag.Float64("brownout-threshold", 0.75, "queue occupancy where budget clamping starts")
+		brownoutMin   = flag.Float64("brownout-min", 0.1, "budget fraction still granted at 100% queue occupancy")
+		faultPlan     = flag.String("fault-plan", "", "JSON fault plan for chaos testing (see internal/fault); empty = none")
 	)
 	flag.Parse()
 
@@ -55,14 +68,44 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		MaxInFlight:      *inflight,
 		QueueDepth:       *queueDepth,
 		DefaultBudget:    *defBudget,
 		MaxBudget:        *maxBudget,
 		CacheGenerations: *cacheGens,
 		Store:            st,
-	})
+		Resilience: server.ResilienceConfig{
+			Disable:          *noResilience,
+			RetryAttempts:    *storeRetries,
+			RetryBase:        *storeRetryMin,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
+		},
+		Brownout: server.BrownoutConfig{
+			Disable:     *noBrownout,
+			Threshold:   *brownoutAt,
+			MinFraction: *brownoutMin,
+		},
+	}
+
+	// A fault plan turns the daemon into its own chaos subject: scripted,
+	// deterministic failures on the store and at phase boundaries. Never
+	// set one in production.
+	if *faultPlan != "" {
+		plan, err := fault.Load(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading fault plan: %v\n", err)
+			os.Exit(1)
+		}
+		if st != nil {
+			cfg.Store = plan.Store(st)
+		}
+		cfg.PhaseHook = plan.PhaseHook()
+		fmt.Fprintf(os.Stderr, "fault plan %q armed (seed %d)\n", plan.Name(), plan.Seed())
+	}
+
+	srv := server.New(cfg)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

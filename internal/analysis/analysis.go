@@ -32,6 +32,10 @@ const (
 	StageFinalize
 	// StageMatch is pattern finding (simplify through merge, solver runs).
 	StageMatch
+	// StageStore is result persistence (internal/store backends and their
+	// resilience decorators) — the serving layer's I/O boundary, outside
+	// the verify→match pipeline proper.
+	StageStore
 )
 
 // String returns the stage's lower-case name.
@@ -47,6 +51,8 @@ func (s Stage) String() string {
 		return "finalize"
 	case StageMatch:
 		return "match"
+	case StageStore:
+		return "store"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }
@@ -68,6 +74,11 @@ const (
 	ResourceExhausted
 	// Internal: a recovered panic — a bug contained by a recover boundary.
 	Internal
+	// Transient: the operation failed for a reason expected to pass — an
+	// I/O error, an injected fault, a latency-induced deadline. Retrying
+	// the same operation is sound and may succeed; permanent-failure kinds
+	// (InvalidInput, InvariantViolation) must not be retried.
+	Transient
 )
 
 // String returns the kind's human-readable name.
@@ -81,6 +92,8 @@ func (k Kind) String() string {
 		return "resource exhausted"
 	case Internal:
 		return "internal error"
+	case Transient:
+		return "transient failure"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -198,4 +211,5 @@ var (
 	ErrInvariantViolation = &Error{Kind: InvariantViolation}
 	ErrResourceExhausted  = &Error{Kind: ResourceExhausted}
 	ErrInternal           = &Error{Kind: Internal}
+	ErrTransient          = &Error{Kind: Transient}
 )

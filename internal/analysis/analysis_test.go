@@ -100,3 +100,27 @@ func TestContextSettersDoNotOverwrite(t *testing.T) {
 		t.Errorf("context overwritten: %+v", e)
 	}
 }
+
+func TestStoreStageAndTransientKind(t *testing.T) {
+	e := Errorf(StageStore, Transient, "injected store fault")
+	for _, part := range []string{"store", "transient failure", "injected store fault"} {
+		if !strings.Contains(e.Error(), part) {
+			t.Errorf("Error() = %q missing %q", e.Error(), part)
+		}
+	}
+	wrapped := fmt.Errorf("putting entry: %w", e)
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Error("transient sentinel did not match through wrapping")
+	}
+	if errors.Is(wrapped, ErrInvalidInput) {
+		t.Error("wrong kind sentinel matched")
+	}
+	if !errors.Is(wrapped, &Error{Stage: StageStore}) {
+		t.Error("store stage wildcard did not match")
+	}
+	// Permanent kinds must stay distinguishable from transient ones: the
+	// retry layer keys its predicate on exactly this split.
+	if errors.Is(Errorf(StageStore, InvalidInput, "bad key"), ErrTransient) {
+		t.Error("invalid input classified transient")
+	}
+}

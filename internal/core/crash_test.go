@@ -133,3 +133,39 @@ func TestFindNilGraphIsInvalidInput(t *testing.T) {
 		t.Fatalf("nil graph misclassified: %v", res.Failures[0])
 	}
 }
+
+// TestOptionsPhaseHookPanicContained covers the per-run fault-injection
+// hook (Options.PhaseHook): a panic it raises is contained like any phase
+// bug, and — unlike the package-global test hook — two concurrent runs
+// carry independent hooks without interfering.
+func TestOptionsPhaseHookPanicContained(t *testing.T) {
+	tr := tracedBenchmark(t)
+	res := core.Find(tr.Graph, core.Options{
+		Workers: 2,
+		PhaseHook: func(phase string) {
+			if phase == "subtract" {
+				panic("injected subtract fault")
+			}
+		},
+	})
+	if !res.Degraded() {
+		t.Fatal("run with a hook panic not flagged degraded")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if strings.Contains(f.Error(), "subtract phase failed") &&
+			strings.Contains(f.Error(), "injected subtract fault") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("subtract failure not recorded: %v", res.Failures)
+	}
+
+	// A hook-free run in the same process stays clean: the hook is run
+	// state, not package state.
+	clean := core.Find(tr.Graph, core.Options{Workers: 2})
+	if clean.Degraded() || len(clean.Failures) != 0 {
+		t.Fatalf("hook leaked into an unrelated run: %v", clean.Failures)
+	}
+}

@@ -76,6 +76,16 @@ type Options struct {
 	// enclosing span (e.g. the CLI's whole-analysis span).
 	ObsParent obs.SpanID
 
+	// PhaseHook, when non-nil, runs at the entry of every guarded phase
+	// with the phase's name, inside the phase's recover boundary — a panic
+	// it raises is contained exactly like a bug in the phase itself
+	// (recorded on Result.Failures, run degraded, later phases continue).
+	// It exists for deterministic fault injection (internal/fault): unlike
+	// the test-only package hook it is per-run, so concurrent FindCtx runs
+	// can carry independent fault plans without racing. It never changes a
+	// non-panicking run's output and is not part of any cache fingerprint.
+	PhaseHook func(phase string)
+
 	// DisablePrescreen turns off the structural prescreen (the
 	// -no-prescreen escape hatch): every (sub-DDG × kind) solve consults
 	// only the cache and then runs its matcher, as before the fast path
@@ -197,6 +207,10 @@ type Result struct {
 	Failures []*analysis.Error
 	// Phases is the per-phase timing breakdown.
 	Phases PhaseTimes
+
+	// phaseHook carries Options.PhaseHook to guard without threading a
+	// parameter through every phase call site.
+	phaseHook func(phase string)
 }
 
 // Degraded reports whether any resource bound or contained failure cut the
@@ -255,7 +269,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
 	}
-	res = &Result{}
+	res = &Result{phaseHook: opts.PhaseHook}
 	// Last-resort boundary for panics between the phase guards. Registered
 	// before the root span's deferred end, so on such a panic the span
 	// tree still closes (deferred calls run in reverse order) and only
@@ -567,6 +581,9 @@ func guard(res *Result, phase string, fn func()) (ok bool) {
 	}()
 	if findTestHook != nil {
 		findTestHook(phase)
+	}
+	if res.phaseHook != nil {
+		res.phaseHook(phase)
 	}
 	fn()
 	return true

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"discovery/internal/analysis"
+	"discovery/internal/store"
+)
+
+func mustPlan(t *testing.T, spec PlanSpec) *Plan {
+	t.Helper()
+	p, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseRejectsMalformedPlans(t *testing.T) {
+	for name, body := range map[string]string{
+		"bad json":    `{"rules": [`,
+		"unknown act": `{"rules":[{"op":"store.get","action":"explode"}]}`,
+		"empty op":    `{"rules":[{"action":"error"}]}`,
+		"torn on get": `{"rules":[{"op":"store.get","action":"torn"}]}`,
+	} {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+	p, err := Parse([]byte(`{"name":"ok","seed":7,"rules":[{"op":"store.get","index":1,"action":"error"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ok" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestIndexAndEveryMatching(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{
+		{Op: "store.get", Index: 1, Count: 2, Action: ActionError},
+		{Op: "store.put", Every: 3, Action: ActionError},
+	}})
+	st := p.Store(store.NewMemory())
+
+	var gets []bool
+	for i := 0; i < 5; i++ {
+		_, _, err := st.Get("res-a-b")
+		gets = append(gets, err != nil)
+	}
+	if fmt.Sprint(gets) != "[false true true false false]" {
+		t.Errorf("index window: %v", gets)
+	}
+
+	var puts []bool
+	for i := 0; i < 6; i++ {
+		err := st.Put(&store.Entry{Key: fmt.Sprintf("res-%d-x", i)})
+		puts = append(puts, err != nil)
+	}
+	if fmt.Sprint(puts) != "[true false false true false false]" {
+		t.Errorf("every matching: %v", puts)
+	}
+}
+
+func TestInjectedErrorsAreTransientTyped(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "store.get", Index: 0, Action: ActionError, Msg: "disk on fire"}}})
+	st := p.Store(store.NewMemory())
+	_, _, err := st.Get("res-a-b")
+	if !errors.Is(err, analysis.ErrTransient) {
+		t.Fatalf("injected error %v is not transient-typed", err)
+	}
+	if !errors.Is(err, &analysis.Error{Stage: analysis.StageStore}) {
+		t.Fatalf("injected error %v is not store-staged", err)
+	}
+	if p.Injected() != 1 {
+		t.Errorf("Injected() = %d", p.Injected())
+	}
+}
+
+func TestProbabilisticRulesAreSeedDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		p := mustPlan(t, PlanSpec{Seed: seed, Rules: []Rule{{Op: "store.get", Prob: 0.5, Action: ActionError}}})
+		st := p.Store(store.NewMemory())
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, _, err := st.Get("res-a-b")
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(run(43)) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 32 {
+		t.Errorf("prob 0.5 fired %d/32 times", fired)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "store.get", Index: 0, Action: ActionLatency, LatencyMS: 30}}})
+	st := p.Store(store.NewMemory())
+	start := time.Now()
+	if _, _, err := st.Get("res-a-b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency fault slept only %v", d)
+	}
+	start = time.Now()
+	st.Get("res-a-b")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("unmatched op slept %v", d)
+	}
+}
+
+func TestTornPutOnDiskLeavesRecoverableDamage(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "store.put", Index: 0, Action: ActionTorn}}})
+	st := p.Store(d)
+
+	// The torn put claims success — the caller has no way to know.
+	if err := st.Put(&store.Entry{Key: "res-a-b", Patterns: 5}); err != nil {
+		t.Fatalf("torn put surfaced an error: %v", err)
+	}
+	// The kill-during-Put acceptance path: restart over the damaged
+	// directory, and the torn entry must read as a miss, never as a
+	// corrupt hit.
+	d.Close()
+	d2, err := store.NewDisk(dir)
+	if err != nil {
+		t.Fatalf("restart over torn store: %v", err)
+	}
+	defer d2.Close()
+	if e, ok, err := d2.Get("res-a-b"); ok || err != nil {
+		t.Fatalf("torn entry served after restart: e=%+v ok=%v err=%v", e, ok, err)
+	}
+	if d2.Quarantined() != 1 {
+		t.Errorf("restart quarantined %d entries, want 1", d2.Quarantined())
+	}
+	// And the key heals on the next honest put.
+	if err := d2.Put(&store.Entry{Key: "res-a-b", Patterns: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := d2.Get("res-a-b"); !ok || got.Patterns != 5 {
+		t.Fatalf("healed entry: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestTornPutOnMemoryIsALostWrite(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "store.put", Index: 0, Action: ActionTorn}}})
+	mem := store.NewMemory()
+	st := p.Store(mem)
+	if err := st.Put(&store.Entry{Key: "res-a-b"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mem.Len(); n != 0 {
+		t.Errorf("lost write actually stored %d entries", n)
+	}
+}
+
+func TestPhaseHookPanicsOnSchedule(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "phase.match", Index: 1, Action: ActionPanic}}})
+	hook := p.PhaseHook()
+	hook("simplify") // other phases never fire
+	hook("match")    // match #0: clean
+	recovered := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		hook("match") // match #1: scripted panic
+		return ""
+	}()
+	if recovered == "" {
+		t.Fatal("scripted phase panic did not fire")
+	}
+	hook("match") // match #2: clean again
+}
+
+func TestPhaseWildcardCountsGlobally(t *testing.T) {
+	p := mustPlan(t, PlanSpec{Rules: []Rule{{Op: "phase.*", Index: 2, Action: ActionPanic}}})
+	hook := p.PhaseHook()
+	hook("simplify")
+	hook("decompose")
+	panicked := func() (ok bool) {
+		defer func() { ok = recover() != nil }()
+		hook("match") // third boundary overall
+		return
+	}()
+	if !panicked {
+		t.Fatal("wildcard rule did not fire on the third phase boundary")
+	}
+}

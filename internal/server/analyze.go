@@ -111,12 +111,20 @@ type Diagnostics struct {
 	Interrupted     bool  `json:"interrupted"`
 	ElapsedMS       int64 `json:"elapsed_ms"`
 	QueueMS         int64 `json:"queue_ms"`
+	// BrownoutMS is how much of the request's budget admission brownout
+	// took away (0 when the queue was below the pressure threshold). A
+	// non-zero value is the honest marker that the daemon chose a smaller
+	// answer over a 503.
+	BrownoutMS int64 `json:"brownout_clamped_ms,omitempty"`
 }
 
 // httpError is a process outcome that maps to a non-200 status.
+// retryAfter, when positive, becomes a Retry-After header (seconds) —
+// set on load-shedding 503s so clients back off instead of hammering.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -214,8 +222,10 @@ func graphFingerprint(fp ddg.Hash128) string {
 // process runs one admitted request end to end. queueWait is how long the
 // job sat in the admission queue; it is charged against the request's
 // budget so the deadline a client asked for is end-to-end, not
-// compute-only.
-func (s *Server) process(ctx context.Context, req *Request, queueWait time.Duration) (*Response, *httpError) {
+// compute-only. occupancy is the queue's fill fraction at dequeue; under
+// pressure it clamps the runtime budget further (brownout) so the daemon
+// degrades answers before it degrades availability.
+func (s *Server) process(ctx context.Context, req *Request, queueWait time.Duration, occupancy float64) (*Response, *httpError) {
 	bench, version, budget, herr := s.validate(req)
 	if herr != nil {
 		s.reg.Count(obs.L(obs.MetricServerRequests, "status", "invalid"), 1)
@@ -238,6 +248,25 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 		opts.Budget = 50 * time.Millisecond
 	} else {
 		opts.Budget = run
+	}
+
+	// Brownout: like the queue charge, pressure clamping shapes only the
+	// runtime deadline, never the request's identity — and like an
+	// interrupted run, a clamped run that actually degraded is not stored
+	// (see the write-back condition below), so the clamp can never leak a
+	// truncated answer under the full-budget fingerprint.
+	var brownoutMS int64
+	if factor := s.cfg.Brownout.factor(occupancy); factor < 1 {
+		clamped := time.Duration(float64(opts.Budget) * factor)
+		if clamped < 50*time.Millisecond {
+			clamped = 50 * time.Millisecond
+		}
+		if clamped < opts.Budget {
+			brownoutMS = (opts.Budget - clamped).Milliseconds()
+			opts.Budget = clamped
+			s.brownouts.Add(1)
+			s.reg.Count(obs.MetricServerBrownout, 1)
+		}
 	}
 	reqFP := requestFingerprint(bench.Name, version, optsFP)
 	info := StoreInfo{Status: "disabled", OptionsFP: optsFP}
@@ -276,6 +305,14 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 	rec := obs.Recorder(&teeRecorder{spans: spans, reg: s.reg})
 	root := rec.StartSpan("request", 0,
 		obs.Str("bench", bench.Name), obs.Str("version", string(version)))
+
+	// Fault seam: the trace boundary is hooked here (a hook panic is the
+	// worker recover boundary's problem — one clean 500, not a dead
+	// daemon); the finder's phase boundaries are hooked through Options.
+	if s.cfg.PhaseHook != nil {
+		s.cfg.PhaseHook("trace")
+		opts.PhaseHook = s.cfg.PhaseHook
+	}
 
 	built := bench.Build(version, bench.Analysis)
 	tr, err := trace.RunObserved(built.Prog, rec, root)
@@ -319,6 +356,7 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 
 	elapsed := time.Since(start)
 	diag.ElapsedMS = elapsed.Milliseconds()
+	diag.BrownoutMS = brownoutMS
 	diag.Patterns = len(res.Patterns)
 	diag.Degraded = res.Degraded()
 	diag.Interrupted = res.Interrupted
@@ -330,8 +368,10 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 
 	// Write back unless the run was cut short by the deadline: an
 	// interrupted result is wall-clock-dependent, and memoizing it would
-	// pin a truncated answer under a key that promises the full one.
-	if useStore && !res.Interrupted {
+	// pin a truncated answer under a key that promises the full one. The
+	// same reasoning excludes brownout-clamped runs that actually degraded
+	// — their smaller budget is pressure-dependent, not part of the key.
+	if useStore && !res.Interrupted && !(brownoutMS > 0 && res.Degraded()) {
 		entry := &store.Entry{
 			Key:         resultKey,
 			GraphFP:     graphFP,

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"discovery/internal/obs"
@@ -35,7 +36,11 @@ func (s *Server) submit(ctx context.Context, req *Request) (*Response, *httpErro
 	default:
 		s.rejected.Add(1)
 		s.reg.Count(obs.L(obs.MetricServerRequests, "status", "rejected"), 1)
-		return nil, &httpError{code: 503, msg: "queue full, retry later"}
+		// The bottom rung of the degradation ladder: brownout already
+		// clamped budgets on the way here, so a full queue means the
+		// daemon is saturated even at reduced per-request cost. Tell the
+		// client when to come back instead of letting it hammer.
+		return nil, &httpError{code: 503, msg: "queue full, retry later", retryAfter: 1}
 	}
 	select {
 	case d := <-j.done:
@@ -56,16 +61,24 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		wait := time.Since(j.enqueued)
+		// Queue occupancy at dequeue drives brownout: it is the freshest
+		// pressure signal available before the request starts running.
+		occupancy := float64(len(s.queue)) / float64(cap(s.queue))
 		s.reg.Observe(obs.MetricServerQueueSeconds, wait.Seconds())
 		s.reg.Gauge(obs.MetricServerQueueDepth, float64(len(s.queue)))
 		s.reg.Gauge(obs.MetricServerInFlight, float64(s.inflight.Add(1)))
 
 		if err := j.ctx.Err(); err != nil {
-			// The client vanished while the job queued; skip the work.
+			// The client vanished while the job queued; skip the work and
+			// make the shed load visible (satellite: the cancelled counter
+			// is what distinguishes "clients gave up waiting" from
+			// rejected or failed traffic in /stats).
+			s.cancelled.Add(1)
+			s.reg.Count(obs.MetricServerCancelled, 1)
 			s.reg.Count(obs.L(obs.MetricServerRequests, "status", "cancelled"), 1)
 			j.done <- jobDone{err: &httpError{code: 499, msg: "client closed request"}}
 		} else {
-			resp, herr := s.process(j.ctx, j.req, wait)
+			resp, herr := s.safeProcess(j.ctx, j.req, wait, occupancy)
 			if herr == nil {
 				s.served.Add(1)
 			}
@@ -74,4 +87,20 @@ func (s *Server) worker() {
 
 		s.reg.Gauge(obs.MetricServerInFlight, float64(s.inflight.Add(-1)))
 	}
+}
+
+// safeProcess is the worker's recover boundary. The finder contains its
+// own phase panics (PR 3), but a panic anywhere else on the request path —
+// a store decorator, report rendering, an injected fault outside the
+// guarded phases — must cost one 500, not the daemon: every response is
+// a correct answer, an explicitly degraded answer, or a clean 5xx.
+func (s *Server) safeProcess(ctx context.Context, req *Request, wait time.Duration, occupancy float64) (resp *Response, herr *httpError) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Count(obs.MetricServerPanics, 1)
+			s.reg.Count(obs.L(obs.MetricServerRequests, "status", "error"), 1)
+			resp, herr = nil, &httpError{code: 500, msg: fmt.Sprintf("internal error: recovered panic: %v", r)}
+		}
+	}()
+	return s.process(ctx, req, wait, occupancy)
 }

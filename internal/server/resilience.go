@@ -1,0 +1,119 @@
+package server
+
+import (
+	"time"
+
+	"discovery/internal/obs"
+	"discovery/internal/store"
+)
+
+// ResilienceConfig tunes the store resilience stack the server builds
+// around Config.Store: retry (capped exponential backoff + jitter) feeding
+// a circuit breaker, with an in-memory fallback absorbing whatever still
+// fails. The zero value enables the stack with serving defaults; Disable
+// opts out (the raw store is used as given — tests that script store
+// behaviour byte-for-byte want this).
+type ResilienceConfig struct {
+	// Disable uses Config.Store bare, with no retry/breaker/fallback.
+	Disable bool
+	// RetryAttempts is the total tries per store operation. Default 3.
+	RetryAttempts int
+	// RetryBase is the backoff before the first retry (doubling, capped
+	// at 50× itself). Default 10ms.
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive retry-exhausted operations
+	// trip the breaker. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fails fast before
+	// probing the backend again. Default 15s.
+	BreakerCooldown time.Duration
+}
+
+// BrownoutConfig tunes admission brownout: under queue pressure the server
+// progressively clamps per-request budgets — producing honest, explicitly
+// degraded results — before it resorts to rejecting with 503. The zero
+// value enables brownout with serving defaults.
+type BrownoutConfig struct {
+	// Disable turns brownout off: budgets are never pressure-clamped.
+	Disable bool
+	// Threshold is the queue occupancy (0..1] where clamping starts.
+	// Default 0.75.
+	Threshold float64
+	// MinFraction is the budget fraction still granted at 100% occupancy
+	// (the bottom of the clamp curve). Default 0.1.
+	MinFraction float64
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		c.Threshold = 0.75
+	}
+	if c.MinFraction <= 0 || c.MinFraction > 1 {
+		c.MinFraction = 0.1
+	}
+	return c
+}
+
+// factor maps queue occupancy to a budget multiplier: 1 below the
+// threshold, then linearly down to MinFraction at full occupancy. The
+// curve is the degradation ladder's middle rung — between full service
+// and 503 — and is deliberately monotone and continuous so budgets shrink
+// smoothly as pressure builds instead of cliff-dropping.
+func (c BrownoutConfig) factor(occupancy float64) float64 {
+	if c.Disable || occupancy <= c.Threshold {
+		return 1
+	}
+	if occupancy >= 1 {
+		return c.MinFraction
+	}
+	span := 1 - c.Threshold
+	return 1 - (occupancy-c.Threshold)/span*(1-c.MinFraction)
+}
+
+// buildResilientStore wraps the configured store in the resilience stack —
+// Fallback(Breaker(Retry(store)), memory) — wiring each layer's
+// observability hooks into the daemon registry. The fallback is the store
+// the server serves from; the breaker handle feeds /healthz and /stats.
+func (s *Server) buildResilientStore(raw store.Store) (*store.Breaker, *store.Fallback) {
+	rc := s.cfg.Resilience
+	attempts := rc.RetryAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := rc.RetryBase
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	threshold := rc.BreakerThreshold
+	if threshold <= 0 {
+		threshold = 5
+	}
+	cooldown := rc.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 15 * time.Second
+	}
+
+	retry := store.NewRetry(raw, store.RetryConfig{
+		Attempts:  attempts,
+		BaseDelay: base,
+		MaxDelay:  50 * base,
+		OnRetry: func(op string, attempt int, err error) {
+			s.reg.Count(obs.MetricServerStoreRetries, 1)
+		},
+	})
+	breaker := store.NewBreaker(retry, store.BreakerConfig{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		OnStateChange: func(from, to store.BreakerState) {
+			s.reg.Gauge(obs.MetricServerBreakerState, float64(to))
+			if to == store.BreakerOpen {
+				s.reg.Count(obs.MetricServerBreakerTrips, 1)
+			}
+		},
+	})
+	fallback := store.NewFallback(breaker, store.NewMemory(), func(op string, err error) {
+		s.reg.Count(obs.MetricServerStoreFallback, 1)
+	})
+	s.reg.Gauge(obs.MetricServerBreakerState, float64(store.BreakerClosed))
+	return breaker, fallback
+}

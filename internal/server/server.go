@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,17 @@ type Config struct {
 	// Store persists results across requests (nil disables memoization;
 	// the ViewCache still warms).
 	Store store.Store
+	// Resilience tunes the retry/breaker/fallback stack wrapped around
+	// Store. Zero value = enabled with defaults; set Disable to use Store
+	// bare.
+	Resilience ResilienceConfig
+	// Brownout tunes admission-pressure budget clamping. Zero value =
+	// enabled with defaults.
+	Brownout BrownoutConfig
+	// PhaseHook, when non-nil, runs at every analysis phase boundary
+	// (trace, then each finder phase via core.Options.PhaseHook). It is
+	// the daemon's fault-injection seam — see internal/fault.Plan.
+	PhaseHook func(phase string)
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +89,7 @@ func (c Config) withDefaults() Config {
 	if c.CacheGenerations <= 0 {
 		c.CacheGenerations = 16
 	}
+	c.Brownout = c.Brownout.withDefaults()
 	return c
 }
 
@@ -85,17 +98,25 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *core.ViewCache
-	st    store.Store // nil = no store
+	st    store.Store // nil = no store; else the resilient stack (or raw when disabled)
 	reg   *obs.Registry
+
+	// breaker and fallback are handles into the resilient store stack
+	// (nil when Resilience.Disable or no store): breaker state feeds
+	// /healthz, fallback's degraded-op count feeds /stats.
+	breaker  *store.Breaker
+	fallback *store.Fallback
 
 	queue chan *job
 	wg    sync.WaitGroup
 	mux   *http.ServeMux
 
-	started  time.Time
-	inflight atomic.Int64
-	served   atomic.Int64
-	rejected atomic.Int64
+	started   time.Time
+	inflight  atomic.Int64
+	served    atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	brownouts atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -112,6 +133,10 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if cfg.Store != nil && !cfg.Resilience.Disable {
+		s.breaker, s.fallback = s.buildResilientStore(cfg.Store)
+		s.st = s.fallback
 	}
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -172,19 +197,47 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, herr := s.submit(r.Context(), &req)
 	if herr != nil {
+		if herr.retryAfter > 0 {
+			// Shed load politely: a 503 without Retry-After invites an
+			// immediate retry storm from well-behaved clients.
+			w.Header().Set("Retry-After", strconv.Itoa(herr.retryAfter))
+		}
 		writeJSON(w, herr.code, errorJSON{Error: herr.msg})
 		return
 	}
 	writeJSON(w, 200, resp)
 }
 
+// handleHealthz reports liveness plus the degradation ladder's current
+// rung: "ok" (full service), "degraded" (still answering, but the store
+// breaker is not closed and/or brownout is clamping budgets). The daemon
+// never reports unhealthy while it can serve — degraded-but-available is
+// the whole point of the resilience stack.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, 200, map[string]any{
-		"status":     "ok",
-		"queue":      len(s.queue),
-		"in_flight":  s.inflight.Load(),
-		"uptime_sec": int64(time.Since(s.started).Seconds()),
-	})
+	occupancy := float64(len(s.queue)) / float64(cap(s.queue))
+	brownout := s.cfg.Brownout.factor(occupancy) < 1
+	status := "ok"
+	out := map[string]any{
+		"queue":           len(s.queue),
+		"in_flight":       s.inflight.Load(),
+		"uptime_sec":      int64(time.Since(s.started).Seconds()),
+		"brownout_active": brownout,
+	}
+	if brownout {
+		status = "degraded"
+	}
+	if s.breaker != nil {
+		st := s.breaker.State()
+		out["store_breaker"] = st.String()
+		if st != store.BreakerClosed {
+			status = "degraded"
+		}
+	}
+	if q, ok := s.cfg.Store.(interface{ Quarantined() int }); ok {
+		out["store_quarantined"] = q.Quarantined()
+	}
+	out["status"] = status
+	writeJSON(w, 200, out)
 }
 
 // statsJSON is the /stats document: admission counters, the shared
@@ -192,6 +245,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsJSON struct {
 	Served    int64              `json:"served"`
 	Rejected  int64              `json:"rejected"`
+	Cancelled int64              `json:"cancelled"`
+	Brownouts int64              `json:"brownouts"`
 	InFlight  int64              `json:"in_flight"`
 	QueueLen  int                `json:"queue_len"`
 	QueueCap  int                `json:"queue_cap"`
@@ -199,12 +254,19 @@ type statsJSON struct {
 	Cache     core.CacheSnapshot `json:"cache"`
 	StoreLen  int                `json:"store_len"`
 	StoreKind string             `json:"store_kind"`
+	// Resilience accounting (zero / "disabled" without a resilient store).
+	BreakerState     string `json:"breaker_state,omitempty"`
+	BreakerTrips     int64  `json:"breaker_trips"`
+	StoreDegradedOps int64  `json:"store_degraded_ops"`
+	StoreQuarantined int    `json:"store_quarantined"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := statsJSON{
 		Served:    s.served.Load(),
 		Rejected:  s.rejected.Load(),
+		Cancelled: s.cancelled.Load(),
+		Brownouts: s.brownouts.Load(),
 		InFlight:  s.inflight.Load(),
 		QueueLen:  len(s.queue),
 		QueueCap:  cap(s.queue),
@@ -213,10 +275,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StoreKind: "disabled",
 	}
 	if s.st != nil {
-		out.StoreKind = fmt.Sprintf("%T", s.st)
+		out.StoreKind = fmt.Sprintf("%T", s.cfg.Store)
 		if n, err := s.st.Len(); err == nil {
 			out.StoreLen = n
 		}
+	}
+	if s.breaker != nil {
+		out.BreakerState = s.breaker.State().String()
+		out.BreakerTrips = s.breaker.Trips()
+	}
+	if s.fallback != nil {
+		out.StoreDegradedOps = s.fallback.DegradedOps()
+	}
+	if q, ok := s.cfg.Store.(interface{ Quarantined() int }); ok {
+		out.StoreQuarantined = q.Quarantined()
 	}
 	writeJSON(w, 200, out)
 }

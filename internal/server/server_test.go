@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -135,13 +136,18 @@ func TestNoStoreBypass(t *testing.T) {
 	}
 }
 
-// TestValidation exercises the 400 paths.
+// TestValidation exercises every 400 branch: the decode failures, both
+// registry lookups, and each negative-option rejection in validate.
 func TestValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, body := range []string{
 		`{"bench":"nope","version":"seq"}`,
 		`{"bench":"md5","version":"openmp"}`,
 		`{"bench":"md5","version":"seq","options":{"budget_ms":-5}}`,
+		`{"bench":"md5","version":"seq","options":{"solver_budget_ms":-1}}`,
+		`{"bench":"md5","version":"seq","options":{"solver_steps":-1}}`,
+		`{"bench":"md5","version":"seq","options":{"solver_restarts":-1}}`,
+		`{"bench":"md5","version":"seq","options":{"max_view_groups":-1}}`,
 		`{"bench":"md5","version":"seq","bogus_field":1}`,
 		`not json`,
 	} {
@@ -217,8 +223,18 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	}
 
-	if _, code := analyze(t, ts, req); code != 503 {
-		t.Fatalf("overflow submission: status %d, want 503", code)
+	// The overflow 503 must carry Retry-After so well-behaved clients back
+	// off instead of hammering a saturated daemon.
+	or, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	or.Body.Close()
+	if or.StatusCode != 503 {
+		t.Fatalf("overflow submission: status %d, want 503", or.StatusCode)
+	}
+	if or.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 503 missing the Retry-After header")
 	}
 
 	blocker.unblock()
@@ -226,6 +242,85 @@ func TestAdmissionControl(t *testing.T) {
 		if code := <-results; code != 200 {
 			t.Fatalf("queued submission %d: status %d, want 200", i, code)
 		}
+	}
+}
+
+// TestCancelledClientCounted covers the vanished-client path: a request
+// whose client disconnects while queued is skipped by the worker and
+// recorded in the cancelled counter, visible in /stats and /metrics.
+func TestCancelledClientCounted(t *testing.T) {
+	blocker := &blockingStore{Store: store.NewMemory(), release: make(chan struct{})}
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 2, Store: blocker})
+	defer blocker.unblock()
+
+	req := `{"bench":"md5","version":"seq"}`
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		analyzeErr(ts, req)
+	}()
+
+	// Wait for the first job to wedge in the worker.
+	deadline := time.After(5 * time.Second)
+	for s.inflight.Load() != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("first job never reached the worker")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Park a second job behind it whose client is already gone: submit
+	// answers 499 immediately, and the worker — still wedged on the first
+	// job — is guaranteed to dequeue it after the cancellation, which is
+	// the path the counter exists for. (Driving this through a real HTTP
+	// disconnect races the server noticing the closed connection against
+	// the worker's dequeue.)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, herr := s.submit(ctx, &Request{Bench: "md5", Version: "seq"}); herr == nil || herr.code != 499 {
+		t.Fatalf("submit with a gone client: %+v, want 499", herr)
+	}
+
+	blocker.unblock()
+	<-first
+
+	// The worker drains the queued job, notices the client is gone, and
+	// bumps the counter.
+	deadline = time.After(5 * time.Second)
+	for {
+		sr, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats statsJSON
+		json.NewDecoder(sr.Body).Decode(&stats)
+		sr.Body.Close()
+		if stats.Cancelled == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("cancelled never counted: %+v", stats)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := mr.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	mr.Body.Close()
+	if !strings.Contains(sb.String(), "discovery_server_requests_cancelled_total") {
+		t.Error("metrics missing the cancelled counter")
 	}
 }
 

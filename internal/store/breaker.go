@@ -1,0 +1,223 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's admission mode.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy — operations flow to the backend.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: cooling down — one probe operation is allowed
+	// through; its outcome decides between Closed and Open.
+	BreakerHalfOpen
+	// BreakerOpen: tripped — operations fail fast with ErrBreakerOpen
+	// until the cooldown elapses.
+	BreakerOpen
+)
+
+// String returns the state's conventional name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrBreakerOpen is returned (wrapped) by a tripped breaker without
+// touching the backend. It is deliberately not transient-typed: the
+// breaker exists to stop retry pressure, so nothing above it should spin
+// on this error — degrade instead (see Fallback).
+var ErrBreakerOpen = fmt.Errorf("store: circuit breaker open")
+
+// BreakerConfig tunes the Breaker decorator. The zero value is usable.
+type BreakerConfig struct {
+	// Threshold is how many consecutive countable failures trip the
+	// breaker. Default 5.
+	Threshold int
+	// Cooldown is how long a tripped breaker fails fast before allowing a
+	// half-open probe. Default 10s.
+	Cooldown time.Duration
+	// Countable decides which errors count as backend failures. The
+	// default counts exactly what DefaultRetryable retries: ErrInvalid is
+	// the caller's fault and ErrClosed is deliberate, neither indicts the
+	// backend.
+	Countable func(error) bool
+	// OnStateChange observes transitions; the server wires it to the
+	// breaker-state gauge and the trip counter.
+	OnStateChange func(from, to BreakerState)
+	// now stands in for time.Now in tests.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Countable == nil {
+		c.Countable = DefaultRetryable
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker decorates a Store with a circuit breaker. Stacked outside Retry,
+// it sees only fully-retried outcomes: Threshold consecutive operations
+// that exhausted their retries trip it Open, after which every call fails
+// fast with ErrBreakerOpen — shedding load off a backend that is down
+// anyway, and giving the layer above an unambiguous signal to degrade.
+// After Cooldown, a single probe is let through Half-Open; success closes
+// the breaker, failure re-opens it for another cooldown.
+type Breaker struct {
+	inner Store
+	cfg   BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive countable failures while closed
+	until    time.Time // open-state expiry
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker wraps inner in a circuit breaker.
+func NewBreaker(inner Store, cfg BreakerConfig) *Breaker {
+	return &Breaker{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// State returns the current admission mode (Open reported even before the
+// next operation observes the cooldown expiry).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// admit decides whether one operation may proceed. probe reports that the
+// caller owns the half-open probe slot and must report its outcome.
+func (b *Breaker) admit() (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.cfg.now().Before(b.until) {
+			return false, false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true, true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, false // one probe at a time
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// setState transitions with the callback; callers hold b.mu.
+func (b *Breaker) setState(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if to == BreakerOpen {
+		b.trips++
+		b.until = b.cfg.now().Add(b.cfg.Cooldown)
+	}
+	if b.cfg.OnStateChange != nil {
+		// Callback under the lock: transitions arrive in order, and the
+		// server-side consumers only bump counters/gauges.
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
+// record feeds one operation's outcome back into the state machine.
+func (b *Breaker) record(err error, probe bool) {
+	countable := err != nil && b.cfg.Countable(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if countable {
+			b.setState(BreakerOpen)
+		} else {
+			b.failures = 0
+			b.setState(BreakerClosed)
+		}
+		return
+	}
+	if !countable {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.cfg.Threshold {
+		b.setState(BreakerOpen)
+	}
+}
+
+// do runs one operation through the breaker.
+func (b *Breaker) do(fn func() error) error {
+	allowed, probe := b.admit()
+	if !allowed {
+		return ErrBreakerOpen
+	}
+	err := fn()
+	b.record(err, probe)
+	return err
+}
+
+// Get implements Store.
+func (b *Breaker) Get(key string) (e *Entry, ok bool, err error) {
+	err = b.do(func() error {
+		var ierr error
+		e, ok, ierr = b.inner.Get(key)
+		return ierr
+	})
+	return e, ok, err
+}
+
+// Put implements Store.
+func (b *Breaker) Put(e *Entry) error {
+	return b.do(func() error { return b.inner.Put(e) })
+}
+
+// Len implements Store.
+func (b *Breaker) Len() (n int, err error) {
+	err = b.do(func() error {
+		var ierr error
+		n, ierr = b.inner.Len()
+		return ierr
+	})
+	return n, err
+}
+
+// Close implements Store, closing the wrapped backend regardless of
+// breaker state (shutdown must not be blocked by a tripped breaker).
+func (b *Breaker) Close() error { return b.inner.Close() }

@@ -1,0 +1,102 @@
+package store
+
+import "sync/atomic"
+
+// Fallback decorates a primary Store with a secondary that absorbs the
+// primary's failures: a Get whose primary errors (including a tripped
+// breaker failing fast) is answered from the secondary, and a Put whose
+// primary errors lands in the secondary instead of being lost. With a
+// durable primary (disk behind retry + breaker) and an in-memory
+// secondary, this is the serving layer's graceful-degradation ladder:
+// when the disk trips, the daemon keeps memoizing into memory and keeps
+// serving warm results, trading durability for availability instead of
+// trading correctness for anything.
+//
+// Primary misses also consult the secondary: entries written during a
+// degraded window live only there, and first-write-wins immutability makes
+// a hit from either side equally authoritative.
+type Fallback struct {
+	primary, secondary Store
+	// OnFallback observes each operation the secondary absorbed (op is
+	// "get", "put", or "len"), with the primary error that caused it.
+	OnFallback func(op string, err error)
+
+	degraded atomic.Int64
+}
+
+// NewFallback wraps primary with secondary as its degradation target.
+func NewFallback(primary, secondary Store, onFallback func(op string, err error)) *Fallback {
+	return &Fallback{primary: primary, secondary: secondary, OnFallback: onFallback}
+}
+
+// DegradedOps returns how many operations the secondary absorbed.
+func (f *Fallback) DegradedOps() int64 { return f.degraded.Load() }
+
+func (f *Fallback) fell(op string, err error) {
+	f.degraded.Add(1)
+	if f.OnFallback != nil {
+		f.OnFallback(op, err)
+	}
+}
+
+// Get implements Store: primary first; on a primary error the secondary
+// answers alone, on a clean primary miss the secondary gets a second look
+// (degraded-window writes live only there).
+func (f *Fallback) Get(key string) (*Entry, bool, error) {
+	e, ok, err := f.primary.Get(key)
+	if err == nil && ok {
+		return e, true, nil
+	}
+	if err != nil {
+		f.fell("get", err)
+	}
+	e2, ok2, err2 := f.secondary.Get(key)
+	if err2 != nil {
+		if err != nil {
+			return nil, false, err // both sides down: report the primary's error
+		}
+		return nil, false, err2
+	}
+	return e2, ok2, nil
+}
+
+// Put implements Store: primary first, secondary on primary failure. A
+// successful primary put does not mirror into the secondary — the
+// secondary is a spill, not a replica.
+func (f *Fallback) Put(e *Entry) error {
+	err := f.primary.Put(e)
+	if err == nil {
+		return nil
+	}
+	f.fell("put", err)
+	return f.secondary.Put(e)
+}
+
+// Len implements Store: the sum of both sides (entries spilled during a
+// degraded window and later recomputed into the primary may count twice;
+// Len is informational).
+func (f *Fallback) Len() (int, error) {
+	n, err := f.primary.Len()
+	if err != nil {
+		f.fell("len", err)
+		n = 0
+	}
+	m, err2 := f.secondary.Len()
+	if err2 != nil {
+		if err != nil {
+			return 0, err
+		}
+		return n, err2
+	}
+	return n + m, nil
+}
+
+// Close implements Store, closing both sides (secondary last; the first
+// error wins).
+func (f *Fallback) Close() error {
+	err := f.primary.Close()
+	if err2 := f.secondary.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

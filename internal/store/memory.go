@@ -24,7 +24,7 @@ func (m *Memory) Get(key string) (*Entry, bool, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return nil, false, fmt.Errorf("store: memory store is closed")
+		return nil, false, fmt.Errorf("%w: memory store", ErrClosed)
 	}
 	e, ok := m.entries[key]
 	if !ok {
@@ -44,7 +44,7 @@ func (m *Memory) Put(e *Entry) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return fmt.Errorf("store: memory store is closed")
+		return fmt.Errorf("%w: memory store", ErrClosed)
 	}
 	if _, ok := m.entries[e.Key]; ok {
 		return nil
@@ -59,7 +59,7 @@ func (m *Memory) Len() (int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return 0, fmt.Errorf("store: memory store is closed")
+		return 0, fmt.Errorf("%w: memory store", ErrClosed)
 	}
 	return len(m.entries), nil
 }

@@ -1,0 +1,442 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"discovery/internal/analysis"
+)
+
+// flaky is a Store double whose operations fail with a transient error
+// until fail reaches zero; afterwards they delegate to the wrapped store.
+type flaky struct {
+	Store
+	mu    sync.Mutex
+	fail  int
+	calls int
+}
+
+func (f *flaky) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.fail > 0 {
+		f.fail--
+		return analysis.Errorf(analysis.StageStore, analysis.Transient, "flaky backend")
+	}
+	return nil
+}
+
+func (f *flaky) Get(key string) (*Entry, bool, error) {
+	if err := f.step(); err != nil {
+		return nil, false, err
+	}
+	return f.Store.Get(key)
+}
+
+func (f *flaky) Put(e *Entry) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Store.Put(e)
+}
+
+func (f *flaky) Len() (int, error) {
+	if err := f.step(); err != nil {
+		return 0, err
+	}
+	return f.Store.Len()
+}
+
+func noSleep(ctx context.Context, d time.Duration) {}
+
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	inner := &flaky{Store: NewMemory(), fail: 2}
+	var seen []string
+	r := NewRetry(inner, RetryConfig{
+		Attempts: 3,
+		Sleep:    noSleep,
+		OnRetry:  func(op string, attempt int, err error) { seen = append(seen, fmt.Sprintf("%s/%d", op, attempt)) },
+	})
+	if err := r.Put(&Entry{Key: "res-a-b"}); err != nil {
+		t.Fatalf("put through two transient failures: %v", err)
+	}
+	if got, want := fmt.Sprint(seen), "[put/1 put/2]"; got != want {
+		t.Errorf("OnRetry saw %v, want %v", seen, want)
+	}
+	if r.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", r.Retries())
+	}
+	if _, ok, err := r.Get("res-a-b"); err != nil || !ok {
+		t.Fatalf("get after recovered put: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	inner := &flaky{Store: NewMemory(), fail: 100}
+	r := NewRetry(inner, RetryConfig{Attempts: 3, Sleep: noSleep})
+	if err := r.Put(&Entry{Key: "res-a-b"}); !errors.Is(err, analysis.ErrTransient) {
+		t.Fatalf("exhausted retries returned %v, want the transient backend error", err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("backend saw %d calls, want 3", inner.calls)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	inner := &flaky{Store: NewMemory()}
+	r := NewRetry(inner, RetryConfig{Attempts: 5, Sleep: noSleep})
+	if err := r.Put(&Entry{Key: "no spaces allowed"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid key returned %v, want ErrInvalid", err)
+	}
+	if r.Retries() != 0 {
+		t.Errorf("permanent error was retried %d times", r.Retries())
+	}
+
+	closed := NewMemory()
+	closed.Close()
+	r2 := NewRetry(closed, RetryConfig{Attempts: 5, Sleep: noSleep})
+	if _, _, err := r2.Get("res-a-b"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed store returned %v, want ErrClosed", err)
+	}
+	if r2.Retries() != 0 {
+		t.Errorf("ErrClosed was retried %d times", r2.Retries())
+	}
+}
+
+func TestRetryContextAware(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the first failure must not back off at all
+	inner := &flaky{Store: NewMemory(), fail: 100}
+	slept := false
+	r := NewRetry(inner, RetryConfig{
+		Attempts: 5,
+		Ctx:      ctx,
+		Sleep:    func(context.Context, time.Duration) { slept = true },
+	})
+	start := time.Now()
+	_, _, err := r.Get("res-a-b")
+	if !errors.Is(err, analysis.ErrTransient) {
+		t.Fatalf("cancelled retry returned %v", err)
+	}
+	if slept {
+		t.Error("retry slept after its context was cancelled")
+	}
+	if inner.calls != 1 {
+		t.Errorf("backend saw %d calls after cancellation, want 1", inner.calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled retry took a real backoff")
+	}
+}
+
+func TestRetryJitterDeterministic(t *testing.T) {
+	sample := func(seed uint64) []time.Duration {
+		r := NewRetry(NewMemory(), RetryConfig{Seed: seed})
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, r.jitter(100*time.Millisecond))
+		}
+		return out
+	}
+	a, b := sample(7), sample(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 50*time.Millisecond || a[i] >= 100*time.Millisecond {
+			t.Fatalf("jitter %v outside [d/2, d)", a[i])
+		}
+	}
+	if fmt.Sprint(a) == fmt.Sprint(sample(8)) {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+// clock is a manual time source for breaker cooldown tests.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	ck := &clock{t: time.Unix(1000, 0)}
+	inner := &flaky{Store: NewMemory(), fail: 3}
+	var transitions []string
+	b := NewBreaker(inner, BreakerConfig{
+		Threshold: 3,
+		Cooldown:  10 * time.Second,
+		OnStateChange: func(from, to BreakerState) {
+			transitions = append(transitions, fmt.Sprintf("%s>%s", from, to))
+		},
+		now: ck.now,
+	})
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.Get("res-a-b"); err == nil {
+			t.Fatalf("failure %d unexpectedly succeeded", i)
+		}
+	}
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("after threshold: state=%v trips=%d", b.State(), b.Trips())
+	}
+
+	// Open: fail fast, backend untouched.
+	before := inner.calls
+	if _, _, err := b.Get("res-a-b"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if inner.calls != before {
+		t.Error("open breaker touched the backend")
+	}
+
+	// Cooldown elapses: the probe goes through (backend healthy now) and
+	// the breaker closes.
+	ck.advance(11 * time.Second)
+	if _, _, err := b.Get("res-a-b"); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("after successful probe: state=%v", b.State())
+	}
+	want := "[closed>open open>half-open half-open>closed]"
+	if got := fmt.Sprint(transitions); got != want {
+		t.Errorf("transitions %v, want %v", got, want)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	ck := &clock{t: time.Unix(1000, 0)}
+	inner := &flaky{Store: NewMemory(), fail: 100}
+	b := NewBreaker(inner, BreakerConfig{Threshold: 1, Cooldown: time.Second, now: ck.now})
+	b.Get("res-a-b") // trips
+	ck.advance(2 * time.Second)
+	if _, _, err := b.Get("res-a-b"); err == nil {
+		t.Fatal("probe against a dead backend succeeded")
+	}
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("failed probe: state=%v trips=%d", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerIgnoresCallerFaults(t *testing.T) {
+	b := NewBreaker(NewMemory(), BreakerConfig{Threshold: 1})
+	for i := 0; i < 5; i++ {
+		if err := b.Put(&Entry{Key: "bad key!"}); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("invalid put returned %v", err)
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("caller faults tripped the breaker: state=%v", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	inner := &flaky{Store: NewMemory()}
+	b := NewBreaker(inner, BreakerConfig{Threshold: 2})
+	fail := func() {
+		inner.mu.Lock()
+		inner.fail = 1
+		inner.mu.Unlock()
+		b.Get("res-a-b")
+	}
+	fail()
+	if _, _, err := b.Get("res-a-b"); err != nil { // success resets the streak
+		t.Fatal(err)
+	}
+	fail()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	fail()
+	if b.State() != BreakerOpen {
+		t.Fatal("consecutive failures did not trip the breaker")
+	}
+}
+
+func TestFallbackAbsorbsPrimaryFailures(t *testing.T) {
+	primary := &flaky{Store: NewMemory(), fail: 100}
+	secondary := NewMemory()
+	var ops []string
+	f := NewFallback(primary, secondary, func(op string, err error) { ops = append(ops, op) })
+
+	e := &Entry{Key: "res-a-b", Patterns: 2}
+	if err := f.Put(e); err != nil {
+		t.Fatalf("put with dead primary: %v", err)
+	}
+	got, ok, err := f.Get("res-a-b")
+	if err != nil || !ok || got.Patterns != 2 {
+		t.Fatalf("get with dead primary: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if n, err := f.Len(); err != nil || n != 1 {
+		t.Fatalf("len with dead primary: n=%d err=%v", n, err)
+	}
+	if f.DegradedOps() != 3 || fmt.Sprint(ops) != "[put get len]" {
+		t.Errorf("degraded accounting: %d ops %v", f.DegradedOps(), ops)
+	}
+}
+
+func TestFallbackSecondLookOnPrimaryMiss(t *testing.T) {
+	// An entry written during a degraded window lives only in the
+	// secondary; after the primary recovers, a clean primary miss must
+	// still find it.
+	primary := NewMemory()
+	secondary := NewMemory()
+	secondary.Put(&Entry{Key: "res-a-b", Patterns: 7})
+	f := NewFallback(primary, secondary, nil)
+	got, ok, err := f.Get("res-a-b")
+	if err != nil || !ok || got.Patterns != 7 {
+		t.Fatalf("second look: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if f.DegradedOps() != 0 {
+		t.Error("healthy-primary miss counted as degradation")
+	}
+}
+
+func TestFallbackPrefersHealthyPrimary(t *testing.T) {
+	primary := NewMemory()
+	primary.Put(&Entry{Key: "res-a-b", Patterns: 1})
+	secondary := &flaky{Store: NewMemory(), fail: 100}
+	f := NewFallback(primary, secondary, nil)
+	if got, ok, err := f.Get("res-a-b"); err != nil || !ok || got.Patterns != 1 {
+		t.Fatalf("primary hit: ok=%v err=%v", ok, err)
+	}
+	if err := f.Put(&Entry{Key: "res-c-d"}); err != nil {
+		t.Fatalf("primary put: %v", err)
+	}
+	if f.DegradedOps() != 0 {
+		t.Error("healthy primary operations touched the secondary")
+	}
+}
+
+func TestDiskGetQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for name, contents := range map[string]string{
+		"res-torn-1.json":  `{"key":"res-torn-1","re`, // truncated mid-write
+		"res-empty-2.json": "",                        // zero-length (crash before any byte)
+		"res-alien-3.json": `{"key":"res-other"}`,     // parses, wrong identity
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		key := name[:len(name)-len(".json")]
+		if e, ok, err := d.Get(key); ok || err != nil {
+			t.Fatalf("corrupt entry %s served: e=%+v ok=%v err=%v", key, e, ok, err)
+		}
+	}
+	if q := d.Quarantined(); q != 3 {
+		t.Errorf("Quarantined() = %d, want 3", q)
+	}
+	if n, err := d.Len(); err != nil || n != 0 {
+		t.Errorf("Len after quarantine: %d %v", n, err)
+	}
+	// The key is writable again after its corrupt file moved aside.
+	if err := d.Put(&Entry{Key: "res-torn-1", Patterns: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := d.Get("res-torn-1"); !ok || got.Patterns != 4 {
+		t.Fatalf("rewrite after quarantine: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestDiskStartupScanRecoversCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(&Entry{Key: "res-good-1", Patterns: 9}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// A crash mid-Put: a stale temp file plus a torn final entry.
+	os.WriteFile(filepath.Join(dir, ".tmp-999-1"), []byte(`{"key":"res`), 0o644)
+	os.WriteFile(filepath.Join(dir, "res-torn-2.json"), []byte(`{"key":"res-torn-2","repo`), 0o644)
+
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatalf("reopening a damaged store must not fail: %v", err)
+	}
+	defer d2.Close()
+	if q := d2.Quarantined(); q != 1 {
+		t.Errorf("startup scan quarantined %d entries, want 1", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-999-1")); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the startup scan")
+	}
+	if got, ok, err := d2.Get("res-good-1"); err != nil || !ok || got.Patterns != 9 {
+		t.Fatalf("healthy entry lost in recovery: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := d2.Get("res-torn-2"); ok || err != nil {
+		t.Fatalf("torn entry served after recovery: ok=%v err=%v", ok, err)
+	}
+	if n, _ := d2.Len(); n != 1 {
+		t.Errorf("Len after recovery = %d, want 1", n)
+	}
+}
+
+func TestResilientChainEndToEnd(t *testing.T) {
+	// The full production stack: Fallback(Breaker(Retry(flaky-disk)), mem).
+	// A burst of failures longer than the retry budget trips the breaker;
+	// service continues through the secondary; after cooldown the probe
+	// closes the breaker and the primary serves again.
+	ck := &clock{t: time.Unix(1000, 0)}
+	inner := &flaky{Store: NewMemory(), fail: 100}
+	r := NewRetry(inner, RetryConfig{Attempts: 2, Sleep: noSleep})
+	b := NewBreaker(r, BreakerConfig{Threshold: 2, Cooldown: time.Second, now: ck.now})
+	f := NewFallback(b, NewMemory(), nil)
+
+	if err := f.Put(&Entry{Key: "res-a-b", Patterns: 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Put(&Entry{Key: "res-c-d"})
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker after failure burst: %v", b.State())
+	}
+	// Degraded serving: the spilled entry answers through the secondary.
+	if got, ok, err := f.Get("res-a-b"); err != nil || !ok || got.Patterns != 3 {
+		t.Fatalf("degraded get: ok=%v err=%v", ok, err)
+	}
+
+	// Backend heals; cooldown elapses; probe closes the breaker.
+	inner.mu.Lock()
+	inner.fail = 0
+	inner.mu.Unlock()
+	ck.advance(2 * time.Second)
+	if err := f.Put(&Entry{Key: "res-e-f"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker after recovery: %v", b.State())
+	}
+	// The degraded-window entry is still visible via the second look.
+	if _, ok, err := f.Get("res-a-b"); err != nil || !ok {
+		t.Fatalf("spilled entry lost after recovery: ok=%v err=%v", ok, err)
+	}
+}

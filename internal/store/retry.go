@@ -1,0 +1,186 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"discovery/internal/analysis"
+)
+
+// RetryConfig tunes the Retry decorator. The zero value is usable: every
+// field has a serving-appropriate default applied by NewRetry.
+type RetryConfig struct {
+	// Attempts is the total tries per operation, first included. Default 3.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay. Defaults 10ms / 500ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed seeds the deterministic jitter stream (splitmix64). Two Retry
+	// stores with the same seed and the same failure pattern sleep the
+	// same schedule — which is what lets the chaos tests assert timing-
+	// adjacent behaviour reproducibly. Default 1.
+	Seed uint64
+	// Ctx, when non-nil, aborts backoff sleeps when cancelled (daemon
+	// shutdown): the in-flight operation returns its last error instead
+	// of sleeping into a dead process.
+	Ctx context.Context
+	// Retryable decides which errors are worth another attempt. The
+	// default retries transient-typed errors (analysis.ErrTransient) and
+	// unknown I/O errors, and never retries ErrInvalid or ErrClosed.
+	Retryable func(error) bool
+	// OnRetry observes each retry (op is "get", "put", or "len") before
+	// its backoff sleep; the server wires it to a counter.
+	OnRetry func(op string, attempt int, err error)
+	// Sleep stands in for time.Sleep in tests. The function receives the
+	// jittered delay and the cancellation context (never nil).
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 10 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
+	if c.Retryable == nil {
+		c.Retryable = DefaultRetryable
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+	}
+	return c
+}
+
+// DefaultRetryable is the default retry predicate: permanent contract
+// failures (ErrInvalid) and terminal states (ErrClosed) are not retried;
+// everything else — transient-typed errors and unclassified I/O errors
+// alike — is.
+func DefaultRetryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrInvalid) && !errors.Is(err, ErrClosed)
+}
+
+// Retry decorates a Store with bounded retries under capped exponential
+// backoff with deterministic jitter. It makes the backend's transient
+// failures — a flaky disk, an injected fault, a latency blip that tripped
+// a deadline — invisible to callers as long as they pass within the
+// attempt budget; persistent failures surface after the last attempt,
+// typed as the backend returned them, for the circuit breaker above to
+// count.
+type Retry struct {
+	inner Store
+	cfg   RetryConfig
+
+	mu      sync.Mutex
+	rng     uint64 // splitmix64 state for jitter
+	retries int64
+}
+
+// NewRetry wraps inner in a Retry decorator.
+func NewRetry(inner Store, cfg RetryConfig) *Retry {
+	cfg = cfg.withDefaults()
+	return &Retry{inner: inner, cfg: cfg, rng: cfg.Seed}
+}
+
+// Retries returns the total retry attempts performed (not counting each
+// operation's first try).
+func (r *Retry) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// jitter returns a deterministic pseudo-random duration in [d/2, d): full
+// backoff magnitude, half of it jittered, so concurrent retriers spread
+// out instead of thundering in phase.
+func (r *Retry) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	half := uint64(d / 2)
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + z%half)
+}
+
+// do runs op with retries. attempt is 1-based; after a retryable failure
+// that is not the last attempt, it sleeps min(MaxDelay, BaseDelay<<n) with
+// jitter, aborting early (and returning the last error) if the config
+// context is cancelled.
+func (r *Retry) do(op string, fn func() error) error {
+	var err error
+	delay := r.cfg.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= r.cfg.Attempts || !r.cfg.Retryable(err) {
+			return err
+		}
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+		if r.cfg.OnRetry != nil {
+			r.cfg.OnRetry(op, attempt, err)
+		}
+		if cerr := r.cfg.Ctx.Err(); cerr != nil {
+			return analysis.Wrap(analysis.StageStore, analysis.Transient, err,
+				"retry abandoned: %v", cerr)
+		}
+		r.cfg.Sleep(r.cfg.Ctx, r.jitter(delay))
+		if delay *= 2; delay > r.cfg.MaxDelay {
+			delay = r.cfg.MaxDelay
+		}
+	}
+}
+
+// Get implements Store.
+func (r *Retry) Get(key string) (e *Entry, ok bool, err error) {
+	err = r.do("get", func() error {
+		var ierr error
+		e, ok, ierr = r.inner.Get(key)
+		return ierr
+	})
+	return e, ok, err
+}
+
+// Put implements Store.
+func (r *Retry) Put(e *Entry) error {
+	return r.do("put", func() error { return r.inner.Put(e) })
+}
+
+// Len implements Store.
+func (r *Retry) Len() (n int, err error) {
+	err = r.do("len", func() error {
+		var ierr error
+		n, ierr = r.inner.Len()
+		return ierr
+	})
+	return n, err
+}
+
+// Close implements Store, closing the wrapped backend (no retries: Close
+// is terminal either way).
+func (r *Retry) Close() error { return r.inner.Close() }

@@ -14,9 +14,23 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"regexp"
 	"time"
+)
+
+// Sentinel errors, matched with errors.Is. The split is load-bearing for
+// the resilience decorators: Retry only retries errors that are neither
+// ErrInvalid (the caller's fault, permanent) nor ErrClosed (the store is
+// gone for good), and Breaker counts only the retryable remainder as
+// backend failures.
+var (
+	// ErrInvalid marks a request the store rejected by contract (nil
+	// entry, malformed key). Retrying cannot help.
+	ErrInvalid = errors.New("store: invalid request")
+	// ErrClosed marks an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
 )
 
 // Entry is one stored record. Result entries carry a finished analysis
@@ -90,10 +104,10 @@ var keyPattern = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,200}$`)
 // validate rejects entries no backend may store.
 func validate(e *Entry) error {
 	if e == nil {
-		return fmt.Errorf("store: nil entry")
+		return fmt.Errorf("%w: nil entry", ErrInvalid)
 	}
 	if !keyPattern.MatchString(e.Key) {
-		return fmt.Errorf("store: invalid key %q", e.Key)
+		return fmt.Errorf("%w: key %q", ErrInvalid, e.Key)
 	}
 	return nil
 }
