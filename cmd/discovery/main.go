@@ -20,6 +20,7 @@ import (
 	"discovery/internal/modernize"
 	"discovery/internal/obs"
 	"discovery/internal/report"
+	"discovery/internal/sched"
 	"discovery/internal/starbench"
 	"discovery/internal/trace"
 )
@@ -30,6 +31,7 @@ func main() {
 		version    = flag.String("version", "pthreads", "benchmark version: seq or pthreads")
 		format     = flag.String("format", "summary", "output format: summary, text, html, or json")
 		workers    = flag.Int("workers", 0, "parallel matching workers (0 = all cores)")
+		schedWork  = flag.Int("sched-workers", 0, "run solves on an explicit shared scheduler pool of this size (0 = per-run pool sized by -workers)")
 		verify     = flag.Bool("verify", true, "re-verify matches against the unrelaxed definitions")
 		extensions = flag.Bool("extensions", false, "enable the future-work pattern kinds (stencil, pipeline, tree reduction)")
 		budget     = flag.Duration("budget", 0, "global wall-clock budget for pattern finding (0 = none)")
@@ -126,12 +128,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	res := core.Find(tr.Graph, core.Options{
+	opts := core.Options{
 		Workers: *workers, VerifyMatches: *verify, Extensions: *extensions,
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
 		DisableCache: *noCache, DisablePrescreen: *noPrescr,
 		SolverRestartSlice: *restarts, Obs: rec, ObsParent: analyzeSpan,
-	})
+	}
+	// -sched-workers exercises the daemon's configuration from the CLI: an
+	// explicit shared pool instead of the finder's private per-run one.
+	// With a single run the two are equivalent in output (that equivalence
+	// is tested); the flag exists to reproduce and profile the shared-pool
+	// code path outside the server.
+	if *schedWork > 0 {
+		pool := sched.NewPool(*schedWork, rec)
+		defer pool.Close()
+		opts.Scheduler = pool
+	}
+	res := core.Find(tr.Graph, opts)
 	if rec.Enabled() {
 		rec.EndSpan(analyzeSpan,
 			obs.Int("patterns", int64(len(res.Patterns))))

@@ -36,6 +36,7 @@ func main() {
 		defBudget  = flag.Duration("default-budget", 60*time.Second, "per-request budget when the request sets none")
 		maxBudget  = flag.Duration("max-budget", 5*time.Minute, "ceiling on requested budgets")
 		cacheGens  = flag.Int("cache-gens", 16, "coexisting ViewCache generations (distinct graph+options fingerprints)")
+		schedWork  = flag.Int("sched-workers", 0, "shared solve-scheduler pool size across all requests (0 = GOMAXPROCS)")
 
 		// Resilience: retry/breaker/fallback around the store, admission
 		// brownout, and the deterministic fault-injection seam.
@@ -74,6 +75,7 @@ func main() {
 		DefaultBudget:    *defBudget,
 		MaxBudget:        *maxBudget,
 		CacheGenerations: *cacheGens,
+		SchedWorkers:     *schedWork,
 		Store:            st,
 		Resilience: server.ResilienceConfig{
 			Disable:          *noResilience,

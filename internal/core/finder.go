@@ -12,6 +12,7 @@ import (
 	"discovery/internal/ddg"
 	"discovery/internal/obs"
 	"discovery/internal/patterns"
+	"discovery/internal/sched"
 )
 
 // Options configures the pattern finder. The Disable* switches exist for
@@ -20,8 +21,25 @@ import (
 // the smallest benchmark, and (§6.1) that seven patterns need a second and
 // two a third iteration.
 type Options struct {
-	// Workers bounds the parallel matching fan-out; 0 means GOMAXPROCS.
+	// Workers bounds the run's parallel solve fan-out: the executor count
+	// its private scheduler pool provides when Scheduler is nil. Zero — the
+	// default — means GOMAXPROCS. Values above the process-wide budget
+	// (twice GOMAXPROCS, floor 4) are clamped to it: a run is one client of
+	// one machine, and a daemon serving many runs should share one pool via
+	// Scheduler instead of multiplying private workers. Ignored when
+	// Scheduler is set — the shared pool's size already is the process
+	// budget.
 	Workers int
+	// Scheduler, when non-nil, is the shared solve pool this run submits
+	// its parallel work to (see internal/sched): the daemon creates one
+	// sized pool at startup so N concurrent analyses share one set of
+	// workers instead of multiplying them, and a small warm run's tasks
+	// interleave with a large cold run's instead of queueing behind it.
+	// Nil — the default — gives the run a private pool for its duration,
+	// reproducing the old per-run parallelism. Scheduling never changes
+	// output, only execution order: results are delivered in deterministic
+	// owner order either way.
+	Scheduler *sched.Pool
 	// MaxIterations bounds the match/subtract/fuse fixpoint loop.
 	MaxIterations int
 	// VerifyMatches re-checks every match against the unrelaxed §4
@@ -114,10 +132,26 @@ type Options struct {
 }
 
 func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if budget := processWorkerBudget(); w > budget {
+		w = budget
+	}
+	return w
+}
+
+// processWorkerBudget is the ceiling on one run's private solve fan-out:
+// twice GOMAXPROCS (solve tasks block on more than CPU), floor 4 so tests
+// that force small fan-outs behave the same on single-CPU machines. A
+// caller copying an unvalidated Workers value into Options cannot
+// oversubscribe the process past this.
+func processWorkerBudget() int {
+	if n := 2 * runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
 }
 
 func (o Options) maxIterations() int {
@@ -335,6 +369,26 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 			obs.Int("resets", int64(snap.Resets)))
 	}
 
+	// The solve scheduler: every parallelizable unit of the run — a
+	// (sub-DDG × kind) match solve, a subtract or fuse candidate sweep, a
+	// pipeline pair solve — is submitted to this pool and waited out at
+	// each phase barrier. With a shared pool (Options.Scheduler) the run
+	// is one owner among many and a "sched" span records its share of the
+	// pool; a private pool reproduces the old per-run parallelism.
+	sc := newRunSched(ctx, opts)
+	if opts.Scheduler != nil && rec.Enabled() {
+		sp := rec.StartSpan("sched", root)
+		defer func() {
+			st := sc.pool.Stats()
+			rec.EndSpan(sp,
+				obs.Int("pool_workers", int64(st.Workers)),
+				obs.Int("pool_queued", int64(st.Queued)),
+				obs.Int("pool_steals", st.Steals),
+				obs.Int("pool_expired", st.Expired))
+		}()
+	}
+	defer sc.close()
+
 	// Phase: decompose (the decomposed sub-DDGs are compacted lazily when
 	// viewed, per sub-DDG provenance).
 	start = time.Now()
@@ -389,7 +443,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		start = time.Now()
 		var matched []*SubDDG
 		sp := rec.StartSpan("match", iterSpan, obs.Int("active", int64(len(active))))
-		ok := guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, rcache, rec, sp) })
+		ok := guard(res, "match", func() { matched = runMatchPhase(ctx, gs, active, opts, res, rcache, sc, rec, sp) })
 		endPhase(rec, sp, ok, obs.Int("matched", int64(len(matched))))
 		for _, s := range matched {
 			for _, p := range s.Matched {
@@ -414,27 +468,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		start = time.Now()
 		sp = rec.StartSpan("subtract", iterSpan)
 		ok = guard(res, "subtract", func() {
-			for _, g1 := range pool {
-				if len(g1.Matched) > 0 {
-					continue
-				}
-				if interrupted(ctx, res) {
-					break
-				}
-				for _, g2 := range matched {
-					if g1.Nodes.Disjoint(g2.Nodes) {
-						continue // the difference would be g1 unchanged
-					}
-					diff := g1.Nodes.Diff(g2.Nodes)
-					if diff.Len() == 0 || diff.Len() == g1.Nodes.Len() {
-						continue
-					}
-					s := &SubDDG{Nodes: diff, Loop: g1.Loop, Assoc: g1.Assoc}
-					if addPool(s) {
-						fresh = append(fresh, s)
-					}
-				}
-			}
+			fresh = append(fresh, subtractPhase(ctx, pool, matched, sc, res, addPool)...)
 		})
 		endPhase(rec, sp, ok, obs.Int("fresh", int64(len(fresh))))
 		res.Phases.Subtract += time.Since(start)
@@ -444,35 +478,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 		start = time.Now()
 		sp = rec.StartSpan("fuse", iterSpan)
 		ok = guard(res, "fuse", func() {
-			isNew := make(map[*SubDDG]bool, len(matched))
-			for _, s := range matched {
-				isNew[s] = true
-			}
-			for _, a := range pool {
-				if len(a.Matched) == 0 || !hasMapMatch(a) {
-					continue
-				}
-				if interrupted(ctx, res) {
-					break
-				}
-				for _, b := range pool {
-					if a == b || len(b.Matched) == 0 {
-						continue
-					}
-					// At least one of the pair must be a new match this
-					// iteration, otherwise the fusion already happened.
-					if !isNew[a] && !isNew[b] {
-						continue
-					}
-					if !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
-						continue
-					}
-					s := &SubDDG{Nodes: a.Nodes.Union(b.Nodes), FusedA: a, FusedB: b}
-					if addPool(s) {
-						fresh = append(fresh, s)
-					}
-				}
-			}
+			fresh = append(fresh, fusePhase(ctx, gs, pool, matched, sc, res, addPool)...)
 		})
 		endPhase(rec, sp, ok, obs.Int("fresh", int64(len(fresh))))
 		res.Phases.Fuse += time.Since(start)
@@ -487,7 +493,7 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	if opts.Extensions && !interrupted(ctx, res) {
 		start = time.Now()
 		sp := rec.StartSpan("pipelines", root, obs.Int("pool", int64(len(pool))))
-		ok := guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, rcache, rec, sp) })
+		ok := guard(res, "pipelines", func() { detectPipelines(ctx, gs, pool, opts, res, rcache, sc, rec, sp) })
 		endPhase(rec, sp, ok)
 		res.Phases.Match += time.Since(start)
 	}
@@ -599,10 +605,150 @@ func interrupted(ctx context.Context, res *Result) bool {
 	return false
 }
 
+// sweep fans the index range [0, n) out over the scheduler as chunked
+// tasks running body, and waits them out. Panics inside a chunk are
+// contained per chunk and recorded on res.Failures, matching the guard
+// semantics the sequential loops had; chunks claimed past the run's
+// deadline are dropped (their indices contribute nothing, and the
+// interrupted(ctx, res) the caller runs afterwards labels the result).
+// Runs on the phase goroutine; returns only after every chunk finished.
+func sweep(sc *runSched, res *Result, phase string, n int, body func(i int)) {
+	if n == 0 {
+		return
+	}
+	// Chunk count: enough slices for the executors to balance moderately
+	// uneven items without per-item task overhead on large pools.
+	chunks := sc.executors() * 4
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var mu sync.Mutex
+	var fails []*analysis.Error
+	for lo := 0; lo < n; lo += size {
+		lo, hi := lo, lo+size
+		if hi > n {
+			hi = n
+		}
+		sc.submit(classSolve, func(expired bool) {
+			if expired {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					ae := analysis.Recovered(analysis.StageMatch, r)
+					mu.Lock()
+					fails = append(fails, analysis.Wrap(ae.Stage, ae.Kind, ae,
+						"%s task failed", phase))
+					mu.Unlock()
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		})
+	}
+	sc.wait()
+	res.Failures = append(res.Failures, fails...)
+}
+
+// subtractPhase subtracts this iteration's matches from the unmatched
+// pool sub-DDGs. The candidate diffs are computed in parallel — each pool
+// index writes only its own slot — and folded into the pool sequentially
+// in pool order afterwards, so the addPool call sequence (dedup, pool
+// bound, fresh order) is exactly the sequential loop's whatever order the
+// tasks ran in.
+//
+// Subtraction exposes patterns hidden inside sub-DDGs that did not match
+// anything themselves (maps buried in complex loops); subtracting from
+// already-matched sub-DDGs only fragments their pattern into smaller
+// instances that merging would discard anyway, and does so
+// combinatorially, so matched sub-DDGs are skipped.
+func subtractPhase(ctx context.Context, pool, matched []*SubDDG, sc *runSched, res *Result, addPool func(*SubDDG) bool) []*SubDDG {
+	if len(matched) == 0 {
+		return nil
+	}
+	cands := make([][]*SubDDG, len(pool))
+	sweep(sc, res, "subtract", len(pool), func(i int) {
+		g1 := pool[i]
+		if len(g1.Matched) > 0 {
+			return
+		}
+		for _, g2 := range matched {
+			if g1.Nodes.Disjoint(g2.Nodes) {
+				continue // the difference would be g1 unchanged
+			}
+			diff := g1.Nodes.Diff(g2.Nodes)
+			if diff.Len() == 0 || diff.Len() == g1.Nodes.Len() {
+				continue
+			}
+			cands[i] = append(cands[i], &SubDDG{Nodes: diff, Loop: g1.Loop, Assoc: g1.Assoc})
+		}
+	})
+	interrupted(ctx, res)
+	var fresh []*SubDDG
+	for _, cs := range cands {
+		for _, s := range cs {
+			if addPool(s) {
+				fresh = append(fresh, s)
+			}
+		}
+	}
+	return fresh
+}
+
+// fusePhase fuses adjacent pool sub-DDGs with compatible matches (a map
+// flowing into any pattern). Same shape as subtractPhase: parallel
+// candidate computation over the pool snapshot, sequential fold in
+// (a, b) order. The snapshot is taken before any candidate is added, so
+// tasks never observe this phase's own additions — the sequential loop
+// behaved identically, since every added fusion has no matches yet and
+// both loops skip matchless sub-DDGs.
+func fusePhase(ctx context.Context, gs *ddg.Graph, pool, matched []*SubDDG, sc *runSched, res *Result, addPool func(*SubDDG) bool) []*SubDDG {
+	if len(matched) == 0 {
+		return nil
+	}
+	isNew := make(map[*SubDDG]bool, len(matched))
+	for _, s := range matched {
+		isNew[s] = true
+	}
+	cands := make([][]*SubDDG, len(pool))
+	sweep(sc, res, "fuse", len(pool), func(i int) {
+		a := pool[i]
+		if len(a.Matched) == 0 || !hasMapMatch(a) {
+			return
+		}
+		for _, b := range pool {
+			if a == b || len(b.Matched) == 0 {
+				continue
+			}
+			// At least one of the pair must be a new match this iteration,
+			// otherwise the fusion already happened.
+			if !isNew[a] && !isNew[b] {
+				continue
+			}
+			if !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
+				continue
+			}
+			cands[i] = append(cands[i], &SubDDG{Nodes: a.Nodes.Union(b.Nodes), FusedA: a, FusedB: b})
+		}
+	})
+	interrupted(ctx, res)
+	var fresh []*SubDDG
+	for _, cs := range cands {
+		for _, s := range cs {
+			if addPool(s) {
+				fresh = append(fresh, s)
+			}
+		}
+	}
+	return fresh
+}
+
 // detectPipelines looks for stage pairs among unmatched loop sub-DDGs: the
 // paper's patterns leave stateful stages unmatched, which is exactly where
 // pipelines hide (its excluded benchmarks bodytrack and h264dec).
-func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *runCache, rec obs.Recorder, span obs.SpanID) {
+func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Options, res *Result, cache *runCache, sc *runSched, rec obs.Recorder, span obs.SpanID) {
 	var stages []*SubDDG
 	for _, s := range pool {
 		if s.Loop != 0 && len(s.Matched) == 0 {
@@ -632,9 +778,30 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 	// res.SolverStats at the end (MatchPipeline itself runs no solver).
 	pb := &patterns.Budget{Obs: rec, Span: span}
 	defer func() { rollupStats(res, pb) }()
+
+	// The pass enumerates pairs sequentially — gate checks and cache
+	// lookups in deterministic (a, b) order, so the counters and the
+	// hit/miss pattern are exactly the sequential pass's — and fans only
+	// the cache misses out as scheduler tasks. Matches are folded in
+	// enumeration order after the barrier, so the reported list is
+	// identical whatever order the solves ran in. With a warm cache every
+	// pair resolves at enumeration and no task is submitted at all.
+	score := pb.Score() // pb carries no ctx: constant, safe to read once here
+	type pipeSolve struct {
+		p *patterns.Pattern
+	}
+	type pairJob struct {
+		a     *SubDDG
+		p     *patterns.Pattern // resolved at enumeration (cache hit)
+		solve *pipeSolve        // a miss's pending result, shared by duplicate hashes
+	}
+	var jobs []pairJob
+	pendingSolves := map[ddg.Hash128]*pipeSolve{}
+	var mu sync.Mutex
+	var fails []*analysis.Error
 	for _, a := range stages {
 		if interrupted(ctx, res) {
-			return
+			break
 		}
 		for _, b := range stages {
 			if a == b || !a.Nodes.Disjoint(b.Nodes) || !gs.FlowsInto(a.Nodes, b.Nodes) {
@@ -649,33 +816,131 @@ func detectPipelines(ctx context.Context, gs *ddg.Graph, pool []*SubDDG, opts Op
 			h.Hash(a.ViewHash(compact))
 			h.Hash(b.ViewHash(compact))
 			pair := h.Sum()
-			var p *patterns.Pattern
-			switch status, pat := cache.lookup(pair, patterns.KindPipeline, pb.Score()); status {
+			if ps := pendingSolves[pair]; ps != nil {
+				// An earlier pair this pass already owns this hash's solve.
+				// Sequentially its store landed before this lookup, so this
+				// is a cache hit on that solve's verdict — resolved at the
+				// fold, when the solve has run.
+				pb.RecordCacheHit(patterns.KindPipeline)
+				jobs = append(jobs, pairJob{a: a, solve: ps})
+				continue
+			}
+			switch status, pat := cache.lookup(pair, patterns.KindPipeline, score); status {
 			case cacheHit:
 				pb.RecordCacheHit(patterns.KindPipeline)
-				p = pat
+				jobs = append(jobs, pairJob{a: a, p: pat})
 			default:
 				if cache != nil {
 					pb.RecordCacheMiss(patterns.KindPipeline)
 				}
-				p = patterns.MatchPipeline(gs, a.CachedView(gs, compact), b.CachedView(gs, compact))
-				if p != nil && opts.VerifyMatches {
-					if err := patterns.Verify(gs, p); err != nil {
-						p = nil
+				ps := &pipeSolve{}
+				pendingSolves[pair] = ps
+				jobs = append(jobs, pairJob{a: a, solve: ps})
+				a, b := a, b
+				sc.submit(classSolve, func(expired bool) {
+					if expired {
+						return
 					}
-				}
-				cache.store(pair, patterns.KindPipeline, p, false, pb.Score())
+					defer func() {
+						if r := recover(); r != nil {
+							ae := analysis.Recovered(analysis.StageMatch, r)
+							mu.Lock()
+							fails = append(fails, analysis.Wrap(ae.Stage, ae.Kind, ae,
+								"pipelines task failed"))
+							mu.Unlock()
+						}
+					}()
+					p := patterns.MatchPipeline(gs, a.CachedView(gs, compact), b.CachedView(gs, compact))
+					if p != nil && opts.VerifyMatches {
+						if err := patterns.Verify(gs, p); err != nil {
+							p = nil
+						}
+					}
+					cache.store(pair, patterns.KindPipeline, p, false, score)
+					ps.p = p
+				})
 			}
-			if p != nil {
-				res.Matches = append(res.Matches,
-					Match{Pattern: p, Sub: a, Iteration: iter})
-			}
+		}
+	}
+	sc.wait()
+	res.Failures = append(res.Failures, fails...)
+	interrupted(ctx, res)
+	for _, j := range jobs {
+		p := j.p
+		if j.solve != nil {
+			p = j.solve.p
+		}
+		if p != nil {
+			res.Matches = append(res.Matches,
+				Match{Pattern: p, Sub: j.a, Iteration: iter})
 		}
 	}
 }
 
 // hashSeedPipelinePair tags ordered stage-pair hashes in the view cache.
 const hashSeedPipelinePair = 0x6b8d2f4a1c3e5077
+
+// Scheduler task classes. Decided-verdict match tasks resolve with one
+// cache lookup, so they jump the queue; everything else — solver runs and
+// the subtract/fuse/pipeline sweeps — shares one class and runs in
+// submission order. The classes matter across runs, not within one: a
+// shared pool serves every owner's class-0 backlog before anyone's
+// class-1 work.
+const (
+	classDecided = 0
+	classSolve   = 1
+)
+
+// runSched is one Find run's client handle on a solve scheduler: the
+// shared process pool when Options.Scheduler is set, else a pool private
+// to the run. The private pool holds workers()−1 goroutines; together
+// with the submitting goroutine — which executes its own tasks while it
+// waits (sched.Owner help-first waiting) — that reproduces the old
+// workers() per-run parallelism exactly.
+type runSched struct {
+	pool    *sched.Pool
+	owner   *sched.Owner
+	private bool
+	// deadline is the run's global budget as a per-task deadline, checked
+	// by the pool at claim time: once it passes, remaining tasks are
+	// dropped before any solver work runs (PR-2's budget, enforced at the
+	// steal point instead of inside each solve).
+	deadline time.Time
+}
+
+func newRunSched(ctx context.Context, opts Options) *runSched {
+	rs := &runSched{deadline: (&patterns.Budget{Ctx: ctx}).Deadline()}
+	if opts.Scheduler != nil {
+		rs.pool = opts.Scheduler
+	} else {
+		rs.pool = sched.NewPool(opts.workers()-1, nil)
+		rs.private = true
+	}
+	rs.owner = rs.pool.NewOwner(ctx)
+	return rs
+}
+
+// close releases the run's scheduler resources: the owner always, the
+// pool only when it is this run's private one.
+func (rs *runSched) close() {
+	rs.owner.Close()
+	if rs.private {
+		rs.pool.Close()
+	}
+}
+
+// executors is the parallel capacity this run sees; phase chunking sizes
+// its task batches with it.
+func (rs *runSched) executors() int { return rs.pool.Executors() }
+
+// submit queues one task under the run's deadline.
+func (rs *runSched) submit(class int, do func(expired bool)) {
+	rs.owner.Submit(sched.Task{Do: do, Class: class, Deadline: rs.deadline})
+}
+
+// wait blocks until every submitted task completed, helping the pool by
+// executing this run's own tasks meanwhile.
+func (rs *runSched) wait() { rs.owner.Wait() }
 
 // budgetFor builds a fresh solver budget carrying the run's bounds. Each
 // solve task gets its own so per-task "budget exceeded" outcomes stay
@@ -728,6 +993,7 @@ type subState struct {
 
 	pending  atomic.Int32
 	exceeded atomic.Bool // any task's budget was resource-limited
+	dropped  atomic.Bool // any task was dropped at claim time (deadline/cancel)
 
 	prepOnce sync.Once
 	skip     bool                // oversized-view gate verdict
@@ -751,9 +1017,12 @@ type matchTask struct {
 	class, nodes, subIdx int
 }
 
-// matchPhase carries the match scheduler's shared state: the sorted task
-// queue drained through an atomic cursor, and the per-worker accumulators
-// merged deterministically after the barrier.
+// matchPhase carries the match phase's shared state: the task list built
+// in priority order and submitted to the scheduler as one batch, and the
+// accumulators its tasks merge into from whatever executor ran them. The
+// counters are commutative and the budget merge is order-insensitive for
+// everything the default output reads, so any task-to-executor assignment
+// rolls up the same.
 type matchPhase struct {
 	ctx     context.Context
 	gs      *ddg.Graph
@@ -763,14 +1032,15 @@ type matchPhase struct {
 	span    obs.SpanID
 	compact bool
 
-	tasks  []matchTask
-	cursor atomic.Int64
+	tasks []matchTask
 
-	skips     []int
-	timedOut  []int
-	preChecks []int
-	budgets   []*patterns.Budget
-	fails     [][]*analysis.Error
+	skips     atomic.Int64
+	timedOut  atomic.Int64
+	preChecks atomic.Int64
+
+	mu     sync.Mutex
+	rollup patterns.Budget
+	fails  []*analysis.Error
 }
 
 // matchTaskHook, when non-nil, runs at the entry of every solve task with
@@ -780,13 +1050,15 @@ var matchTaskHook func(kind patterns.Kind)
 
 // runMatchPhase matches every active sub-DDG against the pattern
 // definitions and returns the sub-DDGs with at least one match. The unit
-// of parallel work is a (sub-DDG × kind) solve task, drained from a shared
-// priority queue — likely cache hits and small views first — so one
-// pathological kind occupies one worker, not a whole sub-DDG's worth of
-// others behind it. When ctx is done workers stop claiming tasks and the
-// unmatched remainder is reported via res.Interrupted rather than silently
-// dropped.
-func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *runCache, rec obs.Recorder, span obs.SpanID) []*SubDDG {
+// of parallel work is a (sub-DDG × kind) solve task, submitted to the
+// run's scheduler in priority order — likely cache hits first (their own
+// class), then small views before large — so one pathological kind
+// occupies one executor, not a whole sub-DDG's worth of others behind it.
+// Tasks claimed after the run's deadline or cancellation are dropped by
+// the scheduler before any solver work; their sub-DDGs stay unmatched and
+// the remainder is reported via res.Interrupted rather than silently
+// smaller.
+func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Options, res *Result, cache *runCache, sc *runSched, rec obs.Recorder, span obs.SpanID) []*SubDDG {
 	mp := &matchPhase{
 		ctx:     ctx,
 		gs:      gs,
@@ -797,42 +1069,19 @@ func runMatchPhase(ctx context.Context, gs *ddg.Graph, active []*SubDDG, opts Op
 		compact: !opts.DisableCompact,
 	}
 	mp.buildTasks(active)
-	workers := opts.workers()
-	if workers > len(mp.tasks) {
-		workers = len(mp.tasks)
+	for _, t := range mp.tasks {
+		t := t
+		sc.submit(t.class, func(expired bool) { mp.runTask(t, expired) })
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	mp.skips = make([]int, workers)
-	mp.timedOut = make([]int, workers)
-	mp.preChecks = make([]int, workers)
-	mp.budgets = make([]*patterns.Budget, workers)
-	mp.fails = make([][]*analysis.Error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		mp.budgets[w] = &patterns.Budget{}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			mp.worker(w)
-		}(w)
-	}
-	wg.Wait()
-	// Per-worker accumulators merge in worker order; the counters are
-	// commutative, so any task-to-worker assignment sums the same.
-	rollup := &patterns.Budget{}
-	for w := 0; w < workers; w++ {
-		res.SkippedViews += mp.skips[w]
-		res.TimedOutViews += mp.timedOut[w]
-		res.PrescreenChecks += mp.preChecks[w]
-		res.Failures = append(res.Failures, mp.fails[w]...)
-		rollup.Merge(mp.budgets[w])
-	}
+	sc.wait()
+	res.SkippedViews += int(mp.skips.Load())
+	res.TimedOutViews += int(mp.timedOut.Load())
+	res.PrescreenChecks += int(mp.preChecks.Load())
+	res.Failures = append(res.Failures, mp.fails...)
 	// Panics contained inside individual solver runs (cp.Stats.Err) ride
 	// along on the merged budgets.
-	res.Failures = append(res.Failures, rollup.Errs...)
-	rollupStats(res, rollup)
+	res.Failures = append(res.Failures, mp.rollup.Errs...)
+	rollupStats(res, &mp.rollup)
 	interrupted(ctx, res)
 
 	var matched []*SubDDG
@@ -871,9 +1120,9 @@ func (mp *matchPhase) buildTasks(active []*SubDDG) {
 		st.pending.Store(int32(len(slots)))
 		nodes := s.Nodes.Len()
 		for _, slot := range slots {
-			t := matchTask{st: st, slot: slot, class: 1, nodes: nodes, subIdx: i}
+			t := matchTask{st: st, slot: slot, class: classSolve, nodes: nodes, subIdx: i}
 			if slot >= 0 && mp.cache.decided(st.vhash, slotKind(slot)) {
-				t.class = 0
+				t.class = classDecided
 			}
 			mp.tasks = append(mp.tasks, t)
 		}
@@ -893,25 +1142,22 @@ func (mp *matchPhase) buildTasks(active []*SubDDG) {
 	})
 }
 
-// worker drains the task queue until it is empty or the context is done.
-func (mp *matchPhase) worker(w int) {
-	for {
-		i := mp.cursor.Add(1) - 1
-		if i >= int64(len(mp.tasks)) {
-			return
-		}
-		if mp.ctx.Err() != nil {
-			return
-		}
-		mp.runTask(w, mp.tasks[i])
-	}
-}
-
 // runTask executes one solve task: span, per-task budget, the recover
 // boundary, result slotting, and — when it was the sub-DDG's last pending
-// task — the sub-DDG's completion.
-func (mp *matchPhase) runTask(w int, t matchTask) {
+// task — the sub-DDG's completion. An expired task (claimed past the
+// run's deadline or cancellation) does only the completion bookkeeping:
+// it marks the sub-DDG dropped so finishSub leaves it unmatched — the
+// sequential finder never decided it, so reporting a partial slot
+// assembly would invent results a budget-free run could not produce.
+func (mp *matchPhase) runTask(t matchTask, expired bool) {
 	st := t.st
+	if expired {
+		st.dropped.Store(true)
+		if st.pending.Add(-1) == 0 {
+			mp.finishSub(st)
+		}
+		return
+	}
 	if matchTaskHook != nil && !st.fused {
 		matchTaskHook(slotKind(t.slot))
 	}
@@ -928,9 +1174,11 @@ func (mp *matchPhase) runTask(w int, t matchTask) {
 	}
 	b := budgetFor(mp.ctx, mp.opts, rec, span)
 	var p *patterns.Pattern
-	fail := mp.safeTask(w, st, t.slot, b, &p)
+	fail := mp.safeTask(st, t.slot, b, &p)
 	if fail != nil {
-		mp.fails[w] = append(mp.fails[w], fail)
+		mp.mu.Lock()
+		mp.fails = append(mp.fails, fail)
+		mp.mu.Unlock()
 	}
 	if !st.fused && t.slot >= 0 && p != nil {
 		st.slots[t.slot] = p
@@ -958,16 +1206,18 @@ func (mp *matchPhase) runTask(w int, t matchTask) {
 		}
 		rec.EndSpan(span, attrs...)
 	}
-	mp.budgets[w].Merge(b)
+	mp.mu.Lock()
+	mp.rollup.Merge(b)
+	mp.mu.Unlock()
 	if st.pending.Add(-1) == 0 {
-		mp.finishSub(w, st)
+		mp.finishSub(st)
 	}
 }
 
 // safeTask is the per-task recover boundary: a panic while solving one
 // (sub-DDG × kind) costs that task's result, not the phase — and not even
 // the sub-DDG's other kinds.
-func (mp *matchPhase) safeTask(w int, st *subState, slot int, b *patterns.Budget, out **patterns.Pattern) (fail *analysis.Error) {
+func (mp *matchPhase) safeTask(st *subState, slot int, b *patterns.Budget, out **patterns.Pattern) (fail *analysis.Error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ae := analysis.Recovered(analysis.StageMatch, r)
@@ -980,7 +1230,7 @@ func (mp *matchPhase) safeTask(w int, st *subState, slot int, b *patterns.Budget
 		st.fusedFound = mp.matchFused(st.s)
 		return nil
 	}
-	mp.prep(w, st)
+	mp.prep(st)
 	if st.skip {
 		return nil
 	}
@@ -990,7 +1240,7 @@ func (mp *matchPhase) safeTask(w int, st *subState, slot int, b *patterns.Budget
 
 // prep runs the sub-DDG's once-per-sub work on the first task to arrive:
 // the oversized-view gate and the structural prescreen census.
-func (mp *matchPhase) prep(w int, st *subState) {
+func (mp *matchPhase) prep(st *subState) {
 	st.prepOnce.Do(func() {
 		max := mp.opts.maxViewGroups()
 		// Groups never outnumber nodes, so only a view bigger than the gate
@@ -1015,7 +1265,7 @@ func (mp *matchPhase) prep(w int, st *subState) {
 			} else {
 				st.pre = patterns.PrescreenSub(mp.gs, st.s.Nodes, st.s.viewLoop(mp.compact))
 			}
-			mp.preChecks[w]++
+			mp.preChecks.Add(1)
 		}
 	})
 }
@@ -1101,22 +1351,30 @@ func (mp *matchPhase) runMatcher(st *subState, kind patterns.Kind, b *patterns.B
 // finishSub runs when a sub-DDG's last task completes: the tree-reduction
 // follow-up where it applies, the deterministic assembly of s.Matched in
 // slot order, and the once-per-sub skip/timeout accounting.
-func (mp *matchPhase) finishSub(w int, st *subState) {
+func (mp *matchPhase) finishSub(st *subState) {
+	if st.dropped.Load() {
+		// A task of this sub-DDG was dropped at claim time: its slots are
+		// incomplete, and assembling a partial Matched would report a
+		// sub-DDG the unbounded finder never decided. Leave it unmatched —
+		// res.Interrupted labels the run, exactly like the old workers that
+		// stopped claiming and left the sub-DDG's completion never firing.
+		return
+	}
 	if st.fused {
 		st.s.Matched = st.fusedFound
 		return
 	}
 	if st.skip {
-		mp.skips[w]++
+		mp.skips.Add(1)
 		return
 	}
 	if st.s.Assoc && mp.opts.Extensions &&
 		st.slots[slotLinear] == nil && st.slots[slotTiled] == nil {
 		// The combining-tree generalization, only where the paper's
-		// specific variants did not apply. Runs as an inline task on the
-		// completing worker: pending is already zero, so this nested
-		// runTask cannot re-trigger finishSub.
-		mp.runTask(w, matchTask{st: st, slot: slotTree})
+		// specific variants did not apply. Runs inline on the completing
+		// executor: pending is already zero, so this nested runTask cannot
+		// re-trigger finishSub.
+		mp.runTask(matchTask{st: st, slot: slotTree}, false)
 	}
 	var found []*patterns.Pattern
 	for _, p := range st.slots {
@@ -1126,7 +1384,7 @@ func (mp *matchPhase) finishSub(w int, st *subState) {
 	}
 	st.s.Matched = found
 	if st.exceeded.Load() {
-		mp.timedOut[w]++
+		mp.timedOut.Add(1)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"discovery/internal/ddg"
 	"discovery/internal/mir"
@@ -30,9 +31,10 @@ type SubDDG struct {
 	// Matched patterns on this sub-DDG, filled by the match phase.
 	Matched []*patterns.Pattern
 
-	key   ddg.Hash128
-	vhash ddg.Hash128
-	view  *patterns.View
+	key      ddg.Hash128
+	vhash    ddg.Hash128
+	viewOnce sync.Once
+	view     *patterns.View
 }
 
 // Domain tags for the finder's hash keys (see ddg.NewHasher).
@@ -123,13 +125,13 @@ func (s *SubDDG) ViewHash(compact bool) ddg.Hash128 {
 
 // CachedView is View with the result memoized on the sub-DDG, so the match
 // phase and the pipeline pass share one lazily-built view per sub-DDG
-// instead of rebuilding it at each use. Not synchronized: each sub-DDG is
-// claimed by exactly one matching worker, and the pipeline pass runs after
-// the workers' barrier.
+// instead of rebuilding it at each use. Once-guarded: the pipeline pass
+// runs its pair solves as concurrent scheduler tasks, and one stage can
+// appear in several pairs, so two tasks may reach for the same sub-DDG's
+// view at once (the match phase additionally serializes through
+// matchPhase.viewOf, which also funnels into this memo).
 func (s *SubDDG) CachedView(g ddg.GraphView, compact bool) *patterns.View {
-	if s.view == nil {
-		s.view = s.View(g, compact)
-	}
+	s.viewOnce.Do(func() { s.view = s.View(g, compact) })
 	return s.view
 }
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"discovery/internal/core"
+	"discovery/internal/sched"
 	"discovery/internal/starbench"
 	"discovery/internal/stats"
 	"discovery/internal/trace"
@@ -51,6 +53,36 @@ type FindBenchRow struct {
 	PrescreenSkips  int `json:"prescreen_skips"`
 }
 
+// SchedScalingRow is one point of the sched_scaling sweep: the cold
+// fixpoint on a shared scheduler pool, with GOMAXPROCS pinned so the row
+// reflects that core count rather than the host's.
+type SchedScalingRow struct {
+	Bench    string  `json:"bench"`
+	Procs    int     `json:"gomaxprocs"`
+	Workers  int     `json:"pool_workers"`
+	MedianNS int64   `json:"median_ns"`
+	RobustCV float64 `json:"robust_cv"`
+	RepsNS   []int64 `json:"reps_ns"`
+	// Steals is the pool's lifetime steal count after the measured reps —
+	// nonzero proves tasks actually migrated between the run's owner and
+	// the pool workers.
+	Steals  int64  `json:"steals"`
+	Warning string `json:"warning,omitempty"`
+}
+
+// SchedThroughputRow is one arm of the concurrent-analyses comparison:
+// wall time for `concurrency` simultaneous cold Finds, either each on its
+// own private per-run pool (the pre-scheduler behavior) or all as owners
+// of one shared pool sized to GOMAXPROCS (the daemon's configuration).
+type SchedThroughputRow struct {
+	Mode        string  `json:"mode"` // "per-run-pools" or "shared-pool"
+	Concurrency int     `json:"concurrency"`
+	MedianNS    int64   `json:"median_ns"`
+	RobustCV    float64 `json:"robust_cv"`
+	RepsNS      []int64 `json:"reps_ns"`
+	Warning     string  `json:"warning,omitempty"`
+}
+
 // FindBenchResult is the full benchmark outcome.
 type FindBenchResult struct {
 	GOMAXPROCS  int            `json:"gomaxprocs"`
@@ -62,6 +94,16 @@ type FindBenchResult struct {
 	// MaxWarmSpeedup is the best cold/warm median ratio across the
 	// workloads (the acceptance criterion: >= 1.5 on at least one).
 	MaxWarmSpeedup float64 `json:"max_warm_speedup"`
+	// SchedScaling is the shared-pool cold fixpoint at GOMAXPROCS 1/2/4.
+	// Points past the host's physical core count (NumCPU) still run —
+	// they then measure oversubscription, and flat or worse medians there
+	// are the honest reading, not a defect.
+	SchedScaling []SchedScalingRow `json:"sched_scaling"`
+	// SchedThroughput compares per-run pools against one shared pool under
+	// concurrent analyses; SchedThroughputSpeedup is the per-run/shared
+	// median ratio (> 1 means the shared pool finished the batch sooner).
+	SchedThroughput        []SchedThroughputRow `json:"sched_throughput"`
+	SchedThroughputSpeedup float64              `json:"sched_throughput_speedup"`
 }
 
 // findBenchWorkloads are the measured benchmarks: the three pattern-dense
@@ -150,7 +192,142 @@ func RunFindBench(reps int) (*FindBenchResult, error) {
 			}
 		}
 	}
+	if err := runSchedScaling(out, reps); err != nil {
+		return nil, err
+	}
+	if err := runSchedThroughput(out, reps); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// schedScalingBench is the sched_scaling subject: the most pattern-dense
+// of the measured workloads, so solver tasks dominate and pool behavior is
+// what the sweep actually sees.
+const schedScalingBench = "streamcluster"
+
+// runSchedScaling measures the cold fixpoint on a shared scheduler pool
+// with GOMAXPROCS pinned to 1, 2, and 4, restoring the ambient value
+// afterwards. Each point gets its own pool sized to the pinned proc count,
+// exactly how the daemon sizes its default pool.
+func runSchedScaling(out *FindBenchResult, reps int) error {
+	b := starbench.ByName(schedScalingBench)
+	built := b.Build(starbench.Pthreads, b.Analysis)
+	tr, err := trace.Run(built.Prog)
+	if err != nil {
+		return fmt.Errorf("sched_scaling: tracing failed: %w", err)
+	}
+	ambient := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(ambient)
+	var basePatterns int
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		pool := sched.NewPool(procs, nil)
+		opts := Opts()
+		opts.Scheduler = pool
+		var res *core.Result
+		core.Find(tr.Graph, opts) // unmeasured warmup rep
+		runtime.GC()
+		m := stats.Measure(reps, func() {
+			res = core.Find(tr.Graph, opts)
+		})
+		st := pool.Stats()
+		pool.Close()
+		if len(res.Failures) > 0 {
+			return fmt.Errorf("sched_scaling procs=%d: degraded run: %v", procs, res.Failures[0])
+		}
+		if basePatterns == 0 {
+			basePatterns = len(res.Patterns)
+		} else if len(res.Patterns) != basePatterns {
+			return fmt.Errorf("sched_scaling procs=%d: %d patterns, want %d",
+				procs, len(res.Patterns), basePatterns)
+		}
+		row := SchedScalingRow{
+			Bench:    schedScalingBench,
+			Procs:    procs,
+			Workers:  pool.Workers(),
+			MedianNS: int64(m.Median),
+			RobustCV: m.RobustCV,
+			Steals:   st.Steals,
+		}
+		for _, d := range m.Samples {
+			row.RepsNS = append(row.RepsNS, int64(d))
+		}
+		if !m.Stable() {
+			row.Warning = fmt.Sprintf("high variance: robust CV %.1f%% exceeds the 10%% stability bound", m.RobustCV*100)
+		}
+		out.SchedScaling = append(out.SchedScaling, row)
+	}
+	return nil
+}
+
+// schedConcurrency is the concurrent-analyses batch width: the daemon's
+// scenario of several requests in flight at once.
+const schedConcurrency = 4
+
+// runSchedThroughput times `schedConcurrency` simultaneous cold Finds —
+// one per measured workload, cycling — under the two pool regimes. The
+// per-run arm is the pre-scheduler behavior (each run spawns its own
+// workers, multiplying goroutines by concurrency); the shared arm is the
+// daemon's (one pool, concurrency-many owners).
+func runSchedThroughput(out *FindBenchResult, reps int) error {
+	type subject struct {
+		name  string
+		graph *trace.Result
+	}
+	var subjects []subject
+	for i := 0; i < schedConcurrency; i++ {
+		name := findBenchWorkloads[i%len(findBenchWorkloads)]
+		b := starbench.ByName(name)
+		built := b.Build(starbench.Pthreads, b.Analysis)
+		tr, err := trace.Run(built.Prog)
+		if err != nil {
+			return fmt.Errorf("sched_throughput: tracing %s: %w", name, err)
+		}
+		subjects = append(subjects, subject{name: name, graph: tr})
+	}
+	medians := map[string]time.Duration{}
+	for _, mode := range []string{"per-run-pools", "shared-pool"} {
+		var pool *sched.Pool
+		if mode == "shared-pool" {
+			pool = sched.NewPool(runtime.GOMAXPROCS(0), nil)
+			defer pool.Close()
+		}
+		batch := func() {
+			var wg sync.WaitGroup
+			for _, sub := range subjects {
+				wg.Add(1)
+				go func(sub subject) {
+					defer wg.Done()
+					opts := Opts()
+					opts.Scheduler = pool // nil in the per-run arm
+					core.Find(sub.graph.Graph, opts)
+				}(sub)
+			}
+			wg.Wait()
+		}
+		batch() // unmeasured warmup rep
+		runtime.GC()
+		m := stats.Measure(reps, batch)
+		row := SchedThroughputRow{
+			Mode:        mode,
+			Concurrency: schedConcurrency,
+			MedianNS:    int64(m.Median),
+			RobustCV:    m.RobustCV,
+		}
+		for _, d := range m.Samples {
+			row.RepsNS = append(row.RepsNS, int64(d))
+		}
+		if !m.Stable() {
+			row.Warning = fmt.Sprintf("high variance: robust CV %.1f%% exceeds the 10%% stability bound", m.RobustCV*100)
+		}
+		out.SchedThroughput = append(out.SchedThroughput, row)
+		medians[mode] = m.Median
+	}
+	if shared := medians["shared-pool"]; shared > 0 {
+		out.SchedThroughputSpeedup = float64(medians["per-run-pools"]) / float64(shared)
+	}
+	return nil
 }
 
 // JSON renders the result for BENCH_find.json.
@@ -180,5 +357,30 @@ func (r *FindBenchResult) Text() string {
 		}
 	}
 	fmt.Fprintf(&sb, "best warm speedup: %.2fx\n", r.MaxWarmSpeedup)
+	if len(r.SchedScaling) > 0 {
+		fmt.Fprintf(&sb, "\nShared-pool cold fixpoint vs GOMAXPROCS (%s, NumCPU=%d):\n",
+			schedScalingBench, runtime.NumCPU())
+		for _, row := range r.SchedScaling {
+			fmt.Fprintf(&sb, "  procs=%d workers=%d median=%v rcv=%.1f%% steals=%d",
+				row.Procs, row.Workers, time.Duration(row.MedianNS), row.RobustCV*100, row.Steals)
+			if row.Warning != "" {
+				sb.WriteString("  ! " + row.Warning)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if len(r.SchedThroughput) > 0 {
+		fmt.Fprintf(&sb, "\n%d concurrent cold analyses, per-run pools vs one shared pool:\n",
+			schedConcurrency)
+		for _, row := range r.SchedThroughput {
+			fmt.Fprintf(&sb, "  %-14s median=%v rcv=%.1f%%", row.Mode,
+				time.Duration(row.MedianNS), row.RobustCV*100)
+			if row.Warning != "" {
+				sb.WriteString("  ! " + row.Warning)
+			}
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "shared-pool throughput speedup: %.2fx\n", r.SchedThroughputSpeedup)
+	}
 	return sb.String()
 }

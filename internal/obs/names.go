@@ -51,4 +51,13 @@ const (
 	MetricServerBreakerState  = "discovery_server_store_breaker_state" // gauge: 0 closed, 1 half-open, 2 open
 	MetricServerBrownout      = "discovery_server_brownout_clamped_total"
 	MetricServerPanics        = "discovery_server_panics_total" // worker-boundary recoveries
+
+	// Shared solve scheduler (internal/sched). One pool serves every
+	// concurrent run, so these are process-level series, not per-request.
+	MetricSchedWorkers     = "discovery_sched_workers"       // gauge: pool goroutines
+	MetricSchedQueueDepth  = "discovery_sched_queue_depth"   // gauge: submitted, unclaimed tasks
+	MetricSchedTasks       = "discovery_sched_tasks_total"   // counter: tasks completed
+	MetricSchedSteals      = "discovery_sched_steals_total"  // counter: worker switched owners
+	MetricSchedExpired     = "discovery_sched_expired_total" // counter: dropped at claim time
+	MetricSchedTaskSeconds = "discovery_sched_task_seconds"  // histogram: executed-task latency
 )

@@ -28,6 +28,12 @@ func TestCanonicalMetricNames(t *testing.T) {
 		"MetricCacheEntries":     MetricCacheEntries,
 		"MetricIterations":       MetricIterations,
 		"MetricPatterns":         MetricPatterns,
+		"MetricSchedWorkers":     MetricSchedWorkers,
+		"MetricSchedQueueDepth":  MetricSchedQueueDepth,
+		"MetricSchedTasks":       MetricSchedTasks,
+		"MetricSchedSteals":      MetricSchedSteals,
+		"MetricSchedExpired":     MetricSchedExpired,
+		"MetricSchedTaskSeconds": MetricSchedTaskSeconds,
 	}
 	canonical := map[string]string{
 		"MetricSolveSeconds":     "discovery_solve_seconds",
@@ -50,6 +56,12 @@ func TestCanonicalMetricNames(t *testing.T) {
 		"MetricCacheEntries":     "discovery_cache_entries",
 		"MetricIterations":       "discovery_find_iterations",
 		"MetricPatterns":         "discovery_patterns_total",
+		"MetricSchedWorkers":     "discovery_sched_workers",
+		"MetricSchedQueueDepth":  "discovery_sched_queue_depth",
+		"MetricSchedTasks":       "discovery_sched_tasks_total",
+		"MetricSchedSteals":      "discovery_sched_steals_total",
+		"MetricSchedExpired":     "discovery_sched_expired_total",
+		"MetricSchedTaskSeconds": "discovery_sched_task_seconds",
 	}
 	seen := map[string]string{}
 	for sym, got := range want {

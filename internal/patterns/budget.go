@@ -231,6 +231,21 @@ func (b *Budget) Score() BudgetScore {
 	return s
 }
 
+// Deadline translates the budget's context deadline into a scheduler
+// task deadline: the instant past which a not-yet-started solve under
+// this budget is pointless (arm would clamp its timeout to nothing), so
+// the scheduler can drop the task at claim time instead of running it.
+// The zero time means no deadline. Valid on a nil budget.
+func (b *Budget) Deadline() time.Time {
+	if b == nil || b.Ctx == nil {
+		return time.Time{}
+	}
+	if d, ok := b.Ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}
+
 // MarkExceeded records a resource-limited outcome without a solver run —
 // used when the view cache suppresses a solve whose previous attempt was
 // undecided, so the caller still observes "undecided within budget" rather

@@ -344,6 +344,11 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 	if !opts.DisableCache {
 		opts.Cache = s.cache
 	}
+	// Every request solves on the one shared pool: total solver
+	// parallelism stays SchedWorkers regardless of how many analyses are
+	// in flight, and a small request's class-0 tasks can be claimed ahead
+	// of a large neighbor's backlog instead of queueing behind it.
+	opts.Scheduler = s.pool
 	opts.Obs, opts.ObsParent = rec, root
 	res := core.FindCtx(ctx, tr.Graph, opts)
 	rec.EndSpan(root, obs.Int("patterns", int64(len(res.Patterns))))

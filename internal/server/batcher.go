@@ -39,8 +39,12 @@ func (s *Server) submit(ctx context.Context, req *Request) (*Response, *httpErro
 		// The bottom rung of the degradation ladder: brownout already
 		// clamped budgets on the way here, so a full queue means the
 		// daemon is saturated even at reduced per-request cost. Tell the
-		// client when to come back instead of letting it hammer.
-		return nil, &httpError{code: 503, msg: "queue full, retry later", retryAfter: 1}
+		// client when to come back instead of letting it hammer — and
+		// scale the backoff by the solve pool's backlog, the best
+		// forward-looking signal of how long saturation will last (the
+		// admission queue alone says nothing about how much work each
+		// admitted request still holds).
+		return nil, &httpError{code: 503, msg: "queue full, retry later", retryAfter: s.retryAfter()}
 	}
 	select {
 	case d := <-j.done:
@@ -50,6 +54,29 @@ func (s *Server) submit(ctx context.Context, req *Request) (*Response, *httpErro
 		// buffered done channel never blocks it) and its result still
 		// warms the cache and the store for the retry that follows.
 		return nil, &httpError{code: 499, msg: "client closed request"}
+	}
+}
+
+// retryAfter maps the shared solve pool's queued-task backlog onto a
+// Retry-After horizon: 1s when the pool is keeping up, up to 8s when
+// tasks are stacked deep behind every worker.
+func (s *Server) retryAfter() int {
+	st := s.pool.Stats()
+	perWorker := 0
+	if st.Workers > 0 {
+		perWorker = st.Queued / st.Workers
+	} else {
+		perWorker = st.Queued
+	}
+	switch {
+	case perWorker >= 64:
+		return 8
+	case perWorker >= 16:
+		return 4
+	case perWorker >= 4:
+		return 2
+	default:
+		return 1
 	}
 }
 

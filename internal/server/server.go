@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"discovery/internal/core"
 	"discovery/internal/obs"
+	"discovery/internal/sched"
 	"discovery/internal/starbench"
 	"discovery/internal/store"
 )
@@ -57,6 +59,12 @@ type Config struct {
 	// fingerprints (see core.NewViewCacheSized). Default 16 — roomy
 	// enough for the whole registry at default options.
 	CacheGenerations int
+	// SchedWorkers is the goroutine count of the shared solve-scheduler
+	// pool (internal/sched) every admitted analysis submits its solver
+	// tasks to. One pool serves all MaxInFlight workers, so total solve
+	// parallelism is bounded process-wide instead of multiplying per
+	// request. Default GOMAXPROCS.
+	SchedWorkers int
 	// Store persists results across requests (nil disables memoization;
 	// the ViewCache still warms).
 	Store store.Store
@@ -89,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheGenerations <= 0 {
 		c.CacheGenerations = 16
 	}
+	if c.SchedWorkers <= 0 {
+		c.SchedWorkers = runtime.GOMAXPROCS(0)
+	}
 	c.Brownout = c.Brownout.withDefaults()
 	return c
 }
@@ -100,6 +111,7 @@ type Server struct {
 	cache *core.ViewCache
 	st    store.Store // nil = no store; else the resilient stack (or raw when disabled)
 	reg   *obs.Registry
+	pool  *sched.Pool // shared solve scheduler: one pool across all requests
 
 	// breaker and fallback are handles into the resilient store stack
 	// (nil when Resilience.Disable or no store): breaker state feeds
@@ -134,6 +146,10 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	// The pool's recorder tees metrics only (no spans) into the daemon
+	// registry, so pool gauges and counters surface in /metrics without
+	// polluting any request's phase tree.
+	s.pool = sched.NewPool(cfg.SchedWorkers, &teeRecorder{spans: obs.Nop, reg: s.reg})
 	if cfg.Store != nil && !cfg.Resilience.Disable {
 		s.breaker, s.fallback = s.buildResilientStore(cfg.Store)
 		s.st = s.fallback
@@ -163,6 +179,8 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.queue)
 		s.wg.Wait()
+		// Workers drained, so no run holds a pool owner anymore.
+		s.pool.Close()
 	})
 }
 
@@ -217,11 +235,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	occupancy := float64(len(s.queue)) / float64(cap(s.queue))
 	brownout := s.cfg.Brownout.factor(occupancy) < 1
 	status := "ok"
+	sst := s.pool.Stats()
 	out := map[string]any{
 		"queue":           len(s.queue),
 		"in_flight":       s.inflight.Load(),
 		"uptime_sec":      int64(time.Since(s.started).Seconds()),
 		"brownout_active": brownout,
+		"sched_workers":   sst.Workers,
+		"sched_queued":    sst.Queued,
 	}
 	if brownout {
 		status = "degraded"
@@ -251,6 +272,7 @@ type statsJSON struct {
 	QueueLen  int                `json:"queue_len"`
 	QueueCap  int                `json:"queue_cap"`
 	Workers   int                `json:"workers"`
+	Sched     schedJSON          `json:"sched"`
 	Cache     core.CacheSnapshot `json:"cache"`
 	StoreLen  int                `json:"store_len"`
 	StoreKind string             `json:"store_kind"`
@@ -259,6 +281,36 @@ type statsJSON struct {
 	BreakerTrips     int64  `json:"breaker_trips"`
 	StoreDegradedOps int64  `json:"store_degraded_ops"`
 	StoreQuarantined int    `json:"store_quarantined"`
+}
+
+// schedJSON is the /stats projection of the shared solve pool: capacity,
+// instantaneous load, and the lifetime counters that tell whether stealing
+// and deadline-dropping are actually happening in production.
+type schedJSON struct {
+	Workers   int   `json:"workers"`
+	Owners    int   `json:"owners"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Expired   int64 `json:"expired"`
+	Steals    int64 `json:"steals"`
+	Helped    int64 `json:"helped"`
+}
+
+func schedStats(p *sched.Pool) schedJSON {
+	st := p.Stats()
+	return schedJSON{
+		Workers:   st.Workers,
+		Owners:    st.Owners,
+		Queued:    st.Queued,
+		Running:   st.Running,
+		Submitted: st.Submitted,
+		Completed: st.Completed,
+		Expired:   st.Expired,
+		Steals:    st.Steals,
+		Helped:    st.Helped,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -271,6 +323,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueLen:  len(s.queue),
 		QueueCap:  cap(s.queue),
 		Workers:   s.cfg.MaxInFlight,
+		Sched:     schedStats(s.pool),
 		Cache:     s.cache.Snapshot(),
 		StoreKind: "disabled",
 	}

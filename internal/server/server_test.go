@@ -364,7 +364,8 @@ func TestEndpoints(t *testing.T) {
 		return sb.String()
 	}
 
-	if body := get("/healthz"); !strings.Contains(body, `"status": "ok"`) {
+	if body := get("/healthz"); !strings.Contains(body, `"status": "ok"`) ||
+		!strings.Contains(body, `"sched_workers"`) {
 		t.Errorf("healthz: %s", body)
 	}
 	var stats statsJSON
@@ -374,8 +375,17 @@ func TestEndpoints(t *testing.T) {
 	if stats.Served != 1 || stats.StoreLen != 2 || stats.Cache.Generations != 1 {
 		t.Errorf("stats after one analysis: %+v", stats)
 	}
+	// One analysis ran cold, so its solve tasks flowed through the shared
+	// pool: the sched block must show a sized, drained, non-idle pool.
+	if stats.Sched.Workers <= 0 || stats.Sched.Completed == 0 ||
+		stats.Sched.Completed != stats.Sched.Submitted ||
+		stats.Sched.Owners != 0 || stats.Sched.Queued != 0 {
+		t.Errorf("sched stats after one analysis: %+v", stats.Sched)
+	}
 	if body := get("/metrics"); !strings.Contains(body, "discovery_server_requests_total") ||
-		!strings.Contains(body, "discovery_solver_runs_total") {
+		!strings.Contains(body, "discovery_solver_runs_total") ||
+		!strings.Contains(body, "discovery_sched_workers") ||
+		!strings.Contains(body, "discovery_sched_tasks_total") {
 		t.Errorf("metrics missing families:\n%.500s", body)
 	}
 	if body := get("/benchmarks"); !strings.Contains(body, "md5") || !strings.Contains(body, "streamcluster") {

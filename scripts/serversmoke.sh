@@ -60,8 +60,20 @@ if [ "$(echo "$cold" | jq -c '.report')" != "$(echo "$warm" | jq -c '.report')" 
     exit 1
 fi
 
-curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q discovery_server_store_hits_total || {
+metrics=$(curl -sf "http://127.0.0.1:$PORT/metrics")
+echo "$metrics" | grep -q discovery_server_store_hits_total || {
     echo "serversmoke: /metrics missing the store-hit counter" >&2
+    exit 1
+}
+# The shared solve pool must be sized and visible: the cold run above
+# flowed its solver tasks through it, so the worker gauge and the task
+# counter are both present in the exposition.
+echo "$metrics" | grep -q discovery_sched_workers || {
+    echo "serversmoke: /metrics missing the scheduler worker-pool gauge" >&2
+    exit 1
+}
+echo "$metrics" | grep -q discovery_sched_tasks_total || {
+    echo "serversmoke: /metrics missing the scheduler task counter" >&2
     exit 1
 }
 
