@@ -8,11 +8,14 @@
 #   make cover   — coverage floors for internal/core and internal/obs
 #   make serversmoke — end-to-end daemon check: cold run, warm store hit
 #   make chaos   — fault-injection suite + chaos smoke against the binary
+#   make tracescale — out-of-core smoke: a trace 10× the bench input must
+#                  spill, page under the budget, and export the
+#                  discovery_ddg_pages_* metrics
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench findbench benchsmoke cover serversmoke chaos
+.PHONY: check build vet test race fuzz bench findbench benchsmoke cover serversmoke chaos tracescale
 
 check: build vet test race
 
@@ -26,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/sched/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/fault/...
+	$(GO) test -race ./internal/trace/... ./internal/ddg/... ./internal/vm/... ./internal/pagetab/... ./internal/core/... ./internal/sched/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/fault/...
 
 # Each target runs for FUZZTIME; Go's fuzzer accepts one -fuzz pattern per
 # package invocation, so the targets run in sequence.
@@ -36,6 +39,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/cp
 	$(GO) test -run '^$$' -fuzz '^FuzzFinalize$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzPrescreen$$' -fuzztime $(FUZZTIME) ./internal/patterns
+	$(GO) test -run '^$$' -fuzz '^FuzzPagedCSR$$' -fuzztime $(FUZZTIME) ./internal/ddg
 
 bench:
 	GOMAXPROCS=4 $(GO) run ./cmd/experiments -run bench -bench-reps 20 -bench-scale 32
@@ -73,15 +77,25 @@ chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/server/
 	sh scripts/chaossmoke.sh
 
+# The out-of-core smoke gate: trace md5 at 4× and 40× the stress input
+# under a 256 KiB arc-byte budget; the large trace must spill, fault its
+# way through a full adjacency sweep, keep peak resident bytes inside the
+# budget headroom, and export it all as discovery_ddg_pages_* metrics.
+tracescale:
+	$(GO) run ./cmd/experiments -run tracescale -tracescale-scales 4,40 -tracescale-budget 262144 -tracescale-smoke
+
 # Coverage floors. The thresholds sit a few points under the levels the
-# suite reaches at the time of writing (core 95%, obs 92%, sched 94%), so
-# real regressions fail while test-order jitter does not.
+# suite reaches at the time of writing (core 95%, obs 92%, sched 94%,
+# trace 93%, ddg 92%), so real regressions fail while test-order jitter
+# does not.
 cover:
 	@mkdir -p .cover
 	$(GO) test -coverprofile=.cover/core.out ./internal/core/
 	$(GO) test -coverprofile=.cover/obs.out ./internal/obs/
 	$(GO) test -coverprofile=.cover/sched.out ./internal/sched/
-	@for spec in core:90 obs:88 sched:90; do \
+	$(GO) test -coverprofile=.cover/trace.out ./internal/trace/
+	$(GO) test -coverprofile=.cover/ddg.out ./internal/ddg/
+	@for spec in core:90 obs:88 sched:90 trace:88 ddg:90; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) tool cover -func=.cover/$$pkg.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 		echo "internal/$$pkg coverage: $$pct% (floor $$floor%)"; \

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"discovery/internal/core"
+	"discovery/internal/ddg"
 	"discovery/internal/modernize"
 	"discovery/internal/obs"
 	"discovery/internal/report"
@@ -43,6 +44,9 @@ func main() {
 		prescrStat = flag.Bool("prescreen-stats", false, "print prescreen check/skip counts to stderr")
 		restarts   = flag.Int64("solver-restarts", 0, "Luby restart slice in solver steps, with nogood recording (0 = plain DFS)")
 		check      = flag.Bool("check", false, "verify DDG structural invariants after tracing and after simplification")
+		memBudget  = flag.Int64("trace-memory-budget", 0, "resident DDG arc-byte budget; larger graphs page through an unlinked spill file (0 = fully resident)")
+		spillDir   = flag.String("ddg-spill-dir", "", "directory for DDG spill files (default: the system temp dir)")
+		noCompact  = flag.Bool("no-online-compact", false, "disable online loop-iteration compaction in the trace buffers (escape hatch; views fall back to scope-chain walks)")
 		obsOn      = flag.Bool("obs", false, "record phase spans and metrics; print the phase tree to stderr")
 		obsOut     = flag.String("obs-out", "", "write the observability JSON document (spans + metrics) to this file (implies -obs)")
 		metrics    = flag.Bool("metrics", false, "print metrics in Prometheus text format to stderr (implies -obs)")
@@ -115,13 +119,26 @@ func main() {
 	}
 
 	built := b.Build(v, b.Analysis)
+	builder := trace.NewBuilder()
+	if *noCompact {
+		builder = trace.NewBuilderNoCompact()
+	}
 	start := time.Now()
-	tr, err := trace.RunObserved(built.Prog, rec, analyzeSpan)
+	tr, err := trace.RunObservedWith(builder, built.Prog, rec, analyzeSpan)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracing failed: %v\n", err)
 		os.Exit(1)
 	}
 	traceTime := time.Since(start)
+	// Spill before -check so the invariant pass exercises the paged CSR —
+	// the same read path the finder is about to use.
+	if *memBudget > 0 {
+		spillCfg := ddg.SpillConfig{Dir: *spillDir, Budget: *memBudget}
+		if _, err := tr.Graph.MaybeSpill(spillCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "spilling traced DDG failed (continuing in core): %v\n", err)
+		}
+		defer tr.Graph.CloseSpill()
+	}
 	if *check {
 		if err := tr.Graph.CheckInvariants(); err != nil {
 			fmt.Fprintf(os.Stderr, "traced DDG failed invariant checking: %v\n", err)
@@ -133,6 +150,7 @@ func main() {
 		Budget: *budget, SolverBudget: *solverBudg, SolverStepLimit: *solverStep,
 		DisableCache: *noCache, DisablePrescreen: *noPrescr,
 		SolverRestartSlice: *restarts, Obs: rec, ObsParent: analyzeSpan,
+		SpillBudget: *memBudget, SpillDir: *spillDir,
 	}
 	// -sched-workers exercises the daemon's configuration from the CLI: an
 	// explicit shared pool instead of the finder's private per-run one.
@@ -145,6 +163,7 @@ func main() {
 		opts.Scheduler = pool
 	}
 	res := core.Find(tr.Graph, opts)
+	defer res.Graph.CloseSpill()
 	if rec.Enabled() {
 		rec.EndSpan(analyzeSpan,
 			obs.Int("patterns", int64(len(res.Patterns))))

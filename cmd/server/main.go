@@ -37,6 +37,8 @@ func main() {
 		maxBudget  = flag.Duration("max-budget", 5*time.Minute, "ceiling on requested budgets")
 		cacheGens  = flag.Int("cache-gens", 16, "coexisting ViewCache generations (distinct graph+options fingerprints)")
 		schedWork  = flag.Int("sched-workers", 0, "shared solve-scheduler pool size across all requests (0 = GOMAXPROCS)")
+		memBudget  = flag.Int64("trace-memory-budget", 0, "per-request resident DDG arc-byte budget; larger graphs page through unlinked spill files (0 = fully resident)")
+		spillDir   = flag.String("ddg-spill-dir", "", "directory for DDG spill files (default: the system temp dir)")
 
 		// Resilience: retry/breaker/fallback around the store, admission
 		// brownout, and the deterministic fault-injection seam.
@@ -76,6 +78,8 @@ func main() {
 		MaxBudget:        *maxBudget,
 		CacheGenerations: *cacheGens,
 		SchedWorkers:     *schedWork,
+		SpillBudget:      *memBudget,
+		SpillDir:         *spillDir,
 		Store:            st,
 		Resilience: server.ResilienceConfig{
 			Disable:          *noResilience,

@@ -82,6 +82,20 @@ type Options struct {
 	// Off by default so Table 3 behaviour is the baseline.
 	Extensions bool
 
+	// SpillBudget, when positive, bounds the resident arc bytes of the
+	// graph the finder matches on: after simplification, a graph whose
+	// CSR arc arrays exceed the budget is spilled out of core
+	// (ddg.SpillArcs) and paged back through a resident set of at most
+	// this many bytes. Spilling never changes output — only where the
+	// adjacency bytes live — so it is not part of any cache fingerprint.
+	// 0 (the default) keeps every graph fully resident. The caller owns
+	// the returned Result.Graph's spill lifecycle (ddg.Graph.CloseSpill).
+	SpillBudget int64
+	// SpillDir is the directory for spill files; empty means the system
+	// temp directory. Files are unlinked at creation, so nothing survives
+	// a crash.
+	SpillDir string
+
 	// Obs receives this run's phase spans and metrics (see internal/obs):
 	// a "find" root span, one span per phase per iteration, one per
 	// matched sub-DDG, one per solver run, and the unified metric rollup
@@ -347,6 +361,21 @@ func FindCtx(ctx context.Context, g *ddg.Graph, opts Options) (res *Result) {
 	res.SimplifiedNodes = gs.NumNodes()
 	res.Phases.Simplify = time.Since(start)
 
+	// Phase: spill. The simplified graph is what every later phase
+	// traverses; when its arc arrays exceed the budget they move out of
+	// core here, before the first adjacency-heavy phase. A spill failure
+	// (temp dir unwritable, disk full) degrades to in-core matching —
+	// recorded, not fatal.
+	if opts.SpillBudget > 0 {
+		spilled, err := gs.MaybeSpill(ddg.SpillConfig{Dir: opts.SpillDir, Budget: opts.SpillBudget})
+		if err != nil {
+			res.Failures = append(res.Failures, analysis.Wrap(
+				analysis.StageMatch, analysis.Transient, err, "spilling simplified graph failed"))
+		} else if spilled && rec.Enabled() {
+			rec.Count(obs.MetricDDGSpills, 1)
+		}
+	}
+
 	// The view–verdict cache. A caller-supplied cache carries verdicts
 	// across runs — sequential or concurrent; otherwise a run-private one
 	// still serves the group-count gate and deduplicates any identical
@@ -540,6 +569,14 @@ func emitFindMetrics(rec obs.Recorder, res *Result, cache *ViewCache) {
 	rec.Gauge(obs.MetricPoolSize, float64(res.PoolSize))
 	rec.Gauge(obs.MetricPatterns, float64(len(res.Patterns)))
 	rec.Count(obs.MetricMatches, int64(len(res.Matches)))
+	if res.Graph != nil && res.Graph.Spilled() {
+		st := res.Graph.PageStats()
+		rec.Count(obs.MetricDDGPageFaults, st.Faults)
+		rec.Count(obs.MetricDDGPageEvictions, st.Evictions)
+		rec.Gauge(obs.MetricDDGPagesSpilledBytes, float64(st.SpilledBytes))
+		rec.Gauge(obs.MetricDDGPagesResidentBytes, float64(st.ResidentBytes))
+		rec.Gauge(obs.MetricDDGPagesPeakResidentBytes, float64(st.PeakResidentBytes))
+	}
 	if cache != nil {
 		rec.Gauge(obs.MetricCacheEntries, float64(cache.Snapshot().Entries))
 	}

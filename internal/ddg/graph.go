@@ -54,6 +54,16 @@ type Graph struct {
 
 	// fpMemo caches Fingerprint (hash.go); immutable once computed.
 	fpMemo fingerprintMemo
+
+	// iterIdx holds the online-compaction indexes the tracer's
+	// finalization installs (iterindex.go); nil for graphs built outside
+	// the tracer. Derived metadata: it never participates in Fingerprint.
+	iterIdx map[mir.LoopID]*LoopIterIndex
+
+	// pager, when non-nil, backs the frozen CSR arc arrays out of core
+	// (paged.go): succArr/predArr are released and Succs/Preds read
+	// through a bounded resident page set instead.
+	pager *arcPager
 }
 
 // dedupeThreshold is the out-degree beyond which AddArc switches from a
@@ -179,6 +189,9 @@ func (g *Graph) ScopeOf(u NodeID) *Scope { return g.scope[u] }
 // must not mutate it.
 func (g *Graph) Succs(u NodeID) []NodeID {
 	if g.frozen {
+		if g.pager != nil {
+			return g.pager.arcsOf(&g.pager.succ, u)
+		}
 		return g.succArr[g.succOff[u]:g.succOff[u+1]]
 	}
 	return g.succ[u]
@@ -187,6 +200,9 @@ func (g *Graph) Succs(u NodeID) []NodeID {
 // Preds returns the predecessors of u. The returned slice is shared.
 func (g *Graph) Preds(u NodeID) []NodeID {
 	if g.frozen {
+		if g.pager != nil {
+			return g.pager.arcsOf(&g.pager.pred, u)
+		}
 		return g.predArr[g.predOff[u]:g.predOff[u+1]]
 	}
 	return g.pred[u]
@@ -223,6 +239,15 @@ func (g *Graph) InducedSubgraph(keep Set) (*Graph, []NodeID) {
 			if nv, ok := remap[v]; ok {
 				out.AddArc(remap[u], nv)
 			}
+		}
+	}
+	// Carry the online-compaction indexes over: the subgraph's node i is
+	// the base's back[i], so each index restricts by composition — the
+	// simplified graph the finder matches on keeps the tracer's work.
+	if g.iterIdx != nil {
+		out.iterIdx = make(map[mir.LoopID]*LoopIterIndex, len(g.iterIdx))
+		for loop, ix := range g.iterIdx {
+			out.iterIdx[loop] = ix.restrict(back)
 		}
 	}
 	return out, back

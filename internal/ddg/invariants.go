@@ -41,11 +41,18 @@ func (g *Graph) CheckInvariants() error {
 		if g.succ != nil || g.pred != nil || g.succSet != nil {
 			return fail("ddg: frozen graph retains building-phase adjacency")
 		}
+		// A spilled graph's arc arrays live out of core; the per-node checks
+		// below read them back through the pager (Succs/Preds), so only the
+		// resident offset arrays are validated against the spilled arc
+		// count here — never against a flat array that no longer exists.
 		for _, csr := range []struct {
 			name string
 			off  []uint32
-			arr  []NodeID
-		}{{"pred", g.predOff, g.predArr}, {"succ", g.succOff, g.succArr}} {
+			arcs int
+		}{
+			{"pred", g.predOff, g.arcLenPred()},
+			{"succ", g.succOff, g.arcLenSucc()},
+		} {
 			if len(csr.off) != n+1 {
 				return fail("ddg: %s offsets have %d entries, want %d", csr.name, len(csr.off), n+1)
 			}
@@ -57,8 +64,8 @@ func (g *Graph) CheckInvariants() error {
 					return fail("ddg: %s offsets decrease at node %d", csr.name, i)
 				}
 			}
-			if len(csr.off) > 0 && int(csr.off[n]) != len(csr.arr) {
-				return fail("ddg: %s offsets cover %d arcs, array has %d", csr.name, csr.off[n], len(csr.arr))
+			if len(csr.off) > 0 && int(csr.off[n]) != csr.arcs {
+				return fail("ddg: %s offsets cover %d arcs, array has %d", csr.name, csr.off[n], csr.arcs)
 			}
 		}
 	} else {
@@ -132,5 +139,27 @@ func (g *Graph) CheckInvariants() error {
 				fromPreds[i].u, fromPreds[i].v, fromSuccs[i].u, fromSuccs[i].v)
 		}
 	}
+	if g.iterIdx != nil {
+		if err := g.checkIterIndexes(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// arcLenSucc returns the successor arc-array length, whether the array is
+// resident or spilled (the pager's segment tables carry the count).
+func (g *Graph) arcLenSucc() int {
+	if g.pager != nil {
+		return g.pager.tableArcs(&g.pager.succ)
+	}
+	return len(g.succArr)
+}
+
+// arcLenPred returns the predecessor arc-array length (see arcLenSucc).
+func (g *Graph) arcLenPred() int {
+	if g.pager != nil {
+		return g.pager.tableArcs(&g.pager.pred)
+	}
+	return len(g.predArr)
 }

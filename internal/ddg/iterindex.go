@@ -1,0 +1,183 @@
+package ddg
+
+// Loop-iteration indexes: the materialized form of the paper's DDG
+// Compaction phase (§5), computed once per graph instead of once per
+// sub-DDG view.
+//
+// A LoopIterIndex maps every node to the dense ordinal of its dynamic
+// iteration of one static loop — the group the compacted view of any
+// sub-DDG derived from that loop places it in. The per-thread tracer
+// folds iteration runs online while the traced program executes
+// (internal/trace), so finalization installs these indexes on the frozen
+// graph and patterns.LoopView degenerates to a bucket sort over
+// precomputed ordinals: no scope-chain walks, no per-view key maps.
+// Graphs built outside the tracer (Canonicalize, InducedSubgraph sources,
+// tests) simply carry no indexes and views fall back to the scope-chain
+// path; both paths group byte-identically, which the differential suite
+// asserts.
+
+import (
+	"fmt"
+	"sort"
+
+	"discovery/internal/analysis"
+	"discovery/internal/mir"
+)
+
+// LoopIterIndex is the per-loop compaction index of one graph: Keys lists
+// the loop's dynamic iterations sorted ascending by (invocation,
+// iteration) — the exact group order compacted views present — and ord
+// maps each node to its key's position, or -1 for nodes that did not
+// execute inside the loop.
+type LoopIterIndex struct {
+	Loop mir.LoopID
+	Keys []IterationKey
+	ord  []int32
+}
+
+// NewLoopIterIndex builds an index from a key table and a node→ordinal
+// map. Keys must be sorted strictly ascending by (invocation, iteration)
+// and every non-negative ordinal must address a key; violations return an
+// InvariantViolation instead of installing a corrupt index.
+func NewLoopIterIndex(loop mir.LoopID, keys []IterationKey, ord []int32) (*LoopIterIndex, error) {
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Invocation > b.Invocation || (a.Invocation == b.Invocation && a.Iter >= b.Iter) {
+			return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+				"ddg: iteration index for loop %d has unsorted keys at %d", loop, i)
+		}
+	}
+	for u, o := range ord {
+		if o < -1 || int(o) >= len(keys) {
+			return nil, analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+				"ddg: iteration index for loop %d maps node %d to ordinal %d of %d keys",
+				loop, u, o, len(keys))
+		}
+	}
+	return &LoopIterIndex{Loop: loop, Keys: keys, ord: ord}, nil
+}
+
+// OrdinalOf returns the dense iteration ordinal of node u, or ok=false if
+// u did not execute inside the loop.
+func (ix *LoopIterIndex) OrdinalOf(u NodeID) (int32, bool) {
+	if int(u) >= len(ix.ord) || ix.ord[u] < 0 {
+		return 0, false
+	}
+	return ix.ord[u], true
+}
+
+// NumGroups returns the number of dynamic iterations the index covers.
+func (ix *LoopIterIndex) NumGroups() int { return len(ix.Keys) }
+
+// restrict remaps the index onto a subgraph: newOrd[i] = ord[back[i]].
+// The key table is shared — ordinals keep their global order, which is
+// all compacted views need (absent ordinals simply produce no group).
+func (ix *LoopIterIndex) restrict(back []NodeID) *LoopIterIndex {
+	ord := make([]int32, len(back))
+	for i, old := range back {
+		if int(old) < len(ix.ord) {
+			ord[i] = ix.ord[old]
+		} else {
+			ord[i] = -1
+		}
+	}
+	return &LoopIterIndex{Loop: ix.Loop, Keys: ix.Keys, ord: ord}
+}
+
+// InstallLoopIterIndexes attaches compaction indexes to the graph. It is
+// called once, by the tracer's finalization (or a test harness), after
+// the graph's nodes exist; each index must cover exactly the graph's
+// nodes. Re-installation is rejected — indexes describe immutable scope
+// chains, so there is never a second, different truth to install.
+func (g *Graph) InstallLoopIterIndexes(ixs []*LoopIterIndex) error {
+	if g.iterIdx != nil {
+		return analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+			"ddg: loop-iteration indexes installed twice")
+	}
+	m := make(map[mir.LoopID]*LoopIterIndex, len(ixs))
+	for _, ix := range ixs {
+		if len(ix.ord) != g.NumNodes() {
+			return analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+				"ddg: iteration index for loop %d covers %d nodes, graph has %d",
+				ix.Loop, len(ix.ord), g.NumNodes())
+		}
+		if _, dup := m[ix.Loop]; dup {
+			return analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation,
+				"ddg: duplicate iteration index for loop %d", ix.Loop)
+		}
+		m[ix.Loop] = ix
+	}
+	g.iterIdx = m
+	return nil
+}
+
+// LoopIterIndex returns the compaction index for the given static loop,
+// or nil when the graph carries none (graphs built outside the tracer).
+func (g *Graph) LoopIterIndex(loop mir.LoopID) *LoopIterIndex {
+	return g.iterIdx[loop]
+}
+
+// HasIterIndexes reports whether the graph carries online-compaction
+// indexes at all (diagnostics and tests).
+func (g *Graph) HasIterIndexes() bool { return len(g.iterIdx) > 0 }
+
+// IterIndexStats returns how many loops the graph carries online
+// compaction for and the total dynamic iterations indexed (diagnostics).
+func (g *Graph) IterIndexStats() (loops, groups int) {
+	for _, ix := range g.iterIdx {
+		loops++
+		groups += len(ix.Keys)
+	}
+	return loops, groups
+}
+
+// checkIterIndexes verifies every installed index against the ground
+// truth the scope chains encode: ord agrees with IterationOf node by
+// node, the ordinal's key is the node's key, and the key table is sorted.
+// Part of CheckInvariants — an index that drifted from the chains would
+// silently change compacted views, the worst kind of wrong.
+func (g *Graph) checkIterIndexes() error {
+	fail := func(format string, args ...any) error {
+		return analysis.Errorf(analysis.StageFinalize, analysis.InvariantViolation, format, args...)
+	}
+	loops := make([]mir.LoopID, 0, len(g.iterIdx))
+	for loop := range g.iterIdx {
+		loops = append(loops, loop)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i] < loops[j] })
+	for _, loop := range loops {
+		ix := g.iterIdx[loop]
+		if ix.Loop != loop {
+			return fail("ddg: iteration index filed under loop %d names loop %d", loop, ix.Loop)
+		}
+		if len(ix.ord) != g.NumNodes() {
+			return fail("ddg: iteration index for loop %d covers %d nodes, graph has %d",
+				loop, len(ix.ord), g.NumNodes())
+		}
+		for i := 1; i < len(ix.Keys); i++ {
+			a, b := ix.Keys[i-1], ix.Keys[i]
+			if a.Invocation > b.Invocation || (a.Invocation == b.Invocation && a.Iter >= b.Iter) {
+				return fail("ddg: iteration index for loop %d has unsorted keys at %d", loop, i)
+			}
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			u := NodeID(i)
+			want, inLoop := g.IterationOf(u, loop)
+			o, ok := ix.OrdinalOf(u)
+			if ok != inLoop {
+				return fail("ddg: iteration index for loop %d disagrees with node %d's scope chain (indexed=%t, in loop=%t)",
+					loop, u, ok, inLoop)
+			}
+			if ok && ix.Keys[o] != want {
+				return fail("ddg: iteration index for loop %d groups node %d under %v, scope chain says %v",
+					loop, u, ix.Keys[o], want)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the index.
+func (ix *LoopIterIndex) String() string {
+	return fmt.Sprintf("iterindex(L%d, %d groups, %d nodes)", ix.Loop, len(ix.Keys), len(ix.ord))
+}

@@ -1,0 +1,179 @@
+package ddg
+
+// Unit tests for the loop-iteration compaction indexes: constructor
+// validation, once-only installation, restriction onto subgraphs, and the
+// invariant checker's drift detection — an index that disagrees with the
+// scope chains must be caught, because it would silently change compacted
+// views.
+
+import (
+	"testing"
+
+	"discovery/internal/mir"
+)
+
+// buildLoopGraph returns a 5-node graph: node 0 outside any loop, nodes
+// 1-2 in iteration 0 and nodes 3-4 in iteration 1 of loop 1 (invocation 0).
+func buildLoopGraph(t *testing.T) *Graph {
+	t.Helper()
+	var root *Scope
+	s0 := root.Enter(1, 0)
+	s1 := s0.NextIter()
+	fb := NewFrozenBuilder(5, 5)
+	pos := mir.Pos{File: "loop.c", Line: 1}
+	fb.AddNode(mir.OpFAdd, pos, 0, nil)
+	fb.AddNode(mir.OpFAdd, pos, 0, s0, 0)
+	fb.AddNode(mir.OpFMul, pos, 0, s0, 1)
+	fb.AddNode(mir.OpFAdd, pos, 0, s1, 2)
+	fb.AddNode(mir.OpFMul, pos, 0, s1, 3)
+	g, err := fb.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return g
+}
+
+func loopKeys() []IterationKey {
+	return []IterationKey{
+		{Loop: 1, Invocation: 0, Iter: 0},
+		{Loop: 1, Invocation: 0, Iter: 1},
+	}
+}
+
+func TestNewLoopIterIndexValidation(t *testing.T) {
+	if _, err := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1}); err != nil {
+		t.Fatalf("valid index rejected: %v", err)
+	}
+	unsorted := []IterationKey{{Loop: 1, Iter: 1}, {Loop: 1, Iter: 0}}
+	if _, err := NewLoopIterIndex(1, unsorted, []int32{0, 1}); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	dup := []IterationKey{{Loop: 1, Iter: 0}, {Loop: 1, Iter: 0}}
+	if _, err := NewLoopIterIndex(1, dup, []int32{0, 1}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	if _, err := NewLoopIterIndex(1, loopKeys(), []int32{0, 2}); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	if _, err := NewLoopIterIndex(1, loopKeys(), []int32{0, -2}); err == nil {
+		t.Error("ordinal below -1 accepted")
+	}
+}
+
+func TestOrdinalOf(t *testing.T) {
+	ix, err := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d, want 2", ix.NumGroups())
+	}
+	if _, ok := ix.OrdinalOf(0); ok {
+		t.Error("node outside the loop reported an ordinal")
+	}
+	if o, ok := ix.OrdinalOf(3); !ok || o != 1 {
+		t.Errorf("OrdinalOf(3) = (%d, %t), want (1, true)", o, ok)
+	}
+	if _, ok := ix.OrdinalOf(99); ok {
+		t.Error("node beyond the graph reported an ordinal")
+	}
+}
+
+func TestInstallLoopIterIndexes(t *testing.T) {
+	g := buildLoopGraph(t)
+	ix, err := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InstallLoopIterIndexes([]*LoopIterIndex{ix}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if !g.HasIterIndexes() || g.LoopIterIndex(1) != ix {
+		t.Fatal("index not installed")
+	}
+	if g.LoopIterIndex(2) != nil {
+		t.Fatal("unindexed loop returned an index")
+	}
+	if loops, groups := g.IterIndexStats(); loops != 1 || groups != 2 {
+		t.Fatalf("IterIndexStats = (%d, %d), want (1, 2)", loops, groups)
+	}
+	if err := g.InstallLoopIterIndexes(nil); err == nil {
+		t.Error("second installation accepted")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("correct index fails invariants: %v", err)
+	}
+
+	short, _ := NewLoopIterIndex(1, loopKeys(), []int32{0, 1})
+	fresh := buildLoopGraph(t)
+	if err := fresh.InstallLoopIterIndexes([]*LoopIterIndex{short}); err == nil {
+		t.Error("index covering the wrong node count accepted")
+	}
+	both := buildLoopGraph(t)
+	a, _ := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1})
+	b, _ := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1})
+	if err := both.InstallLoopIterIndexes([]*LoopIterIndex{a, b}); err == nil {
+		t.Error("duplicate loop indexes accepted")
+	}
+}
+
+// TestCheckInvariantsCatchesIndexDrift installs indexes that are
+// internally valid but disagree with the scope chains, and asserts the
+// invariant checker rejects each flavor of drift.
+func TestCheckInvariantsCatchesIndexDrift(t *testing.T) {
+	cases := []struct {
+		name string
+		ord  []int32
+	}{
+		{"wrong-group", []int32{-1, 0, 1, 1, 1}},   // node 2 moved to iteration 1
+		{"missing-node", []int32{-1, 0, -1, 1, 1}}, // node 2 dropped from the loop
+		{"phantom-node", []int32{0, 0, 0, 1, 1}},   // node 0 pulled into the loop
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildLoopGraph(t)
+			ix, err := NewLoopIterIndex(1, loopKeys(), tc.ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.InstallLoopIterIndexes([]*LoopIterIndex{ix}); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.CheckInvariants(); err == nil {
+				t.Fatal("drifted index passed invariant checking")
+			}
+		})
+	}
+}
+
+func TestIterIndexRestrictsThroughInducedSubgraph(t *testing.T) {
+	g := buildLoopGraph(t)
+	ix, err := NewLoopIterIndex(1, loopKeys(), []int32{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InstallLoopIterIndexes([]*LoopIterIndex{ix}); err != nil {
+		t.Fatal(err)
+	}
+	sub, back := g.InducedSubgraph(NewSet(0, 3, 4))
+	if len(back) != 3 {
+		t.Fatalf("back map has %d entries, want 3", len(back))
+	}
+	rix := sub.LoopIterIndex(1)
+	if rix == nil {
+		t.Fatal("induced subgraph lost the iteration index")
+	}
+	// Ordinals keep their global values; only the node axis is remapped.
+	if _, ok := rix.OrdinalOf(0); ok {
+		t.Error("restricted node 0 (old 0, outside the loop) reported an ordinal")
+	}
+	for _, u := range []NodeID{1, 2} {
+		if o, ok := rix.OrdinalOf(u); !ok || o != 1 {
+			t.Errorf("restricted node %d ordinal = (%d, %t), want (1, true)", u, o, ok)
+		}
+	}
+	if err := sub.CheckInvariants(); err != nil {
+		t.Errorf("restricted index fails invariants: %v", err)
+	}
+}

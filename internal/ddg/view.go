@@ -24,6 +24,10 @@ type GraphView interface {
 	Thread(u NodeID) int32
 	ScopeOf(u NodeID) *Scope
 	IterationOf(u NodeID, loop mir.LoopID) (IterationKey, bool)
+	// LoopIterIndex returns the online-compaction index for a static loop,
+	// or nil when the graph carries none (see iterindex.go); views group
+	// by it when present and fall back to scope-chain walks otherwise.
+	LoopIterIndex(loop mir.LoopID) *LoopIterIndex
 
 	// Succs and Preds return adjacency slices the caller must not mutate.
 	// On a SubView they are filtered to members (and allocate); hot paths
@@ -175,6 +179,12 @@ func (sv *SubView) ScopeOf(u NodeID) *Scope { return sv.base.ScopeOf(u) }
 // IterationOf delegates to the base graph.
 func (sv *SubView) IterationOf(u NodeID, loop mir.LoopID) (IterationKey, bool) {
 	return sv.base.IterationOf(u, loop)
+}
+
+// LoopIterIndex delegates to the base graph: node ids are shared, so the
+// base's ordinals apply to the restriction unchanged.
+func (sv *SubView) LoopIterIndex(loop mir.LoopID) *LoopIterIndex {
+	return sv.base.LoopIterIndex(loop)
 }
 
 // Succs returns the member successors of u. Unlike the base's CSR slice

@@ -42,6 +42,10 @@ type TraceBenchResult struct {
 	// SpeedupAt4 is the per-thread tracer's speedup over the single-lock
 	// tracer on the 4-worker workload (the acceptance criterion).
 	SpeedupAt4 float64 `json:"speedup_at_4_threads"`
+	// TraceScale is the out-of-core scale ladder (see RunTraceScale),
+	// attached by the bench driver so BENCH_trace.json carries the
+	// memory-bounding evidence next to the throughput rows.
+	TraceScale *TraceScaleResult `json:"trace_scale,omitempty"`
 }
 
 // traceBenchConfigs returns the benchmarked workloads: the md5 kernel

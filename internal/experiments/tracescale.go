@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"discovery/internal/ddg"
+	"discovery/internal/obs"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+	"discovery/internal/vm"
+)
+
+// Trace scale experiment: evidence that the out-of-core paged CSR bounds
+// resident DDG memory. The md5 kernel is traced across an input ladder —
+// the trace bench's default size up to 10× it — under one fixed arc-byte
+// budget. Small inputs stay resident; once a graph's arc arrays exceed
+// the budget they spill, every subsequent adjacency read pages, and the
+// pager's peak resident bytes must stay pinned near the budget while the
+// input (and the spill file) keeps growing. Paging activity is also
+// recorded through internal/obs under the discovery_ddg_pages_* metrics,
+// which is what `make tracescale` asserts on.
+
+// TraceScaleRow is one input-scale measurement.
+type TraceScaleRow struct {
+	Scale    int64 `json:"scale"`
+	Nodes    int   `json:"ddg_nodes"`
+	Arcs     int   `json:"ddg_arcs"`
+	ArcBytes int64 `json:"arc_bytes"` // both CSR arc arrays, resident size
+	TraceNS  int64 `json:"trace_ns"`
+	SweepNS  int64 `json:"sweep_ns"` // full Succs+Preds sweep, paged when spilled
+
+	Spilled           bool  `json:"spilled"`
+	SpilledBytes      int64 `json:"spilled_bytes"`
+	ResidentBytes     int64 `json:"resident_bytes"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+	Faults            int64 `json:"faults"`
+	Evictions         int64 `json:"evictions"`
+
+	// HeapInuseBytes is the Go heap in use after the sweep with the graph
+	// still live (post-GC) — the in-harness stand-in for RSS.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+}
+
+// TraceScaleResult is the full scale-ladder outcome.
+type TraceScaleResult struct {
+	Bench  string          `json:"bench"`
+	Budget int64           `json:"budget_bytes"`
+	Rows   []TraceScaleRow `json:"rows"`
+}
+
+// RunTraceScale traces md5 at each scale (nbuf = 8*scale), offers the
+// graph to the pager under the given budget, and sweeps the full
+// adjacency so a spilled graph faults every segment at least once.
+// Paging counters and gauges are recorded into rec per scale.
+func RunTraceScale(rec obs.Recorder, scales []int64, budget int64) (*TraceScaleResult, error) {
+	rec = obs.OrNop(rec)
+	if budget <= 0 {
+		budget = 4 << 20
+	}
+	out := &TraceScaleResult{Bench: "md5", Budget: budget}
+	b := starbench.ByName("md5")
+	for _, scale := range scales {
+		built := b.Build(starbench.Seq, starbench.Params{"nbuf": 8 * scale, "bufwords": 4, "nproc": 2})
+		start := time.Now()
+		tr, err := trace.Run(built.Prog, vm.WithMaxOps(1<<40))
+		if err != nil {
+			return nil, fmt.Errorf("tracescale %d: %w", scale, err)
+		}
+		traceNS := time.Since(start)
+		g := tr.Graph
+		row := TraceScaleRow{
+			Scale:    scale,
+			Nodes:    g.NumNodes(),
+			Arcs:     g.NumArcs(),
+			ArcBytes: int64(g.NumArcs()) * 2 * 4,
+			TraceNS:  int64(traceNS),
+		}
+		spilled, err := g.MaybeSpill(ddg.SpillConfig{Budget: budget})
+		if err != nil {
+			return nil, fmt.Errorf("tracescale %d: spilling: %w", scale, err)
+		}
+		row.Spilled = spilled
+
+		// Touch every adjacency list; on a spilled graph this pages through
+		// the whole spill file under the fixed budget.
+		start = time.Now()
+		arcs := 0
+		for u := ddg.NodeID(0); int(u) < g.NumNodes(); u++ {
+			arcs += len(g.Succs(u)) + len(g.Preds(u))
+		}
+		row.SweepNS = int64(time.Since(start))
+		if arcs != 2*g.NumArcs() {
+			return nil, fmt.Errorf("tracescale %d: sweep saw %d arc endpoints, want %d", scale, arcs, 2*g.NumArcs())
+		}
+
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		row.HeapInuseBytes = ms.HeapInuse
+
+		if spilled {
+			st := g.PageStats()
+			row.SpilledBytes = st.SpilledBytes
+			row.ResidentBytes = st.ResidentBytes
+			row.PeakResidentBytes = st.PeakResidentBytes
+			row.Faults = st.Faults
+			row.Evictions = st.Evictions
+			lbl := fmt.Sprint(scale)
+			rec.Count(obs.MetricDDGSpills, 1)
+			rec.Count(obs.L(obs.MetricDDGPageFaults, "scale", lbl), st.Faults)
+			rec.Count(obs.L(obs.MetricDDGPageEvictions, "scale", lbl), st.Evictions)
+			rec.Gauge(obs.L(obs.MetricDDGPagesSpilledBytes, "scale", lbl), float64(st.SpilledBytes))
+			rec.Gauge(obs.L(obs.MetricDDGPagesResidentBytes, "scale", lbl), float64(st.ResidentBytes))
+			rec.Gauge(obs.L(obs.MetricDDGPagesPeakResidentBytes, "scale", lbl), float64(st.PeakResidentBytes))
+		}
+		g.CloseSpill()
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// CheckSpill asserts the ladder demonstrated out-of-core operation: at
+// least one scale spilled, paged with real faults, and kept its peak
+// resident bytes bounded by the budget (plus one in-flight segment and
+// the pinned hot set) even though its arc arrays exceed the budget.
+func (r *TraceScaleResult) CheckSpill() error {
+	headroom := r.Budget + 2*int64(ddg.DefaultSegmentBytes)
+	spilled := 0
+	for _, row := range r.Rows {
+		if !row.Spilled {
+			if row.ArcBytes > r.Budget {
+				return fmt.Errorf("tracescale: scale %d is over budget (%d > %d arc bytes) but did not spill",
+					row.Scale, row.ArcBytes, r.Budget)
+			}
+			continue
+		}
+		spilled++
+		if row.Faults == 0 {
+			return fmt.Errorf("tracescale: scale %d spilled but never faulted", row.Scale)
+		}
+		if row.SpilledBytes != row.ArcBytes {
+			return fmt.Errorf("tracescale: scale %d spilled %d bytes, want %d",
+				row.Scale, row.SpilledBytes, row.ArcBytes)
+		}
+		if row.PeakResidentBytes > headroom {
+			return fmt.Errorf("tracescale: scale %d peak resident %d exceeds budget headroom %d",
+				row.Scale, row.PeakResidentBytes, headroom)
+		}
+	}
+	if spilled == 0 {
+		return fmt.Errorf("tracescale: no scale spilled under budget %d; the ladder tested nothing", r.Budget)
+	}
+	return nil
+}
+
+// JSON renders the result (embedded in BENCH_trace.json).
+func (r *TraceScaleResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders a human-readable table.
+func (r *TraceScaleResult) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Trace scale: %s, arc-byte budget %d\n", r.Bench, r.Budget)
+	fmt.Fprintf(&sb, "%8s %10s %12s %8s %14s %14s %10s %10s %12s\n",
+		"scale", "nodes", "arc_bytes", "spilled", "peak_resident", "heap_inuse", "faults", "evictions", "sweep")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%8d %10d %12d %8t %14d %14d %10d %10d %12v\n",
+			row.Scale, row.Nodes, row.ArcBytes, row.Spilled,
+			row.PeakResidentBytes, row.HeapInuseBytes, row.Faults, row.Evictions,
+			time.Duration(row.SweepNS))
+	}
+	return sb.String()
+}

@@ -31,6 +31,19 @@ const (
 	MetricIterations      = "discovery_find_iterations"
 	MetricPatterns        = "discovery_patterns_total"
 
+	// Online loop-iteration compaction (trace-time folding; see
+	// ddg.LoopIterIndex). Gauges, recorded per traced run.
+	MetricTraceIterIndexes = "discovery_trace_iter_indexes" // loops indexed online
+	MetricTraceIterGroups  = "discovery_trace_iter_groups"  // dynamic iterations indexed
+
+	// Out-of-core paged DDGs (ddg.SpillArcs). Counters unless noted.
+	MetricDDGSpills                 = "discovery_ddg_spills_total"
+	MetricDDGPageFaults             = "discovery_ddg_pages_faults_total"
+	MetricDDGPageEvictions          = "discovery_ddg_pages_evictions_total"
+	MetricDDGPagesSpilledBytes      = "discovery_ddg_pages_spilled_bytes"       // gauge
+	MetricDDGPagesResidentBytes     = "discovery_ddg_pages_resident_bytes"      // gauge
+	MetricDDGPagesPeakResidentBytes = "discovery_ddg_pages_peak_resident_bytes" // gauge
+
 	// Analysis-server (cmd/server) metrics. Counters unless noted; the
 	// requests counter is labeled with the terminal status of the request
 	// (ok, rejected, invalid, error, cancelled).

@@ -75,7 +75,19 @@ func ViewKey(nodes ddg.Set, loop mir.LoopID) ddg.Hash128 {
 // per (invocation, iteration) of the given static loop. Nodes lacking a
 // frame for the loop are grouped separately per node (they are rare:
 // boundary computation hoisted around the loop).
+//
+// When the graph carries an online-compaction index for the loop (the
+// tracer folded iteration runs at emit time; see ddg.LoopIterIndex), the
+// grouping is a bucket sort over precomputed ordinals instead of a
+// scope-chain walk plus key sort per view. The two paths group
+// byte-identically: index ordinals are assigned in ascending
+// (invocation, iteration) order over the whole graph, and restricting to
+// any node subset preserves that order, which is exactly the order the
+// sort below produces.
 func LoopView(g ddg.GraphView, nodes ddg.Set, loop mir.LoopID) *View {
+	if ix := g.LoopIterIndex(loop); ix != nil {
+		return loopViewIndexed(g, nodes, loop, ix)
+	}
 	type key struct {
 		inv  uint64
 		iter int64
@@ -102,6 +114,35 @@ func LoopView(g ddg.GraphView, nodes ddg.Set, loop mir.LoopID) *View {
 	groups := make([]ddg.Set, 0, len(keys)+len(loose))
 	for _, k := range keys {
 		groups = append(groups, ddg.NewSet(byIter[k]...))
+	}
+	for _, u := range loose {
+		groups = append(groups, ddg.NewSet(u))
+	}
+	return &View{G: g, Ambient: nodes, Groups: groups, hash: ViewKey(nodes, loop)}
+}
+
+// loopViewIndexed is LoopView's fast path over a precomputed iteration
+// index: bucket the nodes by ordinal, emit buckets in ascending ordinal
+// order (the index's global (invocation, iteration) order), then loose
+// nodes per-node in input order — byte-identical to the scope-chain path.
+func loopViewIndexed(g ddg.GraphView, nodes ddg.Set, loop mir.LoopID, ix *ddg.LoopIterIndex) *View {
+	byOrd := map[int32][]ddg.NodeID{}
+	var loose []ddg.NodeID
+	for _, u := range nodes {
+		if o, ok := ix.OrdinalOf(u); ok {
+			byOrd[o] = append(byOrd[o], u)
+		} else {
+			loose = append(loose, u)
+		}
+	}
+	ords := make([]int32, 0, len(byOrd))
+	for o := range byOrd {
+		ords = append(ords, o)
+	}
+	sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+	groups := make([]ddg.Set, 0, len(ords)+len(loose))
+	for _, o := range ords {
+		groups = append(groups, ddg.NewSet(byOrd[o]...))
 	}
 	for _, u := range loose {
 		groups = append(groups, ddg.NewSet(u))

@@ -1,0 +1,55 @@
+package report
+
+// Paged variant of the golden corpus: the same Find over every benchmark ×
+// version, but with a spill budget small enough that every non-trivial
+// simplified graph pages its adjacency through an unlinked spill file.
+// The reports must match the SAME golden files byte-for-byte — paging
+// changes where bytes live, never what the finder reports. This is the
+// corpus-level half of the out-of-core differential suite (the structural
+// half lives in internal/trace and internal/ddg).
+
+import (
+	"fmt"
+	"testing"
+
+	"discovery/internal/core"
+	"discovery/internal/starbench"
+)
+
+func TestGoldenReportsPaged(t *testing.T) {
+	if *update {
+		t.Skip("golden files are written by TestGoldenReports")
+	}
+	spillDir := t.TempDir()
+	spilled := 0
+	for _, b := range starbench.All() {
+		for _, v := range starbench.Versions() {
+			b, v := b, v
+			t.Run(b.Name+"/"+string(v), func(t *testing.T) {
+				res, err := starbench.Evaluate(b, v, core.Options{
+					SpillBudget: 512, SpillDir: spillDir,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer res.Finder.Graph.CloseSpill()
+				if res.Finder.Graph.Spilled() {
+					spilled++
+				}
+				text := []byte(Text(res.Built.Prog, res.Finder))
+				jsonData, err := JSON(res.Finder)
+				if err != nil {
+					t.Fatal(err)
+				}
+				jsonData = append(normalizeJSON(jsonData), '\n')
+
+				base := fmt.Sprintf("%s_%s", b.Name, v)
+				checkGolden(t, base+".txt", text)
+				checkGolden(t, base+".json", jsonData)
+			})
+		}
+	}
+	if spilled == 0 {
+		t.Error("no benchmark spilled under the 512-byte budget; the paged corpus tested nothing")
+	}
+}

@@ -323,7 +323,28 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 	}
 	diag.TracedNodes = tr.Graph.NumNodes()
 
+	// Fingerprint before spilling: the hash walks the whole adjacency, and
+	// doing it while the arc arrays are still resident avoids paging the
+	// entire graph straight back in.
 	graphFP := graphFingerprint(tr.Graph.Fingerprint())
+
+	// Out-of-core paging: a traced graph over the budget moves its arc
+	// arrays to an unlinked spill file for the rest of the request; the
+	// finder spills the simplified graph it derives on its own (same
+	// options). Both spills are released when the request finishes —
+	// responses carry reports, never graphs, so nothing outlives this
+	// scope. Failures degrade to in-core analysis.
+	if s.cfg.SpillBudget > 0 {
+		spillCfg := ddg.SpillConfig{Dir: s.cfg.SpillDir, Budget: s.cfg.SpillBudget}
+		if spilled, err := tr.Graph.MaybeSpill(spillCfg); err == nil && spilled {
+			s.reg.Count(obs.MetricDDGSpills, 1)
+		}
+		opts.SpillBudget = s.cfg.SpillBudget
+		opts.SpillDir = s.cfg.SpillDir
+		defer func() {
+			tr.Graph.CloseSpill()
+		}()
+	}
 	resultKey := store.ResultKey(graphFP, optsFP)
 	info.GraphFP, info.Key = graphFP, resultKey
 
@@ -351,6 +372,10 @@ func (s *Server) process(ctx context.Context, req *Request, queueWait time.Durat
 	opts.Scheduler = s.pool
 	opts.Obs, opts.ObsParent = rec, root
 	res := core.FindCtx(ctx, tr.Graph, opts)
+	// The finder may have spilled the simplified graph it matched on;
+	// release it with the request (no-op when distinct from tr.Graph's
+	// spill or never spilled — CloseSpill is idempotent and nil-safe).
+	defer res.Graph.CloseSpill()
 	rec.EndSpan(root, obs.Int("patterns", int64(len(res.Patterns))))
 
 	doc, err := report.JSON(res)

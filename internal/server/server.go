@@ -79,6 +79,15 @@ type Config struct {
 	// (trace, then each finder phase via core.Options.PhaseHook). It is
 	// the daemon's fault-injection seam — see internal/fault.Plan.
 	PhaseHook func(phase string)
+	// SpillBudget, when positive, bounds resident DDG arc bytes per
+	// request: traced and simplified graphs whose CSR arc arrays exceed
+	// it are paged out of core (ddg.SpillArcs) for the request's
+	// lifetime. Output-invariant, so it never enters a fingerprint.
+	// 0 disables spilling (the -trace-memory-budget flag).
+	SpillBudget int64
+	// SpillDir is where spill files are created (-ddg-spill-dir); empty
+	// means the system temp directory.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {

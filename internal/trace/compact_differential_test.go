@@ -1,0 +1,223 @@
+package trace_test
+
+// Differential suite for online loop-iteration compaction. The tracer now
+// folds per-iteration runs into the thread buffers at emit time and
+// installs LoopIterIndexes during finalization; trace-then-compact (the
+// paper's original pipeline) survives as RunNoCompact. The two modes must
+// produce byte-identical graphs — indexes are derived metadata, never
+// part of the graph — and patterns.LoopView must group byte-identically
+// through the indexed fast path (compact graphs) and the scope-chain slow
+// path (index-less graphs), including when the graph's adjacency has been
+// spilled out of core.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"discovery/internal/ddg"
+	"discovery/internal/mir"
+	"discovery/internal/patterns"
+	"discovery/internal/starbench"
+	"discovery/internal/trace"
+	"discovery/internal/vm"
+)
+
+// loopsOf collects every static loop appearing in any node's scope chain,
+// sorted — the full set of loops LoopView can be asked about.
+func loopsOf(g *ddg.Graph) []mir.LoopID {
+	seen := map[mir.LoopID]bool{}
+	for u := ddg.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for f := g.ScopeOf(u); f != nil; f = f.Parent {
+			seen[f.Loop] = true
+		}
+	}
+	loops := make([]mir.LoopID, 0, len(seen))
+	for l := range seen {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i] < loops[j] })
+	return loops
+}
+
+// groupsKey renders a view's grouping byte-for-byte.
+func groupsKey(v *patterns.View) string {
+	s := fmt.Sprintf("groups=%d\n", v.NumGroups())
+	for i, grp := range v.Groups {
+		s += fmt.Sprintf("%d: %v\n", i, grp)
+	}
+	return s
+}
+
+// subsetsOf returns deterministic node subsets to view: the full set, the
+// first half, every other node, and a pseudo-random third.
+func subsetsOf(g *ddg.Graph, seed uint64) []ddg.Set {
+	n := g.NumNodes()
+	all := g.Nodes()
+	half := make([]ddg.NodeID, 0, n/2)
+	even := make([]ddg.NodeID, 0, n/2)
+	var rnd []ddg.NodeID
+	x := seed | 1
+	for u := 0; u < n; u++ {
+		if u < n/2 {
+			half = append(half, ddg.NodeID(u))
+		}
+		if u%2 == 0 {
+			even = append(even, ddg.NodeID(u))
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if x%3 == 0 {
+			rnd = append(rnd, ddg.NodeID(u))
+		}
+	}
+	return []ddg.Set{all, ddg.NewSet(half...), ddg.NewSet(even...), ddg.NewSet(rnd...)}
+}
+
+// TestOnlineCompactionDifferentialStarbench asserts, for every benchmark ×
+// version, that the compact and no-compact tracers build byte-identical
+// graphs, that only the compact graph carries iteration indexes, that the
+// indexes survive full invariant checking (which cross-checks them
+// against the scope chains node by node), and that LoopView groups
+// byte-identically through both paths for every loop and several node
+// subsets.
+func TestOnlineCompactionDifferentialStarbench(t *testing.T) {
+	for _, b := range starbench.All() {
+		for _, v := range starbench.Versions() {
+			b, v := b, v
+			t.Run(fmt.Sprintf("%s_%s", b.Name, v), func(t *testing.T) {
+				t.Parallel()
+				built := b.Build(v, b.Analysis)
+				compact, err := trace.Run(built.Prog, vm.WithMaxOps(1<<24))
+				if err != nil {
+					t.Fatalf("trace.Run: %v", err)
+				}
+				baseline, err := trace.RunNoCompact(built.Prog, vm.WithMaxOps(1<<24))
+				if err != nil {
+					t.Fatalf("trace.RunNoCompact: %v", err)
+				}
+				cg, bg := compact.Graph, baseline.Graph
+
+				// The graphs are byte-identical: compaction is metadata.
+				if cg.Fingerprint() != bg.Fingerprint() {
+					t.Fatal("compact and no-compact graphs have different fingerprints")
+				}
+				if fingerprint(cg) != fingerprint(bg) {
+					t.Fatal("compact and no-compact graphs differ structurally")
+				}
+
+				loops := loopsOf(cg)
+				if len(loops) > 0 && !cg.HasIterIndexes() {
+					t.Error("compact graph with loops carries no iteration indexes")
+				}
+				if bg.HasIterIndexes() {
+					t.Error("no-compact graph carries iteration indexes")
+				}
+				// CheckInvariants cross-checks every index against the scope
+				// chains (checkIterIndexes), so this is the ground-truth pass.
+				if err := cg.CheckInvariants(); err != nil {
+					t.Fatalf("compact graph fails invariants: %v", err)
+				}
+
+				for _, loop := range loops {
+					if ix := cg.LoopIterIndex(loop); ix == nil {
+						t.Errorf("loop %d in scope chains but unindexed", loop)
+						continue
+					}
+					for si, nodes := range subsetsOf(cg, uint64(loop)+1) {
+						fast := patterns.LoopView(cg, nodes, loop)
+						slow := patterns.LoopView(bg, nodes, loop)
+						if got, want := groupsKey(fast), groupsKey(slow); got != want {
+							t.Fatalf("loop %d subset %d: indexed grouping differs from scope-chain grouping:\nfast:\n%swant:\n%s",
+								loop, si, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompactionIndexedViewsOnSpilledGraph spills a compact graph's
+// adjacency at a tiny budget and asserts the paged reads, the invariant
+// checker, and the indexed LoopView fast path all still agree byte-for-
+// byte with the fully-resident baseline.
+func TestCompactionIndexedViewsOnSpilledGraph(t *testing.T) {
+	for _, tc := range stressCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			b := starbench.ByName(tc.name)
+			built := b.Build(starbench.Pthreads, tc.params)
+			compact, err := trace.Run(built.Prog, vm.WithMaxOps(1<<24))
+			if err != nil {
+				t.Fatalf("trace.Run: %v", err)
+			}
+			baseline, err := trace.RunNoCompact(built.Prog, vm.WithMaxOps(1<<24))
+			if err != nil {
+				t.Fatalf("trace.RunNoCompact: %v", err)
+			}
+			cg := compact.Graph
+			resident := fingerprint(cg) // capture before the arcs move out of core
+
+			if err := cg.SpillArcs(ddg.SpillConfig{Dir: t.TempDir(), Budget: 256, SegmentBytes: 128}); err != nil {
+				t.Fatalf("SpillArcs: %v", err)
+			}
+			defer cg.CloseSpill()
+			if !cg.Spilled() {
+				t.Fatal("graph did not spill")
+			}
+			// Every adjacency read now pages; the rendering must not change.
+			if got := fingerprint(cg); got != resident {
+				t.Fatal("paged adjacency differs from resident adjacency")
+			}
+			st := cg.PageStats()
+			if st.Faults == 0 || st.SpilledBytes == 0 {
+				t.Fatalf("spilled graph recorded no paging activity: %+v", st)
+			}
+			if st.PeakResidentBytes > 256+int64(cg.NumNodes())*4 {
+				// Budget + one oversized in-flight segment is the ceiling.
+				t.Fatalf("peak resident %d exceeds budget headroom", st.PeakResidentBytes)
+			}
+			if err := cg.CheckInvariants(); err != nil {
+				t.Fatalf("spilled graph fails invariants: %v", err)
+			}
+			for _, loop := range loopsOf(cg) {
+				nodes := cg.Nodes()
+				fast := patterns.LoopView(cg, nodes, loop)
+				slow := patterns.LoopView(baseline.Graph, nodes, loop)
+				if groupsKey(fast) != groupsKey(slow) {
+					t.Fatalf("loop %d: grouping differs on the spilled graph", loop)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonicalizeDropsIndexes pins the index-less contract of graphs
+// rebuilt outside the tracer: Canonicalize produces a byte-identical graph
+// that carries no iteration indexes, so views over it take the scope-chain
+// path — exactly the trace-then-compact baseline the differential tests
+// compare against.
+func TestCanonicalizeDropsIndexes(t *testing.T) {
+	b := starbench.ByName("md5")
+	built := b.Build(starbench.Pthreads, starbench.Params{"nbuf": 8, "bufwords": 4, "nproc": 8})
+	res, err := trace.Run(built.Prog, vm.WithMaxOps(1<<24))
+	if err != nil {
+		t.Fatalf("trace.Run: %v", err)
+	}
+	if !res.Graph.HasIterIndexes() {
+		t.Fatal("traced graph carries no indexes")
+	}
+	canon, err := trace.Canonicalize(res.Graph)
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	if canon.HasIterIndexes() {
+		t.Error("canonicalized graph carries iteration indexes")
+	}
+	if fingerprint(canon) != fingerprint(res.Graph) {
+		t.Error("canonicalized graph differs from its source")
+	}
+}
